@@ -1,0 +1,56 @@
+// Command benchgc runs the reproduction experiments and prints their
+// tables. Each experiment regenerates one claim or figure of the
+// paper; EXPERIMENTS.md records the expected shapes.
+//
+// Usage:
+//
+//	benchgc            # run every experiment
+//	benchgc -e e4      # run one experiment by id
+//	benchgc -list      # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		one  = flag.String("e", "", "run a single experiment by id (e1..e10, a1..a4)")
+		list = flag.Bool("list", false, "list experiments and exit")
+		csv  = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+	render := func(t experiments.Table) {
+		if *csv {
+			t.RenderCSV(os.Stdout)
+		} else {
+			t.Render(os.Stdout)
+		}
+	}
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+	if *one != "" {
+		e, ok := experiments.Lookup(*one)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchgc: unknown experiment %q (try -list)\n", *one)
+			os.Exit(1)
+		}
+		render(e.Run())
+		return
+	}
+	fmt.Println("Guardians in a Generation-Based Garbage Collector (PLDI 1993)")
+	fmt.Println("reproduction experiments (E1–E10, A1–A4); see EXPERIMENTS.md for expected shapes")
+	fmt.Println()
+	for _, e := range experiments.All() {
+		render(e.Run())
+	}
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestBalanced(t *testing.T) {
+	cases := map[string]bool{
+		"":                        true,
+		"(+ 1 2)":                 true,
+		"(define (f x)\n":         false,
+		"(define (f x)\n  x)":     true,
+		"\"open string":           false,
+		"\"closed\"":              true,
+		"(display \"a)b\")":       true,
+		"; comment with ( only":   true,
+		"(f ; trailing ( comment": false,
+		"[let ([x 1]) x]":         true,
+		"(a (b (c)))":             true,
+		"(a (b (c))":              false,
+		")extra":                  true, // depth <= 0: let the reader report it
+		"\"esc \\\" quote\"":      true,
+	}
+	for src, want := range cases {
+		if got := balanced(src); got != want {
+			t.Errorf("balanced(%q) = %v, want %v", src, got, want)
+		}
+	}
+}

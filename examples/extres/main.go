@@ -1,0 +1,63 @@
+// Extres: §1's external-resource scenario — Scheme programs using
+// library routines must cope with memory managed by malloc/free,
+// temporary files, and subprocesses. Each external resource gets a
+// Scheme header registered with a guardian; when the header becomes
+// inaccessible the manager frees the resource, at a time the program
+// chooses. Explicit freeing composes with finalization without double
+// frees.
+//
+//	go run ./examples/extres
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/extres"
+	"repro/internal/heap"
+	"repro/internal/obj"
+)
+
+func main() {
+	h := heap.NewDefault()
+	arena := extres.NewArena()
+	m := extres.NewManager(h, arena)
+
+	fmt.Println("guardian-managed external resources (§1)")
+	fmt.Println()
+
+	// A long-lived resource, held through a root.
+	held := h.NewRoot(m.Wrap(extres.Malloc, 4096))
+
+	// A burst of short-lived resources of each kind, dropped at once.
+	for i := 0; i < 30; i++ {
+		m.Wrap(extres.Malloc, 256)
+		m.Wrap(extres.TempFile, 1024)
+		m.Wrap(extres.Subprocess, 1)
+	}
+
+	// One resource freed explicitly before its header dies.
+	early := m.Wrap(extres.Malloc, 512)
+	if err := m.FreeNow(early); err != nil {
+		panic(err)
+	}
+	early = obj.False
+	_ = early
+
+	fmt.Printf("before collection: %3d live external resources (%d bytes)\n",
+		arena.Live(), arena.LiveBytes)
+
+	// The program decides when clean-up happens: collect, then release.
+	h.Collect(h.MaxGeneration())
+	freed := m.ReleaseDropped()
+
+	fmt.Printf("after collect+release: %d freed by guardian, %d still live\n",
+		freed, arena.Live())
+	fmt.Printf("double frees: %d (explicit FreeNow composed safely)\n", arena.DoubleFrees)
+
+	// The held resource survived; drop it and finish.
+	held.Release()
+	h.Collect(h.MaxGeneration())
+	m.ReleaseDropped()
+	fmt.Printf("after dropping the held header: %d live, %d total allocs, %d frees\n",
+		arena.Live(), arena.Allocs, arena.Frees)
+}

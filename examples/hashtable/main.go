@@ -1,0 +1,76 @@
+// Hashtable: Figure 1's guarded hash table, used as the paper
+// suggests — attaching values to keys without keeping the keys alive,
+// as in symbol tables or shared-structure detection during printing.
+// This example runs the workload twice, guarded and unguarded, and
+// shows the entry counts and heap residency diverge.
+//
+//	go run ./examples/hashtable
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/obj"
+)
+
+// carHash hashes a key by the fixnum in its car — stable across
+// collections, as Figure 1's user-supplied hash procedure must be.
+func carHash(h *heap.Heap, key obj.Value) uint64 {
+	return uint64(h.Car(key).FixnumValue())
+}
+
+func main() {
+	const keys = 5000
+	fmt.Println("guarded hash table (Figure 1) vs unguarded")
+	fmt.Println()
+
+	{
+		h := heap.NewDefault()
+		tbl := core.NewGuardedTable(h, 512, carHash)
+		live := attachAndDrop(h, func(k, v obj.Value) { tbl.Access(k, v) }, keys)
+		h.Collect(h.MaxGeneration())
+		entries := tbl.Len() // access runs the guardian-driven cleanup
+		h.Collect(h.MaxGeneration())
+		fmt.Printf("guarded:   %d entries remain (dropped keys removed), %6d heap words live\n",
+			entries, h.LiveWords())
+		// The kept keys still resolve.
+		for _, r := range live {
+			if _, ok := tbl.Lookup(r.Get()); !ok {
+				panic("live key lost")
+			}
+		}
+	}
+	{
+		h := heap.NewDefault()
+		tbl := core.NewUnguardedTable(h, 512, carHash)
+		_ = attachAndDrop(h, func(k, v obj.Value) { tbl.Access(k, v) }, keys)
+		h.Collect(h.MaxGeneration())
+		h.Collect(h.MaxGeneration())
+		fmt.Printf("unguarded: %d entries remain (everything retained),  %6d heap words live\n",
+			tbl.Len(), h.LiveWords())
+	}
+
+	fmt.Println()
+	fmt.Println("the guarded table's removal work was proportional to the number of")
+	fmt.Println("dropped keys — no scan of the full table ever happened (§1, E2)")
+}
+
+// attachAndDrop inserts keys with vector values, keeping only every
+// tenth key alive; the rest are dropped immediately.
+func attachAndDrop(h *heap.Heap, access func(k, v obj.Value), n int) []*heap.Root {
+	var kept []*heap.Root
+	for i := 0; i < n; i++ {
+		key := h.Cons(obj.FromFixnum(int64(i)), obj.Nil)
+		val := h.MakeVector(6, obj.FromFixnum(int64(i)))
+		access(key, val)
+		if i%10 == 0 {
+			kept = append(kept, h.NewRoot(key))
+		}
+		if i%1000 == 999 {
+			h.Collect(0)
+		}
+	}
+	return kept
+}

@@ -1,0 +1,136 @@
+package baseline_test
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/heap"
+	"repro/internal/obj"
+)
+
+func TestWeakListFinalizesDroppedHeaders(t *testing.T) {
+	h := heap.NewDefault()
+	w := baseline.NewWeakListFinalizer(h)
+	kept := h.NewRoot(w.Wrap(obj.FromFixnum(1)))
+	w.Wrap(obj.FromFixnum(2)) // dropped
+	w.Wrap(obj.FromFixnum(3)) // dropped
+	h.Collect(0)
+	var got []int64
+	n := w.Scan(func(data obj.Value) { got = append(got, data.FixnumValue()) })
+	if n != 2 || len(got) != 2 {
+		t.Fatalf("Scan finalized %d, want 2", n)
+	}
+	seen := map[int64]bool{got[0]: true, got[1]: true}
+	if !seen[2] || !seen[3] {
+		t.Fatalf("wrong data finalized: %v", got)
+	}
+	if w.Deref(kept.Get()).FixnumValue() != 1 {
+		t.Fatal("kept header's data lost")
+	}
+	if w.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", w.Len())
+	}
+}
+
+func TestWeakListScanCostIsProportionalToListSize(t *testing.T) {
+	// The paper's complaint: the entire list must be traversed even if
+	// nothing was dropped.
+	h := heap.NewDefault()
+	w := baseline.NewWeakListFinalizer(h)
+	var roots []*heap.Root
+	for i := 0; i < 500; i++ {
+		roots = append(roots, h.NewRoot(w.Wrap(obj.FromFixnum(int64(i)))))
+	}
+	h.Collect(0)
+	w.CellsScanned = 0
+	if n := w.Scan(func(obj.Value) {}); n != 0 {
+		t.Fatalf("nothing was dropped, finalized %d", n)
+	}
+	if w.CellsScanned != 500 {
+		t.Fatalf("CellsScanned = %d, want 500 (full traversal)", w.CellsScanned)
+	}
+	for _, r := range roots {
+		r.Release()
+	}
+}
+
+func TestWeakListDataSurvivesHeaderDrop(t *testing.T) {
+	// The indirection's purpose: data outlives the header.
+	h := heap.NewDefault()
+	w := baseline.NewWeakListFinalizer(h)
+	data := h.Cons(obj.FromFixnum(7), obj.Nil)
+	w.Wrap(data)
+	data = obj.False
+	_ = data
+	h.Collect(0)
+	ran := false
+	w.Scan(func(d obj.Value) {
+		ran = true
+		if h.Car(d).FixnumValue() != 7 {
+			t.Fatal("clean-up data corrupted")
+		}
+	})
+	if !ran {
+		t.Fatal("finalization did not run")
+	}
+}
+
+func TestRegisterForFinalizationRunsThunk(t *testing.T) {
+	h := heap.NewDefault()
+	r := baseline.NewRegisterForFinalization(h)
+	ran := 0
+	r.Register(h.Cons(obj.FromFixnum(1), obj.Nil), func() { ran++ })
+	kept := h.NewRoot(h.Cons(obj.FromFixnum(2), obj.Nil))
+	r.Register(kept.Get(), func() { t.Error("live object finalized") })
+	h.Collect(0)
+	if n := r.RunThunks(); n != 1 {
+		t.Fatalf("RunThunks = %d, want 1", n)
+	}
+	if ran != 1 {
+		t.Fatal("thunk did not run")
+	}
+	if r.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", r.Pending())
+	}
+}
+
+func TestRegisterForFinalizationForbidsAllocation(t *testing.T) {
+	// The restriction guardians remove: a thunk that allocates fails
+	// (and the failure is suppressed so other thunks still run).
+	h := heap.NewDefault()
+	r := baseline.NewRegisterForFinalization(h)
+	otherRan := false
+	r.Register(h.Cons(obj.FromFixnum(1), obj.Nil), func() {
+		h.Cons(obj.Nil, obj.Nil) // allocation during GC: panics
+	})
+	r.Register(h.Cons(obj.FromFixnum(2), obj.Nil), func() { otherRan = true })
+	h.Collect(0)
+	r.RunThunks()
+	if r.ErrorsSuppressed != 1 {
+		t.Fatalf("ErrorsSuppressed = %d, want 1", r.ErrorsSuppressed)
+	}
+	if !otherRan {
+		t.Fatal("error in one thunk prevented the others")
+	}
+	if r.ThunksRun != 1 {
+		t.Fatalf("ThunksRun = %d, want 1", r.ThunksRun)
+	}
+}
+
+func TestRegisterForFinalizationObjectNotPreserved(t *testing.T) {
+	// Unlike guardians, the mechanism discards the object: the thunk
+	// has no way to receive it. We verify the object really is gone by
+	// watching a weak pointer to it break.
+	h := heap.NewDefault()
+	r := baseline.NewRegisterForFinalization(h)
+	p := h.Cons(obj.FromFixnum(9), obj.Nil)
+	wp := h.NewRoot(h.WeakCons(p, obj.Nil))
+	r.Register(p, func() {})
+	p = obj.False
+	_ = p
+	h.Collect(0)
+	r.RunThunks()
+	if h.Car(wp.Get()) != obj.False {
+		t.Fatal("register-for-finalization preserved the object; it must not")
+	}
+}

@@ -1,0 +1,111 @@
+package baseline
+
+import (
+	"repro/internal/heap"
+	"repro/internal/obj"
+)
+
+// RegisterForFinalization is Dickey's proposed mechanism (§2): the
+// program registers an object together with a thunk; the thunk is
+// invoked automatically during garbage collection if the object has
+// been reclaimed. Compared with guardians it has three deficiencies,
+// all reproduced here and exercised by the tests and experiment E8:
+//
+//   - the object itself is not preserved, so the thunk cannot use it;
+//   - the thunk runs as part of the collection process and therefore
+//     must not allocate (RunThunks enforces this via the heap's
+//     alloc-forbidden mode) — eliminating a useful set of tools and
+//     forcing the programmer to know every source of allocation;
+//   - thunks run at arbitrary collection times, so shared state needs
+//     critical sections, and errors inside a thunk must be suppressed
+//     so they cannot prevent the remaining thunks from running.
+type RegisterForFinalization struct {
+	h    *heap.Heap
+	list *heap.Root // list of weak pairs (weak-cons obj thunkIndex)
+	// thunks is Go-side: the thunk is host code, not a heap value.
+	thunks map[int64]func()
+	next   int64
+
+	// ThunksRun counts finalization thunks invoked.
+	ThunksRun uint64
+	// ErrorsSuppressed counts thunk panics swallowed so the remaining
+	// thunks still run.
+	ErrorsSuppressed uint64
+	// CellsScanned counts list entries visited after collections.
+	CellsScanned uint64
+}
+
+// NewRegisterForFinalization creates the mechanism on h.
+func NewRegisterForFinalization(h *heap.Heap) *RegisterForFinalization {
+	return &RegisterForFinalization{
+		h:      h,
+		list:   h.NewRoot(obj.Nil),
+		thunks: make(map[int64]func()),
+	}
+}
+
+// Register arranges for thunk to run (during a future collection)
+// once v has been reclaimed.
+func (r *RegisterForFinalization) Register(v obj.Value, thunk func()) {
+	idx := r.next
+	r.next++
+	r.thunks[idx] = thunk
+	entry := r.h.WeakCons(v, obj.FromFixnum(idx))
+	r.list.Set(r.h.Cons(entry, r.list.Get()))
+}
+
+// RunThunks performs the collection-time side of the mechanism: it
+// scans the registration list and invokes the thunk of every reclaimed
+// object, with heap allocation forbidden for the duration (the thunk
+// "is invoked as part of the garbage collection process and must not
+// cause another garbage collection"). Thunk panics are suppressed, as
+// error signals must be in a mechanism that runs during collection.
+// Call it immediately after heap.Collect, e.g. from a collect-request
+// handler.
+func (r *RegisterForFinalization) RunThunks() int {
+	h := r.h
+	n := 0
+	var prev obj.Value = obj.False
+	p := r.list.Get()
+	for p.IsPair() {
+		r.CellsScanned++
+		entry := h.Car(p)
+		if h.Car(entry) == obj.False { // object reclaimed
+			idx := h.Cdr(entry).FixnumValue()
+			if thunk, ok := r.thunks[idx]; ok {
+				delete(r.thunks, idx)
+				r.runForbidden(thunk)
+				n++
+			}
+			next := h.Cdr(p)
+			if prev == obj.False {
+				r.list.Set(next)
+			} else {
+				h.SetCdr(prev, next)
+			}
+			p = next
+			continue
+		}
+		prev = p
+		p = h.Cdr(p)
+	}
+	return n
+}
+
+func (r *RegisterForFinalization) runForbidden(thunk func()) {
+	r.h.SetAllocForbidden(true)
+	defer func() {
+		r.h.SetAllocForbidden(false)
+		if recover() != nil {
+			r.ErrorsSuppressed++
+		}
+	}()
+	thunk()
+	r.ThunksRun++
+}
+
+// Pending returns the number of registrations not yet finalized.
+func (r *RegisterForFinalization) Pending() int { return len(r.thunks) }
+
+// Release drops the mechanism's heap references.
+func (r *RegisterForFinalization) Release() { r.list.Release() }

@@ -1,0 +1,109 @@
+// Package baseline implements the two finalization mechanisms the
+// paper compares guardians against (§2): weak-pointer lists with
+// indirection headers, and Dickey-style register-for-finalization.
+// Both are functional — the experiments need them to run real
+// workloads — and both exhibit the costs and restrictions the paper
+// describes.
+package baseline
+
+import (
+	"repro/internal/heap"
+	"repro/internal/obj"
+)
+
+// WeakListFinalizer is the weak-pointer solution of §2: the program
+// maintains a weak pointer to an object header containing a nonweak
+// pointer to the data, so that when the header is dropped the data
+// needed for clean-up is still available. Its two structural costs,
+// both measured by the experiments:
+//
+//   - every access to the underlying data goes through an extra level
+//     of indirection (unacceptable for ports, where reads and writes
+//     are otherwise two or three memory references);
+//   - finding dropped objects requires traversing the *entire* list of
+//     weak pointers, even if none or few have been dropped — and in a
+//     generation-based collector the elements may live in older
+//     generations not recently collected, so the scan is pure waste.
+type WeakListFinalizer struct {
+	h *heap.Heap
+	// list of entries; each entry is an ordinary pair whose car is a
+	// weak pair (weak-cons header data).
+	list *heap.Root
+
+	// CellsScanned counts entries visited by Scan — the O(list) cost.
+	CellsScanned uint64
+	// Finalized counts data values handed to the callback.
+	Finalized uint64
+}
+
+// NewWeakListFinalizer creates an empty weak list.
+func NewWeakListFinalizer(h *heap.Heap) *WeakListFinalizer {
+	return &WeakListFinalizer{h: h, list: h.NewRoot(obj.Nil)}
+}
+
+// Wrap associates data (kept alive by the list) with a fresh header
+// object and returns the header. Client code must hold the header and
+// reach the data through Deref — the indirection the paper calls
+// inherently unsafe, since any code that keeps a direct pointer to the
+// data defeats the mechanism.
+func (w *WeakListFinalizer) Wrap(data obj.Value) obj.Value {
+	header := w.h.MakeBox(data)
+	entry := w.h.WeakCons(header, data)
+	w.list.Set(w.h.Cons(entry, w.list.Get()))
+	return header
+}
+
+// Deref reaches the data behind a header (one extra memory reference
+// per access relative to holding the data directly).
+func (w *WeakListFinalizer) Deref(header obj.Value) obj.Value {
+	return w.h.Unbox(header)
+}
+
+// Watch tracks v directly (no header, no clean-up data): the entry
+// holds v weakly and Scan reports each dropped v by calling fn with
+// #f. It models the bare weak-pointer-list pattern used for hash-table
+// keys, where the scan cost — the entire list per scan — is the point
+// of comparison.
+func (w *WeakListFinalizer) Watch(v obj.Value) {
+	entry := w.h.WeakCons(v, obj.False)
+	w.list.Set(w.h.Cons(entry, w.list.Get()))
+}
+
+// Scan traverses the whole weak list. For every entry whose header has
+// been dropped (weak car broken to #f), fn is called with the data and
+// the entry is removed. The traversal cost is proportional to the
+// list length, not to the number of drops.
+func (w *WeakListFinalizer) Scan(fn func(data obj.Value)) int {
+	h := w.h
+	n := 0
+	var prev obj.Value = obj.False
+	p := w.list.Get()
+	for p.IsPair() {
+		w.CellsScanned++
+		entry := h.Car(p)
+		if h.Car(entry) == obj.False { // header dropped
+			fn(h.Cdr(entry))
+			w.Finalized++
+			n++
+			next := h.Cdr(p)
+			if prev == obj.False {
+				w.list.Set(next)
+			} else {
+				h.SetCdr(prev, next)
+			}
+			p = next
+			continue
+		}
+		prev = p
+		p = h.Cdr(p)
+	}
+	return n
+}
+
+// Len returns the number of tracked entries.
+func (w *WeakListFinalizer) Len() int {
+	return w.h.ListLength(w.list.Get())
+}
+
+// Release drops the finalizer's heap references.
+func (w *WeakListFinalizer) Release() { w.list.Release() }

@@ -1,0 +1,124 @@
+package baseline
+
+import (
+	"repro/internal/heap"
+	"repro/internal/obj"
+)
+
+// WeakSet is the weak-set mechanism of the T language (§2, originally
+// called "populations"): a set of objects held through weak pointers,
+// with operations to add objects, remove objects, and retrieve a list
+// of the members still alive. An object accessible only through weak
+// sets is ultimately discarded and silently vanishes from every set it
+// belonged to.
+type WeakSet struct {
+	h    *heap.Heap
+	list *heap.Root // list of weak pairs (weak-cons member #f)
+}
+
+// NewWeakSet creates an empty weak set.
+func NewWeakSet(h *heap.Heap) *WeakSet {
+	return &WeakSet{h: h, list: h.NewRoot(obj.Nil)}
+}
+
+// Add inserts v (heap object) into the set.
+func (s *WeakSet) Add(v obj.Value) {
+	entry := s.h.WeakCons(v, obj.False)
+	s.list.Set(s.h.Cons(entry, s.list.Get()))
+}
+
+// Remove deletes v from the set, reporting whether it was present.
+func (s *WeakSet) Remove(v obj.Value) bool {
+	h := s.h
+	var prev obj.Value = obj.False
+	for p := s.list.Get(); p.IsPair(); p = h.Cdr(p) {
+		if h.Car(h.Car(p)) == v {
+			if prev == obj.False {
+				s.list.Set(h.Cdr(p))
+			} else {
+				h.SetCdr(prev, h.Cdr(p))
+			}
+			return true
+		}
+		prev = p
+	}
+	return false
+}
+
+// Members returns the surviving members, pruning entries whose weak
+// pointers the collector has broken. As the paper notes, this is
+// where the mechanism's cost lives: the entire list is traversed, and
+// any data associated with a vanished member is already gone.
+func (s *WeakSet) Members() []obj.Value {
+	h := s.h
+	var out []obj.Value
+	var prev obj.Value = obj.False
+	p := s.list.Get()
+	for p.IsPair() {
+		m := h.Car(h.Car(p))
+		if m == obj.False { // broken: member reclaimed
+			next := h.Cdr(p)
+			if prev == obj.False {
+				s.list.Set(next)
+			} else {
+				h.SetCdr(prev, next)
+			}
+			p = next
+			continue
+		}
+		out = append(out, m)
+		prev = p
+		p = h.Cdr(p)
+	}
+	return out
+}
+
+// Release drops the set's heap references.
+func (s *WeakSet) Release() { s.list.Release() }
+
+// WeakHashing is the weak hashing of MIT Scheme and later versions of
+// T (§2): hash accepts an object and returns an integer unique to it;
+// unhash accepts the integer and returns the object if it has not been
+// reclaimed, or reports failure. The integer serves as a weak pointer.
+type WeakHashing struct {
+	h    *heap.Heap
+	next int64
+	// table maps id -> weak pair (weak-cons obj id), held via a heap
+	// list so entries are collector-visible; the Go map indexes it.
+	entries map[int64]*heap.Root
+}
+
+// NewWeakHashing creates the mechanism on h.
+func NewWeakHashing(h *heap.Heap) *WeakHashing {
+	return &WeakHashing{h: h, entries: make(map[int64]*heap.Root)}
+}
+
+// Hash returns an integer unique to v; the same integer is never
+// returned for a different object.
+func (wh *WeakHashing) Hash(v obj.Value) int64 {
+	wh.next++
+	id := wh.next
+	wh.entries[id] = wh.h.NewRoot(wh.h.WeakCons(v, obj.FromFixnum(id)))
+	return id
+}
+
+// Unhash returns the object associated with id, or false when the
+// object has been reclaimed by the garbage collector (or the id was
+// never issued).
+func (wh *WeakHashing) Unhash(id int64) (obj.Value, bool) {
+	r, ok := wh.entries[id]
+	if !ok {
+		return obj.False, false
+	}
+	v := wh.h.Car(r.Get())
+	if v == obj.False {
+		// Broken: retire the entry.
+		r.Release()
+		delete(wh.entries, id)
+		return obj.False, false
+	}
+	return v, true
+}
+
+// Live returns the number of ids whose objects may still be alive.
+func (wh *WeakHashing) Live() int { return len(wh.entries) }

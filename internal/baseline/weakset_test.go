@@ -1,0 +1,123 @@
+package baseline_test
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/heap"
+	"repro/internal/obj"
+)
+
+func TestWeakSetBasics(t *testing.T) {
+	h := heap.NewDefault()
+	s := baseline.NewWeakSet(h)
+	a := h.NewRoot(h.Cons(obj.FromFixnum(1), obj.Nil))
+	b := h.NewRoot(h.Cons(obj.FromFixnum(2), obj.Nil))
+	s.Add(a.Get())
+	s.Add(b.Get())
+	if got := len(s.Members()); got != 2 {
+		t.Fatalf("members = %d, want 2", got)
+	}
+	if !s.Remove(a.Get()) {
+		t.Fatal("remove of member failed")
+	}
+	if s.Remove(a.Get()) {
+		t.Fatal("double remove succeeded")
+	}
+	if got := len(s.Members()); got != 1 {
+		t.Fatalf("members = %d after remove, want 1", got)
+	}
+}
+
+func TestWeakSetMembersVanishOnReclaim(t *testing.T) {
+	// §2: "an object that is not accessible except by way of one or
+	// more weak sets is ultimately discarded and removed from the weak
+	// sets to which it belonged."
+	h := heap.NewDefault()
+	s1 := baseline.NewWeakSet(h)
+	s2 := baseline.NewWeakSet(h)
+	kept := h.NewRoot(h.Cons(obj.FromFixnum(1), obj.Nil))
+	dropped := h.Cons(obj.FromFixnum(2), obj.Nil)
+	s1.Add(kept.Get())
+	s1.Add(dropped)
+	s2.Add(dropped)
+	h.Collect(0)
+	if got := len(s1.Members()); got != 1 {
+		t.Fatalf("s1 members = %d, want 1", got)
+	}
+	if got := len(s2.Members()); got != 0 {
+		t.Fatalf("s2 members = %d, want 0", got)
+	}
+	// Surviving member follows the collector.
+	if s1.Members()[0] != kept.Get() {
+		t.Fatal("surviving member identity wrong")
+	}
+}
+
+func TestWeakSetDoesNotRetain(t *testing.T) {
+	h := heap.NewDefault()
+	s := baseline.NewWeakSet(h)
+	p := h.Cons(obj.FromFixnum(3), obj.Nil)
+	w := h.NewRoot(h.WeakCons(p, obj.Nil))
+	s.Add(p)
+	p = obj.False
+	_ = p
+	h.Collect(0)
+	if h.Car(w.Get()) != obj.False {
+		t.Fatal("weak set kept its member alive")
+	}
+}
+
+func TestWeakHashingUniqueIDs(t *testing.T) {
+	h := heap.NewDefault()
+	wh := baseline.NewWeakHashing(h)
+	a := h.NewRoot(h.Cons(obj.FromFixnum(1), obj.Nil))
+	b := h.NewRoot(h.Cons(obj.FromFixnum(2), obj.Nil))
+	ia := wh.Hash(a.Get())
+	ib := wh.Hash(b.Get())
+	if ia == ib {
+		t.Fatal("distinct objects share a hash id")
+	}
+	got, ok := wh.Unhash(ia)
+	if !ok || got != a.Get() {
+		t.Fatal("unhash of live object failed")
+	}
+}
+
+func TestWeakHashingUnhashAfterReclaim(t *testing.T) {
+	// §2: "If the object has been reclaimed, unhash returns false."
+	h := heap.NewDefault()
+	wh := baseline.NewWeakHashing(h)
+	id := wh.Hash(h.Cons(obj.FromFixnum(1), obj.Nil))
+	h.Collect(0)
+	if _, ok := wh.Unhash(id); ok {
+		t.Fatal("unhash returned a reclaimed object")
+	}
+	if _, ok := wh.Unhash(id); ok {
+		t.Fatal("second unhash should also fail")
+	}
+	if _, ok := wh.Unhash(9999); ok {
+		t.Fatal("unknown id should fail")
+	}
+	if wh.Live() != 0 {
+		t.Fatalf("Live = %d, want 0", wh.Live())
+	}
+}
+
+func TestWeakHashingIDSurvivesMoves(t *testing.T) {
+	// The integer is a weak pointer that survives object motion —
+	// unlike the address, which is why eq tables need rehashing (§3).
+	h := heap.NewDefault()
+	wh := baseline.NewWeakHashing(h)
+	a := h.NewRoot(h.Cons(obj.FromFixnum(7), obj.Nil))
+	id := wh.Hash(a.Get())
+	addrBefore := h.AddressOf(a.Get())
+	h.Collect(h.MaxGeneration())
+	if h.AddressOf(a.Get()) == addrBefore {
+		t.Fatal("setup: object did not move")
+	}
+	got, ok := wh.Unhash(id)
+	if !ok || got != a.Get() {
+		t.Fatal("id did not track the moved object")
+	}
+}

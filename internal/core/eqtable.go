@@ -1,0 +1,189 @@
+package core
+
+import (
+	"repro/internal/heap"
+	"repro/internal/obj"
+)
+
+// RehashMode selects how an EqTable copes with the collector moving
+// its keys (§3: "since an object may be moved during a garbage
+// collection, its address and hence its hash value may change").
+type RehashMode int
+
+const (
+	// RehashAll rehashes the entire table whenever a collection has
+	// happened since the last operation — the conventional solution
+	// the paper criticizes: in a generation-based collector much of
+	// this work is wasted on keys that are no longer moved because
+	// they have advanced to older generations.
+	RehashAll RehashMode = iota
+	// RehashTransport uses a conservative transport guardian to rehash
+	// only the keys that have (possibly) been moved since the last
+	// rehash. Markers age along with their keys, so tenured keys stop
+	// costing anything at young collections.
+	RehashTransport
+)
+
+// EqTable is an eq hash table: arbitrary heap objects as keys, hashed
+// by their virtual (simulated) address. Entries hold keys strongly.
+type EqTable struct {
+	h       *heap.Heap
+	buckets *heap.Root // vector of lists of (key . value) pairs
+	size    int
+	count   int
+	mode    RehashMode
+	tg      *TransportGuardian // RehashTransport only
+	stamp   uint64             // RehashAll: heap stamp at last rehash
+	// KeysRehashed counts individual key rehash operations; experiment
+	// E4 compares it across modes.
+	KeysRehashed uint64
+	// FullRehashes counts whole-table rehash passes (RehashAll only).
+	FullRehashes uint64
+}
+
+// NewEqTable creates an eq hash table with the given bucket count and
+// rehash mode.
+func NewEqTable(h *heap.Heap, size int, mode RehashMode) *EqTable {
+	if size <= 0 {
+		panic("core: table size must be positive")
+	}
+	t := &EqTable{
+		h:       h,
+		buckets: h.NewRoot(h.MakeVector(size, obj.Nil)),
+		size:    size,
+		mode:    mode,
+		stamp:   h.Stamp(),
+	}
+	if mode == RehashTransport {
+		t.tg = NewTransportGuardian(h)
+	}
+	return t
+}
+
+func (t *EqTable) bucketOf(key obj.Value) int {
+	return int(t.h.AddressOf(key) % uint64(t.size))
+}
+
+// fix restores the address-hash invariant before an operation,
+// according to the table's rehash mode.
+func (t *EqTable) fix() {
+	switch t.mode {
+	case RehashAll:
+		if t.h.Stamp() == t.stamp {
+			return
+		}
+		t.stamp = t.h.Stamp()
+		t.FullRehashes++
+		h := t.h
+		old := make([]obj.Value, 0, t.count)
+		vec := t.buckets.Get()
+		for b := 0; b < t.size; b++ {
+			for p := h.VectorRef(vec, b); p.IsPair(); p = h.Cdr(p) {
+				old = append(old, h.Car(p))
+			}
+			h.VectorSet(vec, b, obj.Nil)
+		}
+		for _, entry := range old {
+			nb := t.bucketOf(h.Car(entry))
+			h.VectorSet(vec, nb, h.Cons(entry, h.VectorRef(vec, nb)))
+			t.KeysRehashed++
+		}
+	case RehashTransport:
+		h := t.h
+		for {
+			key, datum, setDatum, ok := t.tg.NextDatum()
+			if !ok {
+				return
+			}
+			oldB := int(datum.FixnumValue())
+			newB := t.bucketOf(key)
+			setDatum(obj.FromFixnum(int64(newB)))
+			t.KeysRehashed++
+			if oldB == newB {
+				continue
+			}
+			// Move the key's entry from its stale bucket to the new one.
+			vec := t.buckets.Get()
+			var prev obj.Value = obj.False
+			for p := h.VectorRef(vec, oldB); p.IsPair(); p = h.Cdr(p) {
+				entry := h.Car(p)
+				if h.Car(entry) == key {
+					if prev == obj.False {
+						h.VectorSet(vec, oldB, h.Cdr(p))
+					} else {
+						h.SetCdr(prev, h.Cdr(p))
+					}
+					h.VectorSet(vec, newB, h.Cons(entry, h.VectorRef(vec, newB)))
+					break
+				}
+				prev = p
+			}
+		}
+	}
+}
+
+// Put binds key to value, replacing any existing binding.
+func (t *EqTable) Put(key, value obj.Value) {
+	t.fix()
+	h := t.h
+	b := t.bucketOf(key)
+	vec := t.buckets.Get()
+	for p := h.VectorRef(vec, b); p.IsPair(); p = h.Cdr(p) {
+		if entry := h.Car(p); h.Car(entry) == key {
+			h.SetCdr(entry, value)
+			return
+		}
+	}
+	entry := h.Cons(key, value)
+	h.VectorSet(vec, b, h.Cons(entry, h.VectorRef(vec, b)))
+	t.count++
+	if t.mode == RehashTransport {
+		t.tg.RegisterDatum(key, obj.FromFixnum(int64(b)))
+	}
+}
+
+// Get returns the value bound to key, if any.
+func (t *EqTable) Get(key obj.Value) (obj.Value, bool) {
+	t.fix()
+	h := t.h
+	vec := t.buckets.Get()
+	for p := h.VectorRef(vec, t.bucketOf(key)); p.IsPair(); p = h.Cdr(p) {
+		if entry := h.Car(p); h.Car(entry) == key {
+			return h.Cdr(entry), true
+		}
+	}
+	return obj.False, false
+}
+
+// Delete removes key's binding and reports whether it was present.
+func (t *EqTable) Delete(key obj.Value) bool {
+	t.fix()
+	h := t.h
+	b := t.bucketOf(key)
+	vec := t.buckets.Get()
+	var prev obj.Value = obj.False
+	for p := h.VectorRef(vec, b); p.IsPair(); p = h.Cdr(p) {
+		if entry := h.Car(p); h.Car(entry) == key {
+			if prev == obj.False {
+				h.VectorSet(vec, b, h.Cdr(p))
+			} else {
+				h.SetCdr(prev, h.Cdr(p))
+			}
+			t.count--
+			return true
+		}
+		prev = p
+	}
+	return false
+}
+
+// Len returns the number of entries.
+func (t *EqTable) Len() int { return t.count }
+
+// Release drops the table's heap references.
+func (t *EqTable) Release() {
+	t.buckets.Release()
+	if t.tg != nil {
+		t.tg.Release()
+	}
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"repro/internal/heap"
+	"repro/internal/obj"
+)
+
+// Guardian protects objects from destruction by the garbage collector
+// so that clean-up or other actions can be performed using the data
+// stored within them (§3). Objects are registered with Register and —
+// once the collector has proven them inaccessible — retrieved, one at
+// a time, with Get, at the convenience of the program. Retrieval order
+// and timing are entirely under program control; a retrieved object
+// has no special status and may be resurrected, re-registered, or
+// simply dropped.
+//
+// Internally a guardian is a tconc, as in the paper: the collector
+// appends objects proven inaccessible, the mutator removes them.
+// The Go-side Guardian handle keeps the tconc alive through a root;
+// Release drops it, which cancels finalization of everything still
+// registered (the entries are discarded at the next collection that
+// examines them).
+type Guardian struct {
+	h    *heap.Heap
+	root *heap.Root
+}
+
+// NewGuardian creates a guardian on h (the paper's make-guardian).
+func NewGuardian(h *heap.Heap) *Guardian {
+	return &Guardian{h: h, root: h.NewRoot(NewTconc(h))}
+}
+
+// Register adds v to the guardian's group of accessible objects. An
+// object may be registered with more than one guardian, or multiple
+// times with the same guardian, in which case it is retrievable once
+// per registration. Registering an immediate is allowed but useless:
+// immediates are never proven inaccessible.
+func (g *Guardian) Register(v obj.Value) {
+	g.h.InstallGuardian(v, g.root.Get())
+}
+
+// RegisterRep registers v with a separate representative (§5's
+// generalized interface): when v is proven inaccessible, rep is
+// enqueued instead of v, and v itself is reclaimed.
+func (g *Guardian) RegisterRep(v, rep obj.Value) {
+	g.h.InstallGuardianRep(v, rep, g.root.Get())
+}
+
+// Get retrieves one object that has been proven inaccessible, or
+// reports false when the inaccessible group is empty — exactly the
+// paper's behaviour of invoking the guardian with no arguments.
+func (g *Guardian) Get() (obj.Value, bool) {
+	return TconcGet(g.h, g.root.Get())
+}
+
+// Pending returns the number of objects currently retrievable.
+func (g *Guardian) Pending() int {
+	return TconcLength(g.h, g.root.Get())
+}
+
+// Tconc returns the underlying tconc value, for registering this
+// guardian with another guardian or embedding it in heap structures.
+// The returned value is only stable until the next collection; re-read
+// it afterwards.
+func (g *Guardian) Tconc() obj.Value { return g.root.Get() }
+
+// Release drops the Go-side reference to the guardian. If nothing in
+// the heap references the tconc either, the guardian becomes
+// collectible and all pending finalizations are canceled. Using the
+// guardian after Release panics.
+func (g *Guardian) Release() { g.root.Release() }

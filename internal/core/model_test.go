@@ -1,0 +1,272 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/obj"
+)
+
+// Model-based property tests: each core data structure is driven by a
+// random operation sequence and compared against a plain Go model,
+// with collections of random generations injected between operations.
+// The structures must behave identically to their models no matter
+// when or how deeply the collector runs.
+
+func TestPropertyTconcMatchesQueueModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := heap.NewDefault()
+		tc := h.NewRoot(core.NewTconc(h))
+		var model []int64
+		next := int64(0)
+		for op := 0; op < 300; op++ {
+			switch rng.Intn(4) {
+			case 0, 1: // enqueue
+				core.TconcPut(h, tc.Get(), obj.FromFixnum(next))
+				model = append(model, next)
+				next++
+			case 2: // dequeue
+				v, ok := core.TconcGet(h, tc.Get())
+				if len(model) == 0 {
+					if ok {
+						t.Errorf("seed %d: dequeue from empty returned %v", seed, v)
+						return false
+					}
+				} else {
+					if !ok || v.FixnumValue() != model[0] {
+						t.Errorf("seed %d: dequeue got %v ok=%v want %d", seed, v, ok, model[0])
+						return false
+					}
+					model = model[1:]
+				}
+			case 3: // collect a random generation
+				h.Collect(rng.Intn(4))
+				if errs := h.Verify(); len(errs) > 0 {
+					t.Errorf("seed %d: heap unsound: %v", seed, errs[0])
+					return false
+				}
+			}
+			if got := core.TconcLength(h, tc.Get()); got != len(model) {
+				t.Errorf("seed %d: length %d, model %d", seed, got, len(model))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyGuardedTableMatchesMapModel(t *testing.T) {
+	hash := func(h *heap.Heap, key obj.Value) uint64 {
+		return uint64(h.Car(key).FixnumValue())
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := heap.NewDefault()
+		tbl := core.NewGuardedTable(h, 16, hash)
+		// Live keys (rooted) with their model values; dropped count.
+		type entry struct {
+			root *heap.Root
+			val  int64
+		}
+		live := map[int64]*entry{}
+		nextKey := int64(0)
+		dropped := 0
+		for op := 0; op < 200; op++ {
+			switch rng.Intn(5) {
+			case 0, 1: // insert a fresh key
+				k := h.Cons(obj.FromFixnum(nextKey), obj.Nil)
+				e := &entry{root: h.NewRoot(k), val: nextKey * 10}
+				got := tbl.Access(k, obj.FromFixnum(e.val))
+				if got.FixnumValue() != e.val {
+					t.Errorf("seed %d: insert returned %v", seed, got)
+					return false
+				}
+				live[nextKey] = e
+				nextKey++
+			case 2: // re-access an existing key: must return original value
+				if len(live) > 0 {
+					for id, e := range live {
+						got := tbl.Access(e.root.Get(), obj.FromFixnum(-1))
+						if got.FixnumValue() != e.val {
+							t.Errorf("seed %d: key %d returned %v want %d",
+								seed, id, got, e.val)
+							return false
+						}
+						break
+					}
+				}
+			case 3: // drop a key
+				for id, e := range live {
+					e.root.Release()
+					delete(live, id)
+					dropped++
+					break
+				}
+			case 4:
+				h.Collect(rng.Intn(4))
+			}
+		}
+		// Settle: full collections then cleanup via Len.
+		h.Collect(h.MaxGeneration())
+		h.Collect(h.MaxGeneration())
+		if got := tbl.Len(); got != len(live) {
+			t.Errorf("seed %d: Len=%d model=%d (dropped %d)", seed, got, len(live), dropped)
+			return false
+		}
+		for id, e := range live {
+			v, ok := tbl.Lookup(e.root.Get())
+			if !ok || v.FixnumValue() != e.val {
+				t.Errorf("seed %d: surviving key %d lost", seed, id)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyEqTableMatchesMapModel(t *testing.T) {
+	for _, mode := range []core.RehashMode{core.RehashAll, core.RehashTransport} {
+		mode := mode
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			h := heap.NewDefault()
+			tbl := core.NewEqTable(h, 8, mode)
+			type entry struct {
+				root *heap.Root
+				val  int64
+			}
+			var entries []*entry
+			for op := 0; op < 200; op++ {
+				switch rng.Intn(6) {
+				case 0, 1: // insert
+					k := h.Cons(obj.FromFixnum(int64(len(entries))), obj.Nil)
+					e := &entry{root: h.NewRoot(k), val: rng.Int63n(1000)}
+					tbl.Put(k, obj.FromFixnum(e.val))
+					entries = append(entries, e)
+				case 2: // update
+					if len(entries) > 0 {
+						e := entries[rng.Intn(len(entries))]
+						if e.root != nil {
+							e.val = rng.Int63n(1000)
+							tbl.Put(e.root.Get(), obj.FromFixnum(e.val))
+						}
+					}
+				case 3: // delete
+					if len(entries) > 0 {
+						e := entries[rng.Intn(len(entries))]
+						if e.root != nil {
+							if !tbl.Delete(e.root.Get()) {
+								t.Errorf("seed %d: delete of present key failed", seed)
+								return false
+							}
+							e.root.Release()
+							e.root = nil
+						}
+					}
+				case 4: // lookup everything
+					for i, e := range entries {
+						if e.root == nil {
+							continue
+						}
+						v, ok := tbl.Get(e.root.Get())
+						if !ok || v.FixnumValue() != e.val {
+							t.Errorf("seed %d mode %v: key %d wrong (%v,%v)",
+								seed, mode, i, v, ok)
+							return false
+						}
+					}
+				case 5:
+					h.Collect(rng.Intn(4))
+				}
+			}
+			liveCount := 0
+			for _, e := range entries {
+				if e.root != nil {
+					liveCount++
+				}
+			}
+			if tbl.Len() != liveCount {
+				t.Errorf("seed %d mode %v: Len=%d want %d", seed, mode, tbl.Len(), liveCount)
+				return false
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+	}
+}
+
+func TestPropertyGuardianDeliversEveryDrop(t *testing.T) {
+	// Every registered-then-dropped object is delivered exactly once;
+	// every registered-and-held object is never delivered.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := heap.NewDefault()
+		g := core.NewGuardian(h)
+		held := map[int64]*heap.Root{}
+		expect := map[int64]int{} // id -> expected deliveries
+		next := int64(0)
+		for op := 0; op < 150; op++ {
+			switch rng.Intn(4) {
+			case 0, 1: // register a fresh object, maybe keep it
+				p := h.Cons(obj.FromFixnum(next), obj.Nil)
+				g.Register(p)
+				if rng.Intn(2) == 0 {
+					held[next] = h.NewRoot(p)
+				} else {
+					expect[next]++
+				}
+				next++
+			case 2: // drop a held object
+				for id, r := range held {
+					r.Release()
+					delete(held, id)
+					expect[id]++
+					break
+				}
+			case 3:
+				h.Collect(rng.Intn(4))
+			}
+		}
+		// Settle everything.
+		for i := 0; i < 3; i++ {
+			h.Collect(h.MaxGeneration())
+		}
+		got := map[int64]int{}
+		for {
+			v, ok := g.Get()
+			if !ok {
+				break
+			}
+			got[h.Car(v).FixnumValue()]++
+		}
+		for id, want := range expect {
+			if got[id] != want {
+				t.Errorf("seed %d: object %d delivered %d times, want %d",
+					seed, id, got[id], want)
+				return false
+			}
+		}
+		for id := range got {
+			if expect[id] == 0 {
+				t.Errorf("seed %d: held object %d was delivered", seed, id)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

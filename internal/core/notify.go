@@ -1,0 +1,83 @@
+package core
+
+import (
+	"repro/internal/heap"
+	"repro/internal/obj"
+)
+
+// Notifier is a convenience layer over guardians for the common
+// finalizer pattern: associate a Go callback with an object, then —
+// at moments the program chooses — drain all pending notifications.
+// Unlike register-for-finalization (§2), the callback receives the
+// intact object and runs as ordinary mutator code: it may allocate,
+// trigger collections, resurrect the object, or re-arm it.
+//
+// Callbacks are Go-side state keyed by a registration id carried in
+// the guardian entry's representative (§5's agent interface: the rep
+// is a pair of the id and the object, so the object rides along and
+// is handed to the callback intact).
+type Notifier struct {
+	h      *heap.Heap
+	g      *Guardian
+	nextID int64
+	cbs    map[int64]func(obj.Value)
+
+	// Delivered counts callbacks run by Drain.
+	Delivered uint64
+}
+
+// NewNotifier creates a notifier on h.
+func NewNotifier(h *heap.Heap) *Notifier {
+	return &Notifier{h: h, g: NewGuardian(h), cbs: make(map[int64]func(obj.Value))}
+}
+
+// OnReclaim arranges for fn to be called with v (intact) at some Drain
+// after the collector proves v inaccessible. It returns a registration
+// id; Cancel revokes it.
+func (n *Notifier) OnReclaim(v obj.Value, fn func(obj.Value)) int64 {
+	n.nextID++
+	id := n.nextID
+	n.cbs[id] = fn
+	rep := n.h.Cons(obj.FromFixnum(id), v)
+	n.g.RegisterRep(v, rep)
+	return id
+}
+
+// Cancel revokes a registration. If the object has already been proven
+// inaccessible but not yet drained, the callback is suppressed.
+// Cancel reports whether the registration was still pending.
+func (n *Notifier) Cancel(id int64) bool {
+	_, ok := n.cbs[id]
+	delete(n.cbs, id)
+	return ok
+}
+
+// Drain runs the callbacks of every registration whose object has been
+// proven inaccessible, handing each callback its object. It returns
+// the number of callbacks run.
+func (n *Notifier) Drain() int {
+	ran := 0
+	for {
+		rep, ok := n.g.Get()
+		if !ok {
+			return ran
+		}
+		id := n.h.Car(rep).FixnumValue()
+		fn, ok := n.cbs[id]
+		if !ok {
+			continue // canceled
+		}
+		delete(n.cbs, id)
+		fn(n.h.Cdr(rep))
+		ran++
+		n.Delivered++
+	}
+}
+
+// Pending returns the number of registrations not yet delivered or
+// canceled.
+func (n *Notifier) Pending() int { return len(n.cbs) }
+
+// Release drops the notifier's guardian; undelivered registrations are
+// canceled at the next collection.
+func (n *Notifier) Release() { n.g.Release() }

@@ -1,0 +1,130 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/obj"
+)
+
+func TestNotifierDeliversObjectIntact(t *testing.T) {
+	h := heap.NewDefault()
+	n := core.NewNotifier(h)
+	n.OnReclaim(h.Cons(fix(7), fix(8)), func(v obj.Value) {
+		if h.Car(v).FixnumValue() != 7 || h.Cdr(v).FixnumValue() != 8 {
+			t.Error("callback received corrupted object")
+		}
+		// Ordinary code: allocation is fine.
+		h.Cons(v, obj.Nil)
+	})
+	h.Collect(0)
+	if got := n.Drain(); got != 1 {
+		t.Fatalf("Drain = %d, want 1", got)
+	}
+	if n.Pending() != 0 {
+		t.Fatal("registration not consumed")
+	}
+}
+
+func TestNotifierLiveObjectNotDelivered(t *testing.T) {
+	h := heap.NewDefault()
+	n := core.NewNotifier(h)
+	keep := h.NewRoot(h.Cons(fix(1), obj.Nil))
+	released := false
+	n.OnReclaim(keep.Get(), func(obj.Value) {
+		if !released {
+			t.Error("live object delivered")
+		}
+	})
+	for i := 0; i < 3; i++ {
+		h.Collect(h.MaxGeneration())
+		n.Drain()
+	}
+	if n.Pending() != 1 {
+		t.Fatal("registration lost while object alive")
+	}
+	released = true
+	keep.Release()
+	h.Collect(h.MaxGeneration())
+	if n.Drain() != 1 {
+		t.Fatal("dropped object not delivered")
+	}
+}
+
+func TestNotifierCancel(t *testing.T) {
+	h := heap.NewDefault()
+	n := core.NewNotifier(h)
+	id := n.OnReclaim(h.Cons(fix(1), obj.Nil), func(obj.Value) {
+		t.Error("canceled callback ran")
+	})
+	if !n.Cancel(id) {
+		t.Fatal("cancel of pending registration failed")
+	}
+	if n.Cancel(id) {
+		t.Fatal("double cancel reported success")
+	}
+	h.Collect(0)
+	if n.Drain() != 0 {
+		t.Fatal("canceled registration delivered")
+	}
+}
+
+func TestNotifierResurrectAndRearm(t *testing.T) {
+	h := heap.NewDefault()
+	n := core.NewNotifier(h)
+	deliveries := 0
+	var rearm func(v obj.Value)
+	rearm = func(v obj.Value) {
+		deliveries++
+		if deliveries < 3 {
+			n.OnReclaim(v, rearm) // re-register the same object
+		}
+	}
+	n.OnReclaim(h.Cons(fix(5), obj.Nil), rearm)
+	for i := 0; i < 5; i++ {
+		h.Collect(h.MaxGeneration())
+		n.Drain()
+	}
+	if deliveries != 3 {
+		t.Fatalf("deliveries = %d, want 3 (re-armed twice)", deliveries)
+	}
+}
+
+func TestNotifierManyRegistrations(t *testing.T) {
+	h := heap.NewDefault()
+	n := core.NewNotifier(h)
+	seen := map[int64]bool{}
+	for i := int64(0); i < 500; i++ {
+		i := i
+		n.OnReclaim(h.Cons(fix(i), obj.Nil), func(v obj.Value) {
+			if seen[i] {
+				t.Errorf("object %d delivered twice", i)
+			}
+			seen[i] = true
+		})
+	}
+	h.Collect(0)
+	if got := n.Drain(); got != 500 {
+		t.Fatalf("Drain = %d, want 500", got)
+	}
+	if len(seen) != 500 {
+		t.Fatalf("saw %d distinct objects", len(seen))
+	}
+}
+
+func TestHeapOutOfMemoryLimit(t *testing.T) {
+	cfg := heap.DefaultConfig()
+	cfg.MaxSegments = 8
+	h := heap.New(cfg)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("exceeding MaxSegments did not panic")
+		}
+	}()
+	r := h.NewRoot(obj.Nil)
+	for i := 0; ; i++ {
+		r.Set(h.Cons(fix(int64(i)), r.Get())) // all live: no collection can help
+	}
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"repro/internal/heap"
+	"repro/internal/obj"
+)
+
+// HashFunc hashes a key to a bucket-selection value. For guarded
+// tables the hash must be stable across collections (content-based),
+// since keys are heap objects that the collector moves; address-based
+// hashing is the business of EqTable.
+type HashFunc func(h *heap.Heap, key obj.Value) uint64
+
+// GuardedTable is the guarded hash table of Figure 1: a bucketed hash
+// table whose key/value entries are weak pairs and whose keys are
+// registered with a guardian owned by the table. Because the entry
+// holds the key weakly, the table does not keep the key alive; when a
+// key becomes otherwise inaccessible the guardian returns it (intact,
+// because guardian salvage happens before weak pointers are broken)
+// and the table removes the now-useless entry. The removal work is
+// proportional to the number of keys actually dropped — the paper's
+// mutator-side proportionality claim — rather than to the table size,
+// which is what the weak-pointer-scanning baseline costs.
+type GuardedTable struct {
+	h       *heap.Heap
+	buckets *heap.Root // vector of entry lists
+	g       *Guardian
+	hash    HashFunc
+	size    int
+	count   int
+	// Removed counts entries removed by guardian-driven cleanup; the
+	// E2/E3 experiments read it.
+	Removed uint64
+}
+
+// NewGuardedTable creates a guarded hash table with the given bucket
+// count and (content-stable) hash function.
+func NewGuardedTable(h *heap.Heap, size int, hash HashFunc) *GuardedTable {
+	if size <= 0 {
+		panic("core: table size must be positive")
+	}
+	return &GuardedTable{
+		h:       h,
+		buckets: h.NewRoot(h.MakeVector(size, obj.Nil)),
+		g:       NewGuardian(h),
+		hash:    hash,
+		size:    size,
+	}
+}
+
+func (t *GuardedTable) bucketOf(key obj.Value) int {
+	return int(t.hash(t.h, key) % uint64(t.size))
+}
+
+// cleanup drains the table's guardian, removing the entry of every key
+// proven inaccessible — the shaded code of Figure 1. It runs at the
+// head of every access, as in the paper.
+func (t *GuardedTable) cleanup() {
+	h := t.h
+	for {
+		z, ok := t.g.Get()
+		if !ok {
+			return
+		}
+		b := t.bucketOf(z)
+		bucket := h.VectorRef(t.buckets.Get(), b)
+		var prev obj.Value = obj.False
+		for p := bucket; p.IsPair(); p = h.Cdr(p) {
+			entry := h.Car(p)
+			if h.Car(entry) == z {
+				if prev == obj.False {
+					h.VectorSet(t.buckets.Get(), b, h.Cdr(p))
+				} else {
+					h.SetCdr(prev, h.Cdr(p))
+				}
+				t.count--
+				t.Removed++
+				break
+			}
+			prev = p
+		}
+	}
+}
+
+// maybeGrow doubles the bucket array when the load factor exceeds 3.
+// Rehashing moves only the entry pairs; guardian registrations are
+// keyed by the objects themselves and are unaffected. (The paper's
+// Figure 1 table is fixed-size; growth is an engineering extension
+// that leaves the mechanism untouched.)
+func (t *GuardedTable) maybeGrow() {
+	if t.count <= t.size*3 {
+		return
+	}
+	h := t.h
+	oldVec := t.buckets.Get()
+	oldSize := t.size
+	t.size = oldSize * 2
+	newRoot := h.NewRoot(h.MakeVector(t.size, obj.Nil))
+	oldVec = t.buckets.Get() // re-read: MakeVector may have been large
+	for b := 0; b < oldSize; b++ {
+		p := h.VectorRef(oldVec, b)
+		for p.IsPair() {
+			next := h.Cdr(p)
+			entry := h.Car(p)
+			nb := t.bucketOf(h.Car(entry))
+			// Relink this spine pair onto the new bucket.
+			h.SetCdr(p, h.VectorRef(newRoot.Get(), nb))
+			h.VectorSet(newRoot.Get(), nb, p)
+			p = next
+		}
+	}
+	t.buckets.Release()
+	t.buckets = newRoot
+}
+
+// Access implements Figure 1's access procedure: if key is present its
+// existing value is returned; otherwise key is added with the given
+// value (and registered with the table's guardian) and value is
+// returned.
+func (t *GuardedTable) Access(key, value obj.Value) obj.Value {
+	t.cleanup()
+	t.maybeGrow()
+	h := t.h
+	b := t.bucketOf(key)
+	bucket := h.VectorRef(t.buckets.Get(), b)
+	for p := bucket; p.IsPair(); p = h.Cdr(p) {
+		if entry := h.Car(p); h.Car(entry) == key {
+			return h.Cdr(entry)
+		}
+	}
+	t.g.Register(key)
+	entry := h.WeakCons(key, value)
+	h.VectorSet(t.buckets.Get(), b, h.Cons(entry, bucket))
+	t.count++
+	return value
+}
+
+// Lookup returns the value bound to key, if present. Like Access it
+// first performs guardian-driven cleanup.
+func (t *GuardedTable) Lookup(key obj.Value) (obj.Value, bool) {
+	t.cleanup()
+	h := t.h
+	bucket := h.VectorRef(t.buckets.Get(), t.bucketOf(key))
+	for p := bucket; p.IsPair(); p = h.Cdr(p) {
+		if entry := h.Car(p); h.Car(entry) == key {
+			return h.Cdr(entry), true
+		}
+	}
+	return obj.False, false
+}
+
+// Len returns the number of live entries after cleanup.
+func (t *GuardedTable) Len() int {
+	t.cleanup()
+	return t.count
+}
+
+// ForEach calls fn with every live key/value pair, after cleanup. fn
+// must not mutate the table.
+func (t *GuardedTable) ForEach(fn func(key, value obj.Value)) {
+	t.cleanup()
+	h := t.h
+	vec := t.buckets.Get()
+	for b := 0; b < t.size; b++ {
+		for p := h.VectorRef(vec, b); p.IsPair(); p = h.Cdr(p) {
+			entry := h.Car(p)
+			fn(h.Car(entry), h.Cdr(entry))
+		}
+	}
+}
+
+// Release drops the table's heap references (buckets and guardian).
+func (t *GuardedTable) Release() {
+	t.buckets.Release()
+	t.g.Release()
+}
+
+// UnguardedTable is the same table with the shaded areas of Figure 1
+// deleted: entries are ordinary (strong) pairs, no guardian, no
+// cleanup. Useless entries accumulate forever — the baseline against
+// which E3 measures space reclamation.
+type UnguardedTable struct {
+	h       *heap.Heap
+	buckets *heap.Root
+	hash    HashFunc
+	size    int
+	count   int
+}
+
+// NewUnguardedTable creates an unguarded hash table.
+func NewUnguardedTable(h *heap.Heap, size int, hash HashFunc) *UnguardedTable {
+	if size <= 0 {
+		panic("core: table size must be positive")
+	}
+	return &UnguardedTable{
+		h:       h,
+		buckets: h.NewRoot(h.MakeVector(size, obj.Nil)),
+		hash:    hash,
+		size:    size,
+	}
+}
+
+// Access returns key's existing value or inserts value.
+func (t *UnguardedTable) Access(key, value obj.Value) obj.Value {
+	h := t.h
+	b := int(t.hash(h, key) % uint64(t.size))
+	bucket := h.VectorRef(t.buckets.Get(), b)
+	for p := bucket; p.IsPair(); p = h.Cdr(p) {
+		if entry := h.Car(p); h.Car(entry) == key {
+			return h.Cdr(entry)
+		}
+	}
+	entry := h.Cons(key, value)
+	h.VectorSet(t.buckets.Get(), b, h.Cons(entry, bucket))
+	t.count++
+	return value
+}
+
+// Len returns the entry count (never shrinks).
+func (t *UnguardedTable) Len() int { return t.count }
+
+// Release drops the table's heap references.
+func (t *UnguardedTable) Release() { t.buckets.Release() }

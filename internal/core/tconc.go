@@ -1,0 +1,74 @@
+// Package core implements the paper's user-level contribution on top
+// of the collector in package heap: guardians (§3), the tconc queue
+// representation and its critical-section-free protocols (Figures 2,
+// 3, and 4), conservative transport guardians (§3), and guarded hash
+// tables (Figure 1) together with eq hash tables whose rehashing cost
+// the transport guardians reduce.
+package core
+
+import (
+	"repro/internal/heap"
+	"repro/internal/obj"
+)
+
+// A tconc (Figure 2) is a queue built from pairs: a header pair whose
+// car points at the first pair of a list and whose cdr points at the
+// last. The queue is empty when both fields point at the same pair;
+// that pair's fields are don't-care values. The collector appends at
+// the tail (Figure 3) and the mutator removes from the head (Figure
+// 4); the protocols are arranged so that neither side needs a critical
+// section even though the collector may interrupt the mutator at any
+// point.
+
+// NewTconc allocates an empty tconc.
+func NewTconc(h *heap.Heap) obj.Value {
+	dummy := h.Cons(obj.False, obj.False)
+	return h.Cons(dummy, dummy)
+}
+
+// TconcEmpty reports whether the tconc holds no elements: the mutator
+// is permitted to compare the header's car and cdr fields.
+func TconcEmpty(h *heap.Heap, tc obj.Value) bool {
+	return h.Car(tc) == h.Cdr(tc)
+}
+
+// TconcGet removes and returns the element at the head of the tconc
+// (Figure 4): the mutator manipulates only the car field of the
+// header, so an interrupting collector appending at the tail can never
+// observe an inconsistent queue. The vacated pair's fields are cleared
+// because the pair is sometimes in an older generation than the
+// objects it points to; keeping the pointers would cause unnecessary
+// storage retention (§4).
+func TconcGet(h *heap.Heap, tc obj.Value) (obj.Value, bool) {
+	if TconcEmpty(h, tc) {
+		return obj.False, false
+	}
+	x := h.Car(tc)
+	y := h.Car(x)
+	h.SetCar(tc, h.Cdr(x))
+	h.SetCar(x, obj.False)
+	h.SetCdr(x, obj.False)
+	return y, true
+}
+
+// TconcPut appends v at the tail of the tconc using the collector's
+// protocol (Figure 3): the new last pair is fully installed before the
+// header's cdr — the only field the consumer compares against — is
+// updated.
+func TconcPut(h *heap.Heap, tc, v obj.Value) {
+	last := h.Cdr(tc)
+	newLast := h.Cons(obj.False, obj.False)
+	h.SetCar(last, v)
+	h.SetCdr(last, newLast)
+	h.SetCdr(tc, newLast)
+}
+
+// TconcLength counts the queued elements (for tests and statistics; it
+// is not part of the paper's protocol).
+func TconcLength(h *heap.Heap, tc obj.Value) int {
+	n := 0
+	for p := h.Car(tc); p != h.Cdr(tc); p = h.Cdr(p) {
+		n++
+	}
+	return n
+}

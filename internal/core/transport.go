@@ -1,0 +1,77 @@
+package core
+
+import (
+	"repro/internal/heap"
+	"repro/internal/obj"
+)
+
+// TransportGuardian is the conservative transport guardian of §3: it
+// returns objects that (may) have been moved — transported — by the
+// collector, rather than objects that have become inaccessible. It is
+// built from an ordinary guardian and weak pairs, exactly as in the
+// paper: each registered object is paired with a freshly allocated
+// marker (a weak pair whose car holds the object) that is guaranteed
+// to be no older than the object. The marker, having no other
+// references, is returned by the guardian after any collection it was
+// subjected to; the object may have been subject to the same
+// collection and so is conservatively reported as moved. Re-registering
+// the same marker makes it age along with the object, giving the
+// desired generation-friendly behaviour. Because the marker holds the
+// object weakly, the transport guardian does not keep otherwise
+// inaccessible objects alive.
+type TransportGuardian struct {
+	h *heap.Heap
+	g *Guardian
+}
+
+// NewTransportGuardian creates a transport guardian on h.
+func NewTransportGuardian(h *heap.Heap) *TransportGuardian {
+	return &TransportGuardian{h: h, g: NewGuardian(h)}
+}
+
+// Register starts tracking x for transport.
+func (t *TransportGuardian) Register(x obj.Value) {
+	t.RegisterDatum(x, obj.False)
+}
+
+// RegisterDatum starts tracking x, attaching datum to its marker. The
+// datum rides in the marker's cdr (a strong pointer) and is handed
+// back by NextDatum; eq hash tables use it to remember the bucket an
+// entry currently occupies so a moved key can be rehashed without
+// searching the table.
+func (t *TransportGuardian) RegisterDatum(x, datum obj.Value) {
+	t.g.Register(t.h.WeakCons(x, datum))
+}
+
+// Next returns an object that may have moved since it was registered
+// (or last returned), re-registering it so it continues to be tracked.
+// Objects that have become inaccessible are silently dropped, as in
+// the paper's implementation.
+func (t *TransportGuardian) Next() (obj.Value, bool) {
+	x, _, _, ok := t.NextDatum()
+	return x, ok
+}
+
+// NextDatum is Next plus access to the marker's datum: it returns the
+// possibly-moved object, its current datum, and a setter that replaces
+// the datum before the marker is re-registered. The setter must be
+// called (if at all) before the next collection.
+func (t *TransportGuardian) NextDatum() (x, datum obj.Value, setDatum func(obj.Value), ok bool) {
+	h := t.h
+	for {
+		m, got := t.g.Get()
+		if !got {
+			return obj.False, obj.False, nil, false
+		}
+		x = h.Car(m)
+		if x == obj.False {
+			// The object was dropped; discard its marker.
+			continue
+		}
+		t.g.Register(m) // same marker: it ages with the object
+		return x, h.Cdr(m), func(d obj.Value) { h.SetCdr(m, d) }, true
+	}
+}
+
+// Release drops the transport guardian's underlying guardian.
+func (t *TransportGuardian) Release() { t.g.Release() }

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/obj"
+)
+
+// A4 ablates the guardian phase's fixpoint iteration: the paper's
+// algorithm repeats the salvage pass with a kleene-sweep after each
+// round because saving an object can make *other guardians*
+// accessible (§3 shows a guardian registered with another guardian).
+// With a chain of D guardians — G1 guards G2's tconc, G2 guards G3's,
+// ..., and the last guards a payload — the single-pass variant
+// discovers only the first link per collection, while the paper's loop
+// delivers the entire chain at once.
+func A4() Table {
+	t := Table{
+		ID:    "A4",
+		Title: "guardian fixpoint iteration vs single pass",
+		PaperClaim: "the pend-final loop repeats (with kleene-sweep) until no " +
+			"entry's tconc becomes accessible (§4); one guardian may be " +
+			"registered with another (§3)",
+		Header: []string{"chain depth", "variant", "links delivered after 1 gc", "payload reached"},
+	}
+	for _, depth := range []int{2, 4, 8} {
+		for _, single := range []bool{false, true} {
+			cfg := heap.DefaultConfig()
+			cfg.TriggerWords = 1 << 30
+			cfg.GuardianSinglePass = single
+			h := heap.New(cfg)
+			// Build the chain: tconcs t1..tD; t1 rooted; t_i guards
+			// t_{i+1}; tD guards the payload.
+			tconcs := make([]obj.Value, depth)
+			for i := range tconcs {
+				dummy := h.Cons(obj.False, obj.False)
+				tconcs[i] = h.Cons(dummy, dummy)
+			}
+			root := h.NewRoot(tconcs[0])
+			// Register in REVERSE dependency order: the payload's
+			// entry is scanned before the entries that would make its
+			// guardian accessible, so a single left-to-right pass
+			// cannot discover the chain — only the fixpoint loop can.
+			payload := h.Cons(fx(424242), obj.Nil)
+			h.InstallGuardian(payload, tconcs[depth-1])
+			for i := depth - 2; i >= 0; i-- {
+				h.InstallGuardian(tconcs[i+1], tconcs[i])
+			}
+			h.Collect(0)
+
+			// Walk the chain from the root, counting delivered links.
+			links := 0
+			reached := false
+			cur := root.Get()
+			for {
+				v, ok := core.TconcGet(h, cur)
+				if !ok {
+					break
+				}
+				links++
+				if v.IsPair() && h.Car(v).IsFixnum() && h.Car(v).FixnumValue() == 424242 {
+					reached = true
+					break
+				}
+				cur = v
+			}
+			name := "iterated (paper)"
+			if single {
+				name = "single pass"
+			}
+			yes := "no"
+			if reached {
+				yes = "yes"
+			}
+			t.Rows = append(t.Rows, []string{ni(depth), name, ni(links), yes})
+		}
+	}
+	t.Notes = "the paper's loop delivers every link of the chain in one collection; the single-pass ablation strands the rest (and, worse, may reclaim objects whose guardians became reachable too late)"
+	return t
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/heap"
+	"repro/internal/scheme"
+)
+
+// E9 measures the Friedman-Wise oblist pruning the paper credits Chez
+// Scheme with (§2, reference [6]): without it, every symbol ever
+// interned — including gensyms and transient string->symbol results —
+// stays in the symbol table forever; with the weak symbol table,
+// unreferenced symbols without global state are uninterned at each
+// collection.
+func E9() Table {
+	const churn = 20000
+	t := Table{
+		ID:    "E9",
+		Title: "weak symbol table (Friedman-Wise oblist pruning)",
+		PaperClaim: "Chez Scheme supports the elimination of unnecessary oblist " +
+			"entries, as proposed by Friedman and Wise (§2)",
+		Header: []string{"mode", "interned before churn", "after churn+gc", "heap words live"},
+	}
+	for _, prune := range []bool{true, false} {
+		h := heap.NewDefault()
+		m := scheme.New(h, nil)
+		m.EnableSymbolPruning(prune)
+		base := m.InternedSymbols()
+		src := fmt.Sprintf(`
+			(define (churn n)
+			  (if (zero? n) 'done (begin (gensym) (churn (- n 1)))))
+			(churn %d)
+			(collect 3)`, churn)
+		if _, err := m.EvalString(src); err != nil {
+			panic("experiments: E9: " + err.Error())
+		}
+		name := "strong oblist"
+		if prune {
+			name = "weak oblist (pruned)"
+		}
+		t.Rows = append(t.Rows, []string{
+			name, ni(base), ni(m.InternedSymbols()), n(h.LiveWords()),
+		})
+	}
+	t.Notes = "with pruning the table returns to its baseline; without, every transient symbol is retained forever"
+	return t
+}

@@ -1,0 +1,114 @@
+package extres_test
+
+import (
+	"testing"
+
+	"repro/internal/extres"
+	"repro/internal/heap"
+)
+
+func TestArenaAllocFree(t *testing.T) {
+	a := extres.NewArena()
+	id := a.Alloc(extres.Malloc, 100)
+	if a.Live() != 1 || a.LiveBytes != 100 {
+		t.Fatal("alloc accounting wrong")
+	}
+	if err := a.Free(id); err != nil {
+		t.Fatal(err)
+	}
+	if a.Live() != 0 || a.LiveBytes != 0 {
+		t.Fatal("free accounting wrong")
+	}
+	if err := a.Free(id); err == nil {
+		t.Fatal("double free should error")
+	}
+	if a.DoubleFrees != 1 {
+		t.Fatal("double free not counted")
+	}
+	if err := a.Free(9999); err == nil {
+		t.Fatal("unknown free should error")
+	}
+}
+
+func TestManagerFreesDroppedHeaders(t *testing.T) {
+	h := heap.NewDefault()
+	a := extres.NewArena()
+	m := extres.NewManager(h, a)
+	keepHdr := h.NewRoot(m.Wrap(extres.Malloc, 50))
+	for i := 0; i < 10; i++ {
+		m.Wrap(extres.Malloc, 10) // dropped immediately
+	}
+	if a.Live() != 11 {
+		t.Fatalf("Live = %d, want 11", a.Live())
+	}
+	h.Collect(0)
+	if n := m.ReleaseDropped(); n != 10 {
+		t.Fatalf("ReleaseDropped = %d, want 10", n)
+	}
+	if a.Live() != 1 {
+		t.Fatalf("Live = %d after release, want 1", a.Live())
+	}
+	if m.KindOf(keepHdr.Get()) != extres.Malloc {
+		t.Fatal("kept header corrupted")
+	}
+}
+
+func TestExplicitFreeComposesWithFinalization(t *testing.T) {
+	h := heap.NewDefault()
+	a := extres.NewArena()
+	m := extres.NewManager(h, a)
+	hdr := m.Wrap(extres.TempFile, 1)
+	if err := m.FreeNow(hdr); err != nil {
+		t.Fatal(err)
+	}
+	// Drop the header too; ReleaseDropped must not double-free.
+	hdr = 0
+	_ = hdr
+	h.Collect(0)
+	if n := m.ReleaseDropped(); n != 0 {
+		t.Fatalf("ReleaseDropped freed an explicitly freed resource (%d)", n)
+	}
+	if a.DoubleFrees != 0 {
+		t.Fatal("double free occurred")
+	}
+}
+
+func TestAllResourceKinds(t *testing.T) {
+	h := heap.NewDefault()
+	a := extres.NewArena()
+	m := extres.NewManager(h, a)
+	for _, k := range []extres.Kind{extres.Malloc, extres.TempFile, extres.Subprocess} {
+		hdr := m.Wrap(k, 5)
+		if m.KindOf(hdr) != k {
+			t.Fatalf("kind %v not preserved", k)
+		}
+		if k.String() == "" {
+			t.Fatal("kind string empty")
+		}
+	}
+	h.Collect(0)
+	if n := m.ReleaseDropped(); n != 3 {
+		t.Fatalf("released %d, want 3", n)
+	}
+}
+
+func TestHeaderSurvivesCollectionsWhileHeld(t *testing.T) {
+	h := heap.NewDefault()
+	a := extres.NewArena()
+	m := extres.NewManager(h, a)
+	hdr := h.NewRoot(m.Wrap(extres.Subprocess, 1))
+	for i := 0; i < 5; i++ {
+		h.Collect(h.MaxGeneration())
+		m.ReleaseDropped()
+	}
+	if a.Live() != 1 {
+		t.Fatal("held resource freed prematurely")
+	}
+	id := m.IDOf(hdr.Get())
+	hdr.Release()
+	h.Collect(h.MaxGeneration())
+	m.ReleaseDropped()
+	if a.Live() != 0 {
+		t.Fatalf("resource %d leaked after header dropped", id)
+	}
+}

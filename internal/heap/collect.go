@@ -1,0 +1,547 @@
+package heap
+
+import (
+	"time"
+
+	"repro/internal/obj"
+	"repro/internal/seg"
+)
+
+// This file implements the stop-and-copy collection algorithm of §4:
+// forwarding, the iterative Cheney sweep the paper calls kleene-sweep,
+// the guardian protected-list algorithm (pend-hold-list /
+// pend-final-list with repeated sweeps), and the weak-pair second pass
+// that runs after guardian handling so that salvaged objects keep
+// their weak references.
+
+// Collect performs a stop-and-copy collection of generations 0
+// through g. Survivors are copied into the target generation (g+1,
+// capped at the oldest generation, which collects into itself).
+// Objects proven inaccessible that are registered with accessible
+// guardians are saved from destruction and moved onto their guardians'
+// tconcs; weak pointers into the collected generations are then
+// updated or broken.
+func (h *Heap) Collect(g int) {
+	h.check(!h.inCollect, "Collect called during a collection")
+	if g < 0 {
+		g = 0
+	}
+	if g > h.MaxGeneration() {
+		g = h.MaxGeneration()
+	}
+	start := time.Now()
+	h.inCollect = true
+	defer func() { h.inCollect = false }()
+
+	h.stamp++
+	h.gcGen = g
+	target := g + 1
+	if h.cfg.TargetGen != nil {
+		target = h.cfg.TargetGen(g, h.MaxGeneration())
+	}
+	if target > h.MaxGeneration() {
+		target = h.MaxGeneration()
+	}
+	if target < 0 {
+		target = 0
+	}
+	h.gcTarget = target
+	st := &h.Stats
+	st.Collections++
+	if g < len(st.CollectionsByGen) {
+		st.CollectionsByGen[g]++
+	}
+
+	// Detach from-space: the segment chains of every collected
+	// generation. When the oldest generation collects into itself, its
+	// survivors land in fresh segments stamped with the current
+	// collection, so the forwarding check can tell to-space from
+	// from-space.
+	var from []int
+	for sp := 0; sp < int(seg.NumSpaces); sp++ {
+		for gen := 0; gen <= g; gen++ {
+			from = append(from, h.chains[sp][gen]...)
+			h.chains[sp][gen] = nil
+			h.cur[sp][gen] = cursor{seg: seg.None}
+		}
+		if target <= g {
+			// Oldest-generation self-collection: reset the target
+			// cursor too so copies go to fresh segments.
+			h.cur[sp][target] = cursor{seg: seg.None}
+		}
+	}
+
+	h.sweepQ = h.sweepQ[:0]
+	h.newWeak = h.newWeak[:0]
+	h.pendWeak = h.pendWeak[:0]
+
+	// Roots: explicit root slots, then registered providers.
+	for i, live := range h.rootsLive {
+		if live {
+			h.roots[i] = h.forward(h.roots[i])
+		}
+	}
+	visit := func(pv *obj.Value) { *pv = h.forward(*pv) }
+	for _, p := range h.providers {
+		p.v.VisitRoots(visit)
+	}
+
+	// Old-to-young pointers: dirty cells, or a conservative scan of
+	// all older generations when the dirty set is disabled.
+	if h.cfg.UseDirtySet {
+		h.scanDirty(g)
+	} else {
+		h.scanAllOld(g)
+	}
+
+	h.kleeneSweep()
+	h.guardianPhase(g, target)
+	h.weakPass(g)
+
+	// Post-collect hooks run while forwarding words are still readable
+	// (from-space not yet freed), so hooks can ask whether a value
+	// survived — the weak symbol-table pruning in package scheme needs
+	// exactly this window.
+	for _, fn := range h.postCollect {
+		fn(h)
+	}
+
+	for _, si := range from {
+		h.tab.Free(si)
+		st.SegmentsFreed++
+	}
+	h.gen0Words = 0
+	h.needCollect = false
+	st.LastPause = time.Since(start)
+	st.TotalPause += st.LastPause
+}
+
+// forward copies v's referent into the target generation if it lives
+// in a collected generation and has not been copied yet, and returns
+// the (possibly updated) value. Immediates and referents in older
+// generations or in to-space are returned unchanged.
+func (h *Heap) forward(v obj.Value) obj.Value {
+	if !v.IsPointer() {
+		return v
+	}
+	addr := v.Addr()
+	s := h.tab.SegOf(addr)
+	if s.Stamp == h.stamp || s.Gen > h.gcGen {
+		return v
+	}
+	w := h.word(addr)
+	if obj.IsFwd(w) {
+		return v.WithAddr(obj.FwdAddr(w))
+	}
+	st := &h.Stats
+	if v.IsPair() {
+		space := s.Space
+		na := h.allocGC(space, 2)
+		h.setWord(na, w)
+		h.setWord(na+1, h.word(addr+1))
+		h.setWord(addr, obj.MakeFwd(na))
+		st.PairsCopied++
+		st.WordsCopied += 2
+		if space == seg.SpaceWeak {
+			// Weak pairs are traced like normal pairs except that the
+			// car is not touched; the cdr is swept, and the car is
+			// fixed by the second pass.
+			h.sweepQ = append(h.sweepQ, sweepItem{na, sweepWeakPair})
+			h.newWeak = append(h.newWeak, na)
+		} else {
+			h.sweepQ = append(h.sweepQ, sweepItem{na, sweepPair})
+		}
+		return v.WithAddr(na)
+	}
+	h.check(obj.IsHeader(w), "forward: object without header at %d", addr)
+	kind := obj.HeaderKind(w)
+	n := obj.PayloadWords(kind, obj.HeaderLength(w))
+	space := seg.SpaceObj
+	if !kind.HasPointers() {
+		space = seg.SpaceData
+	}
+	na := h.allocGC(space, 1+n)
+	for i := uint64(0); i <= uint64(n); i++ {
+		h.setWord(na+i, h.word(addr+i))
+	}
+	h.setWord(addr, obj.MakeFwd(na))
+	st.ObjectsCopied++
+	st.WordsCopied += uint64(1 + n)
+	if kind.HasPointers() {
+		h.sweepQ = append(h.sweepQ, sweepItem{na, sweepObj})
+	}
+	return v.WithAddr(na)
+}
+
+// isForwarded implements the paper's forwarded? predicate: true when
+// the object has been forwarded during this collection or resides in a
+// generation older than those being collected (including to-space).
+// Immediates are trivially accessible.
+func (h *Heap) isForwarded(v obj.Value) bool {
+	if !v.IsPointer() {
+		return true
+	}
+	addr := v.Addr()
+	s := h.tab.SegOf(addr)
+	if s.Stamp == h.stamp || s.Gen > h.gcGen {
+		return true
+	}
+	return obj.IsFwd(h.word(addr))
+}
+
+// fwdAddrOf implements get-fwd-addr: the forwarding address of v, or v
+// itself when it was not subject to collection.
+func (h *Heap) fwdAddrOf(v obj.Value) obj.Value {
+	if !v.IsPointer() {
+		return v
+	}
+	addr := v.Addr()
+	s := h.tab.SegOf(addr)
+	if s.Stamp == h.stamp || s.Gen > h.gcGen {
+		return v
+	}
+	w := h.word(addr)
+	h.check(obj.IsFwd(w), "fwdAddrOf: object not forwarded at %d", addr)
+	return v.WithAddr(obj.FwdAddr(w))
+}
+
+// kleeneSweep iteratively sweeps copied objects until there are no
+// newly copied objects to sweep (§4).
+func (h *Heap) kleeneSweep() {
+	h.Stats.SweepPasses++
+	for len(h.sweepQ) > 0 {
+		it := h.sweepQ[len(h.sweepQ)-1]
+		h.sweepQ = h.sweepQ[:len(h.sweepQ)-1]
+		switch it.kind {
+		case sweepPair:
+			h.setWord(it.addr, uint64(h.forward(h.valueAt(it.addr))))
+			h.setWord(it.addr+1, uint64(h.forward(h.valueAt(it.addr+1))))
+			h.Stats.CellsSwept += 2
+		case sweepWeakPair:
+			h.setWord(it.addr+1, uint64(h.forward(h.valueAt(it.addr+1))))
+			h.Stats.CellsSwept++
+		case sweepObj:
+			w := h.word(it.addr)
+			n := obj.PayloadWords(obj.HeaderKind(w), obj.HeaderLength(w))
+			for i := uint64(1); i <= uint64(n); i++ {
+				h.setWord(it.addr+i, uint64(h.forward(h.valueAt(it.addr+i))))
+			}
+			h.Stats.CellsSwept += uint64(n)
+		}
+	}
+}
+
+// scanDirty processes the remembered set: cells in generations older
+// than g that may hold pointers into the collected generations. Strong
+// cells are forwarded in place; weak car cells are deferred to the
+// weak-pair pass. Entries whose segments are being collected are
+// dropped (the copies are swept normally), as are entries that no
+// longer point to a younger generation.
+func (h *Heap) scanDirty(g int) {
+	if len(h.dirty) == 0 {
+		return
+	}
+	type cell struct {
+		addr uint64
+		weak bool
+	}
+	scratch := make([]cell, 0, len(h.dirty))
+	for addr, weak := range h.dirty {
+		scratch = append(scratch, cell{addr, weak})
+	}
+	for _, c := range scratch {
+		s := h.tab.SegOf(c.addr)
+		if !s.InUse || s.Gen <= g {
+			delete(h.dirty, c.addr)
+			continue
+		}
+		h.Stats.DirtyCellsScanned++
+		if c.weak {
+			// Defer to the weak pass; it re-registers the cell if it
+			// still points to a younger generation afterwards.
+			delete(h.dirty, c.addr)
+			h.pendWeak = append(h.pendWeak, c.addr)
+			continue
+		}
+		v := h.valueAt(c.addr)
+		nv := h.forward(v)
+		h.setWord(c.addr, uint64(nv))
+		if !nv.IsPointer() || h.tab.SegOf(nv.Addr()).Gen >= s.Gen {
+			delete(h.dirty, c.addr)
+		}
+	}
+}
+
+// scanAllOld is the conservative alternative to the dirty set: it
+// visits every cell of every older generation, forwarding strong cells
+// and deferring weak cars, exactly as a collector without remembered
+// sets must. It exists as an ablation baseline and as a correctness
+// oracle for the dirty-set implementation.
+func (h *Heap) scanAllOld(g int) {
+	for idx := 0; idx < h.tab.Len(); idx++ {
+		s := h.tab.Seg(idx)
+		if !s.InUse || s.Cont || s.Gen <= g || s.Stamp == h.stamp {
+			continue
+		}
+		base := seg.BaseAddr(idx)
+		switch s.Space {
+		case seg.SpacePair:
+			for off := 0; off+1 < s.Fill; off += 2 {
+				a := base + uint64(off)
+				h.setWord(a, uint64(h.forward(h.valueAt(a))))
+				h.setWord(a+1, uint64(h.forward(h.valueAt(a+1))))
+				h.Stats.DirtyCellsScanned += 2
+			}
+		case seg.SpaceWeak:
+			for off := 0; off+1 < s.Fill; off += 2 {
+				a := base + uint64(off)
+				h.pendWeak = append(h.pendWeak, a)
+				h.setWord(a+1, uint64(h.forward(h.valueAt(a+1))))
+				h.Stats.DirtyCellsScanned += 2
+			}
+		case seg.SpaceObj:
+			off := 0
+			for off < s.Fill {
+				w := h.word(base + uint64(off))
+				h.check(obj.IsHeader(w), "scanAllOld: missing header in segment %d", idx)
+				n := obj.PayloadWords(obj.HeaderKind(w), obj.HeaderLength(w))
+				for i := 1; i <= n; i++ {
+					a := base + uint64(off+i)
+					h.setWord(a, uint64(h.forward(h.valueAt(a))))
+					h.Stats.DirtyCellsScanned++
+				}
+				off += 1 + n
+			}
+		case seg.SpaceData:
+			// No pointers.
+		}
+	}
+}
+
+// AddPostCollectHook registers fn to run at the end of every
+// collection, after guardian and weak-pair processing but before
+// from-space is freed. Inside the hook, Survived reports whether a
+// pre-collection value is still live and returns its new location.
+func (h *Heap) AddPostCollectHook(fn func(*Heap)) {
+	h.postCollect = append(h.postCollect, fn)
+}
+
+// Survived is valid only inside a post-collect hook: it reports
+// whether v (a value read before the collection) survived, and if so
+// returns its current location. Values in uncollected generations
+// trivially survive.
+func (h *Heap) Survived(v obj.Value) (obj.Value, bool) {
+	h.check(h.inCollect, "Survived called outside a post-collect hook")
+	if !v.IsPointer() {
+		return v, true
+	}
+	s := h.tab.SegOf(v.Addr())
+	if s.Stamp == h.stamp || s.Gen > h.gcGen {
+		return v, true
+	}
+	w := h.word(v.Addr())
+	if obj.IsFwd(w) {
+		return v.WithAddr(obj.FwdAddr(w)), true
+	}
+	return obj.False, false
+}
+
+// InstallGuardian registers v with the guardian represented by the
+// tconc: the low-level interface of §4. A new entry is added to the
+// protected list for generation 0; v itself serves as its own
+// representative, so v is salvaged and enqueued when proven
+// inaccessible.
+func (h *Heap) InstallGuardian(v, tconc obj.Value) {
+	h.InstallGuardianRep(v, v, tconc)
+}
+
+// InstallGuardianRep registers v with a separate representative rep
+// (§5's generalization): when v is proven inaccessible, rep — rather
+// than v — is saved and enqueued on the tconc, allowing v itself to be
+// reclaimed when something smaller suffices for finalization. With
+// rep == v this is the plain interface.
+func (h *Heap) InstallGuardianRep(v, rep, tconc obj.Value) {
+	h.check(tconc.IsPair(), "install-guardian: tconc must be a pair: %v", tconc)
+	h.protected[0] = append(h.protected[0], ProtEntry{Obj: v, Rep: rep, Tconc: tconc})
+	h.Stats.GuardianRegistrations++
+}
+
+// ProtectedCount returns the total number of pending protected-list
+// entries (used by tests and the E1 benchmark).
+func (h *Heap) ProtectedCount() int {
+	n := 0
+	for _, lst := range h.protected {
+		n += len(lst)
+	}
+	return n
+}
+
+// ProtectedCountByGen returns the per-generation protected-list sizes.
+func (h *Heap) ProtectedCountByGen() []int {
+	out := make([]int, len(h.protected))
+	for i, lst := range h.protected {
+		out[i] = len(lst)
+	}
+	return out
+}
+
+// guardianPhase implements the protected-list algorithm of §4. The
+// first block separates accessible objects (pend-hold-list) from
+// inaccessible ones (pend-final-list). The loop then repeatedly
+// salvages inaccessible objects whose tconcs are accessible — each
+// salvage can make further tconcs accessible, hence the repeated
+// kleene-sweep — and migrates accessible entries whose tconcs are
+// accessible to the target generation's protected list. Entries whose
+// tconcs never become accessible are discarded entirely, so dropping a
+// guardian cancels finalization of everything registered with it.
+//
+// Protected lists of generations older than g are not touched at all:
+// the overhead is proportional to the work the collector is already
+// doing (the paper's generation-friendliness claim, experiment E1).
+func (h *Heap) guardianPhase(g, target int) {
+	st := &h.Stats
+	var pendHold, pendFinal []ProtEntry
+	for i := 0; i <= g; i++ {
+		for _, e := range h.protected[i] {
+			st.GuardianEntriesScanned++
+			if h.isForwarded(e.Obj) {
+				pendHold = append(pendHold, e)
+			} else {
+				pendFinal = append(pendFinal, e)
+			}
+		}
+		h.protected[i] = nil
+	}
+	for {
+		progress := false
+		rest := pendFinal[:0]
+		for _, e := range pendFinal {
+			if h.isForwarded(e.Tconc) {
+				// The object is inaccessible and its guardian is
+				// alive: save the representative from destruction and
+				// enqueue it on the guardian's tconc.
+				rep := h.forward(e.Rep)
+				tc := h.fwdAddrOf(e.Tconc)
+				h.tconcAddGC(tc, rep)
+				st.GuardianEntriesSalvaged++
+				progress = true
+			} else {
+				rest = append(rest, e)
+			}
+		}
+		pendFinal = rest
+		restH := pendHold[:0]
+		for _, e := range pendHold {
+			if h.isForwarded(e.Tconc) {
+				ne := ProtEntry{
+					Obj:   h.fwdAddrOf(e.Obj),
+					Rep:   h.forward(e.Rep),
+					Tconc: h.fwdAddrOf(e.Tconc),
+				}
+				h.protected[target] = append(h.protected[target], ne)
+				st.GuardianEntriesHeld++
+				progress = true
+			} else {
+				restH = append(restH, e)
+			}
+		}
+		pendHold = restH
+		if !progress {
+			break
+		}
+		// Salvaged objects (and newly forwarded representatives) may
+		// point at tconcs of other guardians, making them accessible;
+		// sweep and try again.
+		h.kleeneSweep()
+		if h.cfg.GuardianSinglePass {
+			break // ablation: no fixpoint iteration
+		}
+	}
+	// Remaining entries belong to guardians that are themselves
+	// inaccessible: both the entries and (eventually) the registered
+	// objects are reclaimed.
+	st.GuardianEntriesDropped += uint64(len(pendFinal) + len(pendHold))
+}
+
+// tconcAddGC performs the collector side of the tconc protocol
+// (Figure 3): the car of the old last pair is set to the new element
+// and the cdr fields of both the old last pair and the header are
+// pointed at a new last pair — the header's cdr last, so a mutator
+// interrupted at any point never observes a partially installed
+// element. Writes into tconcs living in older generations record
+// dirty entries, since the enqueued object is young.
+func (h *Heap) tconcAddGC(tc, v obj.Value) {
+	last := h.valueAt(tc.Addr() + 1)
+	h.check(last.IsPair(), "tconc: malformed header (cdr not a pair)")
+	na := h.allocGC(seg.SpacePair, 2)
+	h.setWord(na, uint64(obj.False))
+	h.setWord(na+1, uint64(obj.False))
+	newLast := obj.PairAt(na)
+	h.writeGC(last.Addr(), v)         // car of old last := element
+	h.writeGC(last.Addr()+1, newLast) // cdr of old last := new last
+	h.writeGC(tc.Addr()+1, newLast)   // header cdr := new last (final)
+}
+
+// weakPass is the second pass through the weak-pair space (§4), run
+// after the collector has handled the protected lists so that weak
+// pointers to salvaged objects survive. The car of each weak pair
+// copied during this collection is forwarded if its referent was
+// forwarded, left alone if the referent lives in an older generation,
+// and broken to #f otherwise. Deferred dirty weak cells in older
+// generations get the same treatment.
+func (h *Heap) weakPass(g int) {
+	if h.cfg.WeakScanAll {
+		// Ablation baseline: visit every weak pair in the heap.
+		for idx := 0; idx < h.tab.Len(); idx++ {
+			s := h.tab.Seg(idx)
+			if !s.InUse || s.Space != seg.SpaceWeak {
+				continue
+			}
+			if s.Gen <= g && s.Stamp != h.stamp {
+				continue // from-space, about to be freed
+			}
+			base := seg.BaseAddr(idx)
+			for off := 0; off+1 < s.Fill; off += 2 {
+				a := base + uint64(off)
+				if h.weakFix(a) && h.cfg.UseDirtySet {
+					h.dirty[a] = true
+				}
+			}
+		}
+		return
+	}
+	for _, addr := range h.newWeak {
+		h.weakFix(addr)
+	}
+	for _, addr := range h.pendWeak {
+		stillYoung := h.weakFix(addr)
+		if stillYoung && h.cfg.UseDirtySet {
+			h.dirty[addr] = true
+		}
+	}
+}
+
+// weakFix updates the weak car cell at addr: forwarded referents are
+// redirected, dead referents are broken to #f. It reports whether the
+// cell still holds a pointer to a generation strictly younger than its
+// own (so the caller can keep it in the dirty set).
+func (h *Heap) weakFix(addr uint64) bool {
+	h.Stats.WeakPairsScanned++
+	v := h.valueAt(addr)
+	if !v.IsPointer() {
+		return false
+	}
+	s := h.tab.SegOf(v.Addr())
+	if s.Stamp != h.stamp && s.Gen <= h.gcGen {
+		w := h.word(v.Addr())
+		if obj.IsFwd(w) {
+			v = v.WithAddr(obj.FwdAddr(w))
+			h.setWord(addr, uint64(v))
+		} else {
+			h.setWord(addr, uint64(obj.False))
+			h.Stats.WeakPointersBroken++
+			return false
+		}
+	}
+	return h.tab.SegOf(v.Addr()).Gen < h.tab.SegOf(addr).Gen
+}

@@ -1,0 +1,133 @@
+package heap_test
+
+import (
+	"testing"
+
+	"repro/internal/heap"
+	"repro/internal/obj"
+)
+
+// Cross-generation guardian interactions: the collector appending a
+// young salvaged object onto a tconc living in an older generation is
+// an old-to-young store performed *by the collector itself* (§4); the
+// dirty set must cover it or the next young collection corrupts the
+// queue.
+
+func TestSalvageOntoTenuredTconc(t *testing.T) {
+	h := heap.NewDefault()
+	tc := h.NewRoot(makeTconc(h))
+	// Tenure the tconc deep.
+	h.Collect(h.MaxGeneration())
+	h.Collect(h.MaxGeneration())
+	if g := h.Generation(tc.Get()); g != h.MaxGeneration() {
+		t.Fatalf("setup: tconc generation %d", g)
+	}
+	// Register and drop a young object.
+	p := h.Cons(obj.FromFixnum(31), obj.FromFixnum(41))
+	h.InstallGuardian(p, tc.Get())
+	h.Collect(0) // salvage: collector appends gen-1 object into gen-3 tconc
+	h.MustVerify()
+	// Young collections with churn must keep the queued object alive
+	// through the dirty entry the collector recorded.
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 5000; j++ {
+			h.Cons(obj.FromFixnum(int64(j)), obj.Nil)
+		}
+		h.Collect(0)
+		h.MustVerify()
+	}
+	got, ok := tconcGet(h, tc.Get())
+	if !ok {
+		t.Fatal("queued object lost")
+	}
+	if h.Car(got).FixnumValue() != 31 || h.Cdr(got).FixnumValue() != 41 {
+		t.Fatal("queued object corrupted after young collections")
+	}
+}
+
+func TestSalvageOntoTenuredTconcManyObjects(t *testing.T) {
+	h := heap.NewDefault()
+	tc := h.NewRoot(makeTconc(h))
+	h.Collect(h.MaxGeneration())
+	h.Collect(h.MaxGeneration())
+	const N = 200
+	for i := 0; i < N; i++ {
+		h.InstallGuardian(h.Cons(obj.FromFixnum(int64(i)), obj.Nil), tc.Get())
+	}
+	h.Collect(0)
+	h.Collect(0) // extra young collection between salvage and drain
+	h.MustVerify()
+	seen := map[int64]bool{}
+	for {
+		v, ok := tconcGet(h, tc.Get())
+		if !ok {
+			break
+		}
+		seen[h.Car(v).FixnumValue()] = true
+	}
+	if len(seen) != N {
+		t.Fatalf("drained %d distinct objects, want %d", len(seen), N)
+	}
+}
+
+func TestGuardianEntryTconcYoungerThanObject(t *testing.T) {
+	// Register a tenured object with a *young* guardian: the entry
+	// sits in protected[0]; young collections migrate it upward while
+	// the object stays put, and the eventual deep collection salvages.
+	h := heap.NewDefault()
+	objR := h.NewRoot(h.Cons(obj.FromFixnum(5), obj.Nil))
+	h.Collect(h.MaxGeneration())
+	h.Collect(h.MaxGeneration()) // object in oldest generation
+	tc := h.NewRoot(makeTconc(h))
+	h.InstallGuardian(objR.Get(), tc.Get())
+	h.Collect(0) // entry examined: obj accessible (old), tconc young
+	h.MustVerify()
+	objR.Release()
+	h.Collect(h.MaxGeneration())
+	got, ok := tconcGet(h, tc.Get())
+	if !ok || h.Car(got).FixnumValue() != 5 {
+		t.Fatal("tenured object with young guardian not salvaged")
+	}
+}
+
+func TestWeakPairToGuardianTconc(t *testing.T) {
+	// A weak pointer to a guardian's tconc: while the guardian (its
+	// tconc) is reachable only through the weak pair, registrations
+	// cancel (weak pointers don't make guardians accessible), and the
+	// weak car breaks.
+	h := heap.NewDefault()
+	tc := makeTconc(h)
+	w := h.NewRoot(h.WeakCons(tc, obj.Nil))
+	h.InstallGuardian(h.Cons(obj.FromFixnum(1), obj.Nil), tc)
+	h.Collect(0)
+	if h.Car(w.Get()) != obj.False {
+		t.Fatal("weakly-held guardian should be collected")
+	}
+	if h.ProtectedCount() != 0 {
+		t.Fatal("entries of weakly-held guardian should drop")
+	}
+	if h.Stats.GuardianEntriesSalvaged != 0 {
+		t.Fatal("nothing should be salvaged for a dead guardian")
+	}
+}
+
+func TestRepInOlderGenerationThanObject(t *testing.T) {
+	// §5 interface with an old representative guarding a young object.
+	h := heap.NewDefault()
+	rep := h.NewRoot(h.Cons(obj.FromFixnum(99), obj.Nil))
+	h.Collect(h.MaxGeneration()) // rep tenured
+	tc := h.NewRoot(makeTconc(h))
+	young := h.Cons(obj.FromFixnum(1), obj.Nil)
+	h.InstallGuardianRep(young, rep.Get(), tc.Get())
+	repVal := rep.Get()
+	rep.Release()
+	h.Collect(0) // young dies; rep (old) is enqueued
+	got, ok := tconcGet(h, tc.Get())
+	if !ok {
+		t.Fatal("representative not enqueued")
+	}
+	if got != repVal {
+		t.Fatal("wrong representative enqueued")
+	}
+	h.MustVerify()
+}

@@ -1,0 +1,385 @@
+// Package heap implements the generation-based stop-and-copy garbage
+// collector of the paper, including the guardian protected-list
+// algorithm of §4, weak pairs in a dedicated weak-pair space, dirty
+// (remembered) sets for old-to-young pointers, and a collect-request
+// mechanism mirroring Chez Scheme's collect-request-handler.
+//
+// The heap is word-addressed and built from 4 KB segments (package
+// seg); each segment belongs to a space and a generation, recorded in
+// the segment information table. Mutator values are obj.Value words.
+//
+// Collections happen only when the program asks for them: explicitly
+// via Collect, or at a Checkpoint after the generation-0 allocation
+// trigger has fired. Between those points, Values held in Go variables
+// are stable; across them, only Values reachable from registered roots
+// (see Root and RootVisitor) survive and may move.
+package heap
+
+import (
+	"fmt"
+
+	"repro/internal/obj"
+	"repro/internal/seg"
+)
+
+// Config controls heap shape and collection policy.
+type Config struct {
+	// Generations is the number of generations (0 .. Generations-1,
+	// with 0 the youngest), as in §4's fixed strategy. Must be >= 1.
+	Generations int
+	// TriggerWords is the number of words allocated in generation 0
+	// between collect requests. A request does not itself collect; it
+	// sets a flag honored at the next Checkpoint.
+	TriggerWords int
+	// Radix picks the generation for automatic collections: generation
+	// g is collected every Radix^g collect requests, matching Chez's
+	// collect-generation-radix.
+	Radix int
+	// UseDirtySet enables the remembered-set write barrier. When
+	// false, the collector conservatively scans every word of every
+	// older generation instead — the generation-unfriendly baseline
+	// used by the ablation benchmarks and as a correctness oracle.
+	UseDirtySet bool
+	// WeakScanAll makes the weak-pair second pass visit every weak
+	// segment in the heap instead of only weak pairs copied during the
+	// current collection — the ablation baseline for §4's
+	// generation-friendly weak handling.
+	WeakScanAll bool
+	// MaxSegments bounds the heap: allocations that would bring the
+	// number of in-use segments above the limit panic with an
+	// out-of-memory error. 0 means unbounded.
+	MaxSegments int
+	// GuardianSinglePass makes the guardian phase run its
+	// salvage/migrate pass at most once instead of iterating to
+	// fixpoint with kleene-sweeps in between — an ABLATION ONLY: the
+	// paper iterates precisely because salvaged objects can make
+	// further guardians accessible (registering a guardian with
+	// another guardian, §3), and a single pass misses them. Experiment
+	// A4 demonstrates the failure.
+	GuardianSinglePass bool
+	// TargetGen, when non-nil, chooses the target generation for a
+	// collection of generations 0..g — §4: "the promotion and tenure
+	// strategies supported by the collector are under programmer
+	// control". The returned generation is clamped to [0, maxGen].
+	// nil uses the paper's simple strategy: survivors of a collection
+	// of generation g go to g+1, with the oldest generation collecting
+	// into itself.
+	TargetGen func(g, maxGen int) int
+}
+
+// DefaultConfig returns the configuration used throughout the examples
+// and benchmarks: four generations, a 64-segment generation-0 nursery
+// trigger, and radix-4 automatic collection.
+func DefaultConfig() Config {
+	return Config{
+		Generations:  4,
+		TriggerWords: 64 * seg.Words,
+		Radix:        4,
+		UseDirtySet:  true,
+	}
+}
+
+type cursor struct {
+	seg int // open segment index, or seg.None
+	off int // next free word within the open segment
+}
+
+// ProtEntry is one element of a protected list: an object registered
+// with a guardian, the representative to enqueue when the object is
+// proven inaccessible (§5's generalization; Rep == Obj for the plain
+// interface), and the guardian's tconc.
+type ProtEntry struct {
+	Obj   obj.Value
+	Rep   obj.Value
+	Tconc obj.Value
+}
+
+type sweepKind uint8
+
+const (
+	sweepPair sweepKind = iota
+	sweepWeakPair
+	sweepObj
+)
+
+type sweepItem struct {
+	addr uint64
+	kind sweepKind
+}
+
+// Heap is a simulated Scheme heap with a generation-based collector.
+// It is not safe for concurrent use; the paper's collector likewise
+// stops the mutator.
+type Heap struct {
+	tab *seg.Table
+	cfg Config
+
+	// Allocation state, indexed [space][generation].
+	cur    [seg.NumSpaces][]cursor
+	chains [seg.NumSpaces][][]int
+
+	roots       []obj.Value
+	rootsLive   []bool
+	rootsFree   []int
+	providers   []*providerEntry
+	protected   [][]ProtEntry
+	dirty       map[uint64]bool // cell address -> is weak car cell
+	handler     func(*Heap)
+	postCollect []func(*Heap)
+
+	stamp          uint64
+	inCollect      bool
+	gcGen          int
+	gcTarget       int
+	sweepQ         []sweepItem
+	newWeak        []uint64
+	pendWeak       []uint64
+	gen0Words      int
+	needCollect    bool
+	autoCount      uint64
+	allocForbidden bool
+	inHandler      bool
+
+	Stats Stats
+}
+
+// New creates a heap with the given configuration.
+func New(cfg Config) *Heap {
+	if cfg.Generations < 1 {
+		panic("heap: Generations must be >= 1")
+	}
+	if cfg.TriggerWords <= 0 {
+		cfg.TriggerWords = 64 * seg.Words
+	}
+	if cfg.Radix < 2 {
+		cfg.Radix = 4
+	}
+	h := &Heap{
+		tab:   &seg.Table{},
+		cfg:   cfg,
+		dirty: make(map[uint64]bool),
+		stamp: 1,
+	}
+	for sp := 0; sp < int(seg.NumSpaces); sp++ {
+		h.cur[sp] = make([]cursor, cfg.Generations)
+		for g := range h.cur[sp] {
+			h.cur[sp][g] = cursor{seg: seg.None}
+		}
+		h.chains[sp] = make([][]int, cfg.Generations)
+	}
+	h.protected = make([][]ProtEntry, cfg.Generations)
+	return h
+}
+
+// NewDefault creates a heap with DefaultConfig.
+func NewDefault() *Heap { return New(DefaultConfig()) }
+
+// Config returns the heap's configuration.
+func (h *Heap) Config() Config { return h.cfg }
+
+// MaxGeneration returns the oldest generation number.
+func (h *Heap) MaxGeneration() int { return h.cfg.Generations - 1 }
+
+// Stamp returns the current collection stamp; it increases by one per
+// collection, so callers (such as eq hash tables) can detect that a
+// collection has happened since they last hashed addresses.
+func (h *Heap) Stamp() uint64 { return h.stamp }
+
+// maxObjectWords caps single-object size (128 K words = 1 MB) to catch
+// runaway allocations early.
+const maxObjectWords = 128 * 1024
+
+// allocWords carves n words out of the given space and generation and
+// returns the address of the first.
+func (h *Heap) allocWords(space seg.Space, gen, n int) uint64 {
+	if n <= 0 || n > maxObjectWords {
+		panic(fmt.Sprintf("heap: bad allocation size %d", n))
+	}
+	if h.allocForbidden {
+		panic("heap: allocation while allocation is forbidden (finalizer running inside GC)")
+	}
+	if !h.inCollect {
+		h.gen0Words += n
+		if h.gen0Words >= h.cfg.TriggerWords {
+			h.needCollect = true
+		}
+	}
+	h.Stats.WordsAllocated += uint64(n)
+	if h.cfg.MaxSegments > 0 && h.tab.InUseCount()+(n+seg.Words-1)/seg.Words > h.cfg.MaxSegments {
+		panic(fmt.Sprintf("heap: out of memory: %d-segment limit reached (%d words requested)",
+			h.cfg.MaxSegments, n))
+	}
+	if n > seg.Words {
+		// Large object: a run of fresh contiguous segments.
+		k := (n + seg.Words - 1) / seg.Words
+		first := h.tab.AllocRun(space, gen, h.stamp, k)
+		h.Stats.SegmentsAllocated += uint64(k)
+		rem := n
+		for i := 0; i < k; i++ {
+			s := h.tab.Seg(first + i)
+			s.Fill = min(rem, seg.Words)
+			rem -= s.Fill
+			h.chains[space][gen] = append(h.chains[space][gen], first+i)
+		}
+		return seg.BaseAddr(first)
+	}
+	c := &h.cur[space][gen]
+	if c.seg == seg.None || c.off+n > seg.Words {
+		idx := h.tab.Alloc(space, gen, h.stamp)
+		h.Stats.SegmentsAllocated++
+		h.chains[space][gen] = append(h.chains[space][gen], idx)
+		c.seg, c.off = idx, 0
+	}
+	addr := seg.BaseAddr(c.seg) + uint64(c.off)
+	c.off += n
+	h.tab.Seg(c.seg).Fill = c.off
+	return addr
+}
+
+// allocGC allocates during a collection, into the target generation.
+func (h *Heap) allocGC(space seg.Space, n int) uint64 {
+	return h.allocWords(space, h.gcTarget, n)
+}
+
+// word / setWord are raw heap accesses without barriers.
+func (h *Heap) word(addr uint64) uint64       { return h.tab.Word(addr) }
+func (h *Heap) setWord(addr, w uint64)        { h.tab.SetWord(addr, w) }
+func (h *Heap) valueAt(addr uint64) obj.Value { return obj.Value(h.tab.Word(addr)) }
+
+// writeCell stores v at addr and maintains the dirty set: any pointer
+// cell written in a generation older than 0 is remembered so that a
+// collection of younger generations can find old-to-young pointers
+// without scanning older generations (the generation-friendly property
+// the paper insists on). isWeakCar marks the cell as a weak car, whose
+// referent must be handled by the weak-pair pass rather than traced.
+func (h *Heap) writeCell(addr uint64, v obj.Value, isWeakCar bool) {
+	h.tab.SetWord(addr, uint64(v))
+	if !h.cfg.UseDirtySet {
+		return
+	}
+	s := h.tab.SegOf(addr)
+	if s.Gen > 0 {
+		h.dirty[addr] = isWeakCar
+		h.Stats.BarrierHits++
+	}
+}
+
+// writeGC stores v at addr during a collection, recording a dirty
+// entry only when the store creates an old-to-young pointer (for
+// example, the collector appending a salvaged young object to a
+// guardian tconc living in an older generation, §4).
+func (h *Heap) writeGC(addr uint64, v obj.Value) {
+	h.tab.SetWord(addr, uint64(v))
+	if !h.cfg.UseDirtySet || !v.IsPointer() {
+		return
+	}
+	cg := h.tab.SegOf(addr).Gen
+	vg := h.tab.SegOf(v.Addr()).Gen
+	if cg > 0 && vg < cg {
+		h.dirty[addr] = false
+	}
+}
+
+// CollectPending reports whether the generation-0 allocation trigger
+// has fired since the last collection.
+func (h *Heap) CollectPending() bool { return h.needCollect }
+
+// SetCollectRequestHandler installs fn to be run at the next
+// Checkpoint after a collect request, mirroring Chez Scheme's
+// collect-request-handler. The handler is expected to call Collect (or
+// CollectAuto) and may then perform arbitrary work — closing dropped
+// ports, for example. Passing nil restores the default handler, which
+// calls CollectAuto.
+func (h *Heap) SetCollectRequestHandler(fn func(*Heap)) { h.handler = fn }
+
+// Checkpoint runs the collect-request handler if a collect request is
+// pending. Callers must ensure all live Values are reachable from
+// roots before calling. Checkpoint is not reentrant: a request raised
+// by the handler's own allocations is deferred until the handler has
+// returned, so an allocating handler (guardians exist precisely to
+// allow allocation in clean-up code) cannot recurse.
+func (h *Heap) Checkpoint() {
+	if !h.needCollect || h.inCollect || h.inHandler {
+		return
+	}
+	h.needCollect = false
+	if h.handler != nil {
+		h.inHandler = true
+		defer func() { h.inHandler = false }()
+		h.handler(h)
+		return
+	}
+	h.CollectAuto()
+}
+
+// CollectAuto collects the generation chosen by the radix policy:
+// generation g is collected on every Radix^g'th automatic collection,
+// so older generations are collected less frequently (§4).
+func (h *Heap) CollectAuto() {
+	h.autoCount++
+	g, n := 0, h.autoCount
+	for g < h.MaxGeneration() && n%uint64(h.cfg.Radix) == 0 {
+		g++
+		n /= uint64(h.cfg.Radix)
+	}
+	h.Collect(g)
+}
+
+// Generation returns the generation a value currently resides in, or
+// -1 for immediates.
+func (h *Heap) Generation(v obj.Value) int {
+	if !v.IsPointer() {
+		return -1
+	}
+	return h.tab.SegOf(v.Addr()).Gen
+}
+
+// AddressOf returns a value's identity for eq hashing: the current
+// word address for pointers (which changes when the collector moves
+// the object — the motivation for transport guardians, §3), and the
+// value itself for immediates.
+func (h *Heap) AddressOf(v obj.Value) uint64 {
+	if v.IsPointer() {
+		return v.Addr()
+	}
+	return uint64(v)
+}
+
+// LiveWords returns the number of words currently allocated across all
+// in-use segments — the heap residency figure used by experiment E3.
+func (h *Heap) LiveWords() uint64 {
+	var n uint64
+	for i := 0; i < h.tab.Len(); i++ {
+		s := h.tab.Seg(i)
+		if s.InUse {
+			n += uint64(s.Fill)
+		}
+	}
+	return n
+}
+
+// SegmentsInUse returns the number of live segments.
+func (h *Heap) SegmentsInUse() int { return h.tab.InUseCount() }
+
+// DirtyCount returns the current size of the remembered set.
+func (h *Heap) DirtyCount() int { return len(h.dirty) }
+
+// SetAllocForbidden toggles a mode in which any allocation panics. It
+// models the restriction that finalization thunks run as part of the
+// garbage-collection process must not cause heap allocation — the
+// limitation of register-for-finalization mechanisms that guardians
+// remove (§2). The baseline package uses it while running such thunks.
+func (h *Heap) SetAllocForbidden(forbid bool) { h.allocForbidden = forbid }
+
+// Eqv implements Scheme eqv?: pointer identity for heap objects and
+// value identity for immediates, except that flonums compare by their
+// float bits.
+func (h *Heap) Eqv(a, b obj.Value) bool {
+	if a == b {
+		return true
+	}
+	if h.IsKind(a, obj.KFlonum) && h.IsKind(b, obj.KFlonum) {
+		return h.word(a.Addr()+1) == h.word(b.Addr()+1)
+	}
+	return false
+}

@@ -1,0 +1,296 @@
+package heap
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/obj"
+	"repro/internal/seg"
+)
+
+// Heap images, in the spirit of Chez Scheme's saved heaps: SaveImage
+// serializes the complete heap state — configuration, every in-use
+// segment (space, generation, contents), root slots, protected lists,
+// and the dirty set — and LoadImage reconstructs an identical heap.
+// Word addresses are segment-relative-stable (segment indexes are
+// preserved), so no pointer adjustment is needed.
+//
+// Go-side state is out of scope by design: root *handles*, root
+// providers, collect-request handlers, and post-collect hooks are
+// live Go values; LoadImage returns fresh handles for the saved root
+// slots and the caller re-registers everything else. Scheme-level
+// state (globals, closures, guardians made with make-guardian) lives
+// entirely in the heap and survives intact; see the scheme package's
+// SaveImage for the symbol-table layer.
+
+const imageMagic = "GUARDIMG2\n"
+
+type imageWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (iw *imageWriter) u64(v uint64) {
+	if iw.err == nil {
+		iw.err = binary.Write(iw.w, binary.LittleEndian, v)
+	}
+}
+func (iw *imageWriter) u8(v uint8) {
+	if iw.err == nil {
+		iw.err = iw.w.WriteByte(v)
+	}
+}
+func (iw *imageWriter) str(s string) {
+	iw.u64(uint64(len(s)))
+	if iw.err == nil {
+		_, iw.err = iw.w.WriteString(s)
+	}
+}
+
+type imageReader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (ir *imageReader) u64() uint64 {
+	var v uint64
+	if ir.err == nil {
+		ir.err = binary.Read(ir.r, binary.LittleEndian, &v)
+	}
+	return v
+}
+func (ir *imageReader) u8() uint8 {
+	var v uint8
+	if ir.err == nil {
+		v, ir.err = ir.r.ReadByte()
+	}
+	return v
+}
+func (ir *imageReader) str() string {
+	n := ir.u64()
+	if ir.err != nil || n > 1<<24 {
+		if ir.err == nil {
+			ir.err = fmt.Errorf("heap: image string too long")
+		}
+		return ""
+	}
+	b := make([]byte, n)
+	if ir.err == nil {
+		_, ir.err = io.ReadFull(ir.r, b)
+	}
+	return string(b)
+}
+
+// SaveImage writes the heap to w. The heap must not be mid-collection.
+func (h *Heap) SaveImage(w io.Writer) error {
+	h.check(!h.inCollect, "SaveImage during collection")
+	iw := &imageWriter{w: bufio.NewWriter(w)}
+	iw.str(imageMagic)
+
+	// Configuration.
+	iw.u64(uint64(h.cfg.Generations))
+	iw.u64(uint64(h.cfg.TriggerWords))
+	iw.u64(uint64(h.cfg.Radix))
+	iw.u8(b2u(h.cfg.UseDirtySet))
+	iw.u8(b2u(h.cfg.WeakScanAll))
+	iw.u64(uint64(h.cfg.MaxSegments))
+	iw.u64(h.stamp)
+	iw.u64(h.autoCount)
+
+	// Segments.
+	iw.u64(uint64(h.tab.Len()))
+	inUse := 0
+	for i := 0; i < h.tab.Len(); i++ {
+		if h.tab.Seg(i).InUse {
+			inUse++
+		}
+	}
+	iw.u64(uint64(inUse))
+	for i := 0; i < h.tab.Len(); i++ {
+		s := h.tab.Seg(i)
+		if !s.InUse {
+			continue
+		}
+		iw.u64(uint64(i))
+		iw.u8(uint8(s.Space))
+		iw.u64(uint64(s.Gen))
+		iw.u8(b2u(s.Cont))
+		iw.u64(uint64(s.Fill))
+		for off := 0; off < s.Fill; off++ {
+			iw.u64(s.Words[off])
+		}
+	}
+
+	// Root slots.
+	iw.u64(uint64(len(h.roots)))
+	for i := range h.roots {
+		iw.u8(b2u(h.rootsLive[i]))
+		iw.u64(uint64(h.roots[i]))
+	}
+
+	// Protected lists.
+	iw.u64(uint64(len(h.protected)))
+	for _, lst := range h.protected {
+		iw.u64(uint64(len(lst)))
+		for _, e := range lst {
+			iw.u64(uint64(e.Obj))
+			iw.u64(uint64(e.Rep))
+			iw.u64(uint64(e.Tconc))
+		}
+	}
+
+	// Dirty set.
+	iw.u64(uint64(len(h.dirty)))
+	for addr, weak := range h.dirty {
+		iw.u64(addr)
+		iw.u8(b2u(weak))
+	}
+
+	if iw.err == nil {
+		iw.err = iw.w.Flush()
+	}
+	return iw.err
+}
+
+// LoadImage reconstructs a heap from an image written by SaveImage.
+// It returns the heap and fresh Root handles for every live saved
+// root slot (indexed as in the saved heap; dead slots are nil).
+func LoadImage(r io.Reader) (*Heap, []*Root, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	ir := &imageReader{r: br}
+	if got := ir.str(); ir.err != nil || got != imageMagic {
+		return nil, nil, fmt.Errorf("heap: not a heap image")
+	}
+	cfg := Config{
+		Generations:  int(ir.u64()),
+		TriggerWords: int(ir.u64()),
+		Radix:        int(ir.u64()),
+		UseDirtySet:  ir.u8() != 0,
+		WeakScanAll:  ir.u8() != 0,
+		MaxSegments:  int(ir.u64()),
+	}
+	if ir.err != nil {
+		return nil, nil, ir.err
+	}
+	h := New(cfg)
+	h.stamp = ir.u64()
+	h.autoCount = ir.u64()
+
+	// Recreate the segment table with identical indexes.
+	total := int(ir.u64())
+	inUse := int(ir.u64())
+	if ir.err != nil || total < 0 || total > 1<<24 {
+		return nil, nil, fmt.Errorf("heap: corrupt image (segment count)")
+	}
+	for i := 0; i < total; i++ {
+		idx := h.tab.Alloc(seg.SpacePair, 0, 0)
+		if idx != i {
+			return nil, nil, fmt.Errorf("heap: segment index mismatch")
+		}
+	}
+	used := make([]bool, total)
+	for k := 0; k < inUse; k++ {
+		idx := int(ir.u64())
+		if ir.err != nil || idx < 0 || idx >= total {
+			return nil, nil, fmt.Errorf("heap: corrupt image (segment index)")
+		}
+		s := h.tab.Seg(idx)
+		s.Space = seg.Space(ir.u8())
+		s.Gen = int(ir.u64())
+		s.Cont = ir.u8() != 0
+		s.Fill = int(ir.u64())
+		if s.Fill < 0 || s.Fill > seg.Words {
+			return nil, nil, fmt.Errorf("heap: corrupt image (fill)")
+		}
+		for off := 0; off < s.Fill; off++ {
+			s.Words[off] = ir.u64()
+		}
+		s.Stamp = 0
+		used[idx] = true
+		if s.Gen >= cfg.Generations || s.Space >= seg.NumSpaces {
+			return nil, nil, fmt.Errorf("heap: corrupt image (segment metadata)")
+		}
+	}
+	for i := total - 1; i >= 0; i-- {
+		if !used[i] {
+			h.tab.Free(i)
+		}
+	}
+	// Rebuild allocation chains (continuations included, as in live
+	// operation); cursors stay closed so new allocation opens fresh
+	// segments.
+	for i := 0; i < total; i++ {
+		s := h.tab.Seg(i)
+		if s.InUse {
+			h.chains[s.Space][s.Gen] = append(h.chains[s.Space][s.Gen], i)
+		}
+	}
+
+	// Roots.
+	nRoots := int(ir.u64())
+	if ir.err != nil || nRoots < 0 || nRoots > 1<<24 {
+		return nil, nil, fmt.Errorf("heap: corrupt image (roots)")
+	}
+	handles := make([]*Root, nRoots)
+	for i := 0; i < nRoots; i++ {
+		live := ir.u8() != 0
+		v := obj.Value(ir.u64())
+		h.roots = append(h.roots, v)
+		h.rootsLive = append(h.rootsLive, live)
+		if live {
+			handles[i] = &Root{h: h, idx: i}
+		} else {
+			h.rootsFree = append(h.rootsFree, i)
+		}
+	}
+
+	// Protected lists.
+	nGens := int(ir.u64())
+	if ir.err != nil || nGens != cfg.Generations {
+		return nil, nil, fmt.Errorf("heap: corrupt image (protected lists)")
+	}
+	for g := 0; g < nGens; g++ {
+		n := int(ir.u64())
+		if ir.err != nil || n < 0 || n > 1<<24 {
+			return nil, nil, fmt.Errorf("heap: corrupt image (protected entries)")
+		}
+		for k := 0; k < n; k++ {
+			e := ProtEntry{
+				Obj:   obj.Value(ir.u64()),
+				Rep:   obj.Value(ir.u64()),
+				Tconc: obj.Value(ir.u64()),
+			}
+			h.protected[g] = append(h.protected[g], e)
+		}
+	}
+
+	// Dirty set.
+	nDirty := int(ir.u64())
+	if ir.err != nil || nDirty < 0 || nDirty > 1<<26 {
+		return nil, nil, fmt.Errorf("heap: corrupt image (dirty set)")
+	}
+	for k := 0; k < nDirty; k++ {
+		addr := ir.u64()
+		weak := ir.u8() != 0
+		h.dirty[addr] = weak
+	}
+	if ir.err != nil {
+		return nil, nil, ir.err
+	}
+	if errs := h.Verify(); len(errs) > 0 {
+		return nil, nil, fmt.Errorf("heap: image fails verification: %v", errs[0])
+	}
+	return h, handles, nil
+}
+
+func b2u(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}

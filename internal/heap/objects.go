@@ -1,0 +1,511 @@
+package heap
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/obj"
+	"repro/internal/seg"
+)
+
+// This file defines constructors and accessors for every heap object
+// kind. Accessors panic on kind or bounds violations, in the manner of
+// out-of-range slice indexing: misuse is a programmer error, not a
+// recoverable condition. The scheme package converts such panics into
+// Scheme errors at its evaluation boundary.
+
+func (h *Heap) check(cond bool, format string, args ...any) {
+	if !cond {
+		panic(fmt.Sprintf("heap: "+format, args...))
+	}
+}
+
+// --- Pairs -----------------------------------------------------------
+
+// Cons allocates an ordinary pair in generation 0.
+func (h *Heap) Cons(car, cdr obj.Value) obj.Value {
+	addr := h.allocWords(seg.SpacePair, 0, 2)
+	h.setWord(addr, uint64(car))
+	h.setWord(addr+1, uint64(cdr))
+	return obj.PairAt(addr)
+}
+
+// WeakCons allocates a weak pair: its car is a weak pointer, broken to
+// #f by the collector when the car's referent becomes inaccessible
+// (and is not saved by a guardian). The cdr is an ordinary pointer.
+func (h *Heap) WeakCons(car, cdr obj.Value) obj.Value {
+	addr := h.allocWords(seg.SpaceWeak, 0, 2)
+	h.setWord(addr, uint64(car))
+	h.setWord(addr+1, uint64(cdr))
+	return obj.PairAt(addr)
+}
+
+// IsWeakPair reports whether v is a pair allocated in the weak-pair
+// space. Weak pairs answer true to IsPair as well, matching the paper:
+// they are manipulated with the normal list operations.
+func (h *Heap) IsWeakPair(v obj.Value) bool {
+	return v.IsPair() && h.tab.SegOf(v.Addr()).Space == seg.SpaceWeak
+}
+
+// Car returns the car of a pair (ordinary or weak).
+func (h *Heap) Car(p obj.Value) obj.Value {
+	h.check(p.IsPair(), "car: not a pair: %v", p)
+	return h.valueAt(p.Addr())
+}
+
+// Cdr returns the cdr of a pair.
+func (h *Heap) Cdr(p obj.Value) obj.Value {
+	h.check(p.IsPair(), "cdr: not a pair: %v", p)
+	return h.valueAt(p.Addr() + 1)
+}
+
+// SetCar stores v in the car of a pair, with the write barrier. For a
+// weak pair the cell remains a weak pointer.
+func (h *Heap) SetCar(p, v obj.Value) {
+	h.check(p.IsPair(), "set-car!: not a pair: %v", p)
+	h.writeCell(p.Addr(), v, h.tab.SegOf(p.Addr()).Space == seg.SpaceWeak)
+}
+
+// SetCdr stores v in the cdr of a pair, with the write barrier.
+func (h *Heap) SetCdr(p, v obj.Value) {
+	h.check(p.IsPair(), "set-cdr!: not a pair: %v", p)
+	h.writeCell(p.Addr()+1, v, false)
+}
+
+// List builds a proper list of the given values.
+func (h *Heap) List(vs ...obj.Value) obj.Value {
+	out := obj.Nil
+	for i := len(vs) - 1; i >= 0; i-- {
+		out = h.Cons(vs[i], out)
+	}
+	return out
+}
+
+// ListLength returns the length of a proper list, or -1 if v is
+// improper or cyclic within a large bound.
+func (h *Heap) ListLength(v obj.Value) int {
+	n := 0
+	for v.IsPair() {
+		v = h.Cdr(v)
+		n++
+		if n > 1<<30 {
+			return -1
+		}
+	}
+	if v != obj.Nil {
+		return -1
+	}
+	return n
+}
+
+// --- Generic object helpers ------------------------------------------
+
+func (h *Heap) allocObj(kind obj.Kind, length, payloadWords int, gen int) uint64 {
+	space := seg.SpaceObj
+	if !kind.HasPointers() {
+		space = seg.SpaceData
+	}
+	addr := h.allocWords(space, gen, 1+payloadWords)
+	h.setWord(addr, obj.MakeHeader(kind, length))
+	return addr
+}
+
+// KindOf returns the kind of a header-prefixed heap object.
+func (h *Heap) KindOf(v obj.Value) (obj.Kind, bool) {
+	if !v.IsObj() {
+		return 0, false
+	}
+	w := h.word(v.Addr())
+	if !obj.IsHeader(w) {
+		return 0, false
+	}
+	return obj.HeaderKind(w), true
+}
+
+// IsKind reports whether v is a heap object of kind k.
+func (h *Heap) IsKind(v obj.Value, k obj.Kind) bool {
+	got, ok := h.KindOf(v)
+	return ok && got == k
+}
+
+func (h *Heap) mustKind(v obj.Value, k obj.Kind, op string) uint64 {
+	got, ok := h.KindOf(v)
+	h.check(ok && got == k, "%s: not a %v: %v", op, k, v)
+	return v.Addr()
+}
+
+// --- Vectors ----------------------------------------------------------
+
+// MakeVector allocates a vector of n elements, each initialized to
+// fill, in generation 0.
+func (h *Heap) MakeVector(n int, fill obj.Value) obj.Value {
+	h.check(n >= 0, "make-vector: negative length %d", n)
+	addr := h.allocObj(obj.KVector, n, n, 0)
+	for i := 0; i < n; i++ {
+		h.setWord(addr+1+uint64(i), uint64(fill))
+	}
+	return obj.ObjAt(addr)
+}
+
+// Vector builds a vector from the given values.
+func (h *Heap) Vector(vs ...obj.Value) obj.Value {
+	v := h.MakeVector(len(vs), obj.False)
+	for i, x := range vs {
+		h.setWord(v.Addr()+1+uint64(i), uint64(x))
+	}
+	return v
+}
+
+// VectorLength returns the element count of a vector.
+func (h *Heap) VectorLength(v obj.Value) int {
+	addr := h.mustKind(v, obj.KVector, "vector-length")
+	return obj.HeaderLength(h.word(addr))
+}
+
+// VectorRef returns element i of a vector.
+func (h *Heap) VectorRef(v obj.Value, i int) obj.Value {
+	addr := h.mustKind(v, obj.KVector, "vector-ref")
+	n := obj.HeaderLength(h.word(addr))
+	h.check(i >= 0 && i < n, "vector-ref: index %d out of range [0,%d)", i, n)
+	return h.valueAt(addr + 1 + uint64(i))
+}
+
+// VectorSet stores x as element i of a vector, with the write barrier.
+func (h *Heap) VectorSet(v obj.Value, i int, x obj.Value) {
+	addr := h.mustKind(v, obj.KVector, "vector-set!")
+	n := obj.HeaderLength(h.word(addr))
+	h.check(i >= 0 && i < n, "vector-set!: index %d out of range [0,%d)", i, n)
+	h.writeCell(addr+1+uint64(i), x, false)
+}
+
+// --- Strings and bytevectors -------------------------------------------
+
+func (h *Heap) makeBytes(kind obj.Kind, b []byte) obj.Value {
+	words := (len(b) + 7) / 8
+	addr := h.allocObj(kind, len(b), words, 0)
+	for i, c := range b {
+		w := addr + 1 + uint64(i/8)
+		sh := uint(i%8) * 8
+		h.setWord(w, h.word(w)|uint64(c)<<sh)
+	}
+	return obj.ObjAt(addr)
+}
+
+func (h *Heap) bytesOf(v obj.Value, kind obj.Kind, op string) []byte {
+	addr := h.mustKind(v, kind, op)
+	n := obj.HeaderLength(h.word(addr))
+	out := make([]byte, n)
+	for i := range out {
+		w := h.word(addr + 1 + uint64(i/8))
+		out[i] = byte(w >> (uint(i%8) * 8))
+	}
+	return out
+}
+
+// MakeString allocates an immutable string holding s.
+func (h *Heap) MakeString(s string) obj.Value { return h.makeBytes(obj.KString, []byte(s)) }
+
+// StringValue returns the Go string held by a string object.
+func (h *Heap) StringValue(v obj.Value) string {
+	return string(h.bytesOf(v, obj.KString, "string-value"))
+}
+
+// StringLength returns the byte length of a string object.
+func (h *Heap) StringLength(v obj.Value) int {
+	addr := h.mustKind(v, obj.KString, "string-length")
+	return obj.HeaderLength(h.word(addr))
+}
+
+// MakeBytevector allocates a zero-filled bytevector of n bytes.
+func (h *Heap) MakeBytevector(n int) obj.Value {
+	h.check(n >= 0, "make-bytevector: negative length %d", n)
+	return h.makeBytes(obj.KBytevector, make([]byte, n))
+}
+
+// BytevectorLength returns the byte length of a bytevector.
+func (h *Heap) BytevectorLength(v obj.Value) int {
+	addr := h.mustKind(v, obj.KBytevector, "bytevector-length")
+	return obj.HeaderLength(h.word(addr))
+}
+
+// ByteRef returns byte i of a bytevector.
+func (h *Heap) ByteRef(v obj.Value, i int) byte {
+	addr := h.mustKind(v, obj.KBytevector, "bytevector-ref")
+	n := obj.HeaderLength(h.word(addr))
+	h.check(i >= 0 && i < n, "bytevector-ref: index %d out of range [0,%d)", i, n)
+	return byte(h.word(addr+1+uint64(i/8)) >> (uint(i%8) * 8))
+}
+
+// ByteSet stores c at byte i of a bytevector. Bytevectors hold no
+// pointers, so no write barrier is needed.
+func (h *Heap) ByteSet(v obj.Value, i int, c byte) {
+	addr := h.mustKind(v, obj.KBytevector, "bytevector-set!")
+	n := obj.HeaderLength(h.word(addr))
+	h.check(i >= 0 && i < n, "bytevector-set!: index %d out of range [0,%d)", i, n)
+	w := addr + 1 + uint64(i/8)
+	sh := uint(i%8) * 8
+	h.setWord(w, h.word(w)&^(0xff<<sh)|uint64(c)<<sh)
+}
+
+// BytevectorBytes returns a copy of the bytevector's contents.
+func (h *Heap) BytevectorBytes(v obj.Value) []byte {
+	return h.bytesOf(v, obj.KBytevector, "bytevector-bytes")
+}
+
+// --- Flonums ------------------------------------------------------------
+
+// MakeFlonum allocates a boxed float64 in the data space.
+func (h *Heap) MakeFlonum(f float64) obj.Value {
+	addr := h.allocObj(obj.KFlonum, 1, 1, 0)
+	h.setWord(addr+1, math.Float64bits(f))
+	return obj.ObjAt(addr)
+}
+
+// FlonumValue returns the float64 held by a flonum.
+func (h *Heap) FlonumValue(v obj.Value) float64 {
+	addr := h.mustKind(v, obj.KFlonum, "flonum-value")
+	return math.Float64frombits(h.word(addr + 1))
+}
+
+// --- Symbols -------------------------------------------------------------
+
+// Symbol payload layout: [0] name string, [1] global value, [2] plist.
+
+// MakeSymbol allocates an uninterned symbol whose print name is the
+// string object name. Interning is the scheme package's concern.
+func (h *Heap) MakeSymbol(name obj.Value) obj.Value {
+	h.check(h.IsKind(name, obj.KString), "make-symbol: name must be a string")
+	addr := h.allocObj(obj.KSymbol, 3, 3, 0)
+	h.setWord(addr+1, uint64(name))
+	h.setWord(addr+2, uint64(obj.Unbound))
+	h.setWord(addr+3, uint64(obj.Nil))
+	return obj.ObjAt(addr)
+}
+
+// SymbolName returns a symbol's print-name string object.
+func (h *Heap) SymbolName(v obj.Value) obj.Value {
+	addr := h.mustKind(v, obj.KSymbol, "symbol-name")
+	return h.valueAt(addr + 1)
+}
+
+// SymbolString returns a symbol's print name as a Go string.
+func (h *Heap) SymbolString(v obj.Value) string {
+	return h.StringValue(h.SymbolName(v))
+}
+
+// SymbolValue returns a symbol's global binding, obj.Unbound if none.
+func (h *Heap) SymbolValue(v obj.Value) obj.Value {
+	addr := h.mustKind(v, obj.KSymbol, "symbol-value")
+	return h.valueAt(addr + 2)
+}
+
+// SetSymbolValue stores a symbol's global binding.
+func (h *Heap) SetSymbolValue(v, x obj.Value) {
+	addr := h.mustKind(v, obj.KSymbol, "set-symbol-value!")
+	h.writeCell(addr+2, x, false)
+}
+
+// PeekSymbol returns a symbol's global value and property list, even
+// in the middle of a collection when the symbol may already have been
+// forwarded (its old header overwritten by a forwarding word). Root
+// visitors that implement weak symbol tables use it to decide whether
+// a symbol carries state that must keep it interned. The returned
+// values may be stale (pre-collection) pointers and must only be
+// compared against immediates.
+func (h *Heap) PeekSymbol(v obj.Value) (value, plist obj.Value, ok bool) {
+	if !v.IsObj() {
+		return obj.Void, obj.Void, false
+	}
+	addr := v.Addr()
+	w := h.word(addr)
+	if obj.IsFwd(w) {
+		addr = obj.FwdAddr(w)
+		w = h.word(addr)
+	}
+	if !obj.IsHeader(w) || obj.HeaderKind(w) != obj.KSymbol {
+		return obj.Void, obj.Void, false
+	}
+	return h.valueAt(addr + 2), h.valueAt(addr + 3), true
+}
+
+// SymbolPlist returns a symbol's property list.
+func (h *Heap) SymbolPlist(v obj.Value) obj.Value {
+	addr := h.mustKind(v, obj.KSymbol, "symbol-plist")
+	return h.valueAt(addr + 3)
+}
+
+// SetSymbolPlist stores a symbol's property list.
+func (h *Heap) SetSymbolPlist(v, x obj.Value) {
+	addr := h.mustKind(v, obj.KSymbol, "set-symbol-plist!")
+	h.writeCell(addr+3, x, false)
+}
+
+// --- Closures --------------------------------------------------------------
+
+// Closure payload layout: [0] clauses, [1] environment, [2] name.
+// A clause is a pair (formals . body); case-lambda closures carry
+// several clauses, plain lambdas exactly one.
+
+// MakeClosure allocates a closure.
+func (h *Heap) MakeClosure(clauses, env, name obj.Value) obj.Value {
+	addr := h.allocObj(obj.KClosure, 3, 3, 0)
+	h.setWord(addr+1, uint64(clauses))
+	h.setWord(addr+2, uint64(env))
+	h.setWord(addr+3, uint64(name))
+	return obj.ObjAt(addr)
+}
+
+// ClosureClauses returns a closure's clause list.
+func (h *Heap) ClosureClauses(v obj.Value) obj.Value {
+	return h.valueAt(h.mustKind(v, obj.KClosure, "closure-clauses") + 1)
+}
+
+// ClosureEnv returns a closure's captured environment.
+func (h *Heap) ClosureEnv(v obj.Value) obj.Value {
+	return h.valueAt(h.mustKind(v, obj.KClosure, "closure-env") + 2)
+}
+
+// ClosureName returns a closure's name (a symbol or #f).
+func (h *Heap) ClosureName(v obj.Value) obj.Value {
+	return h.valueAt(h.mustKind(v, obj.KClosure, "closure-name") + 3)
+}
+
+// SetClosureName names a closure (used by define).
+func (h *Heap) SetClosureName(v, name obj.Value) {
+	h.writeCell(h.mustKind(v, obj.KClosure, "set-closure-name!")+3, name, false)
+}
+
+// --- Primitives --------------------------------------------------------------
+
+// Primitive payload layout: [0] index into the host primitive table
+// (a fixnum), [1] name.
+
+// MakePrimitive allocates a primitive-procedure object.
+func (h *Heap) MakePrimitive(index int, name obj.Value) obj.Value {
+	addr := h.allocObj(obj.KPrimitive, 2, 2, 0)
+	h.setWord(addr+1, uint64(obj.FromFixnum(int64(index))))
+	h.setWord(addr+2, uint64(name))
+	return obj.ObjAt(addr)
+}
+
+// PrimitiveIndex returns the host-table index of a primitive.
+func (h *Heap) PrimitiveIndex(v obj.Value) int {
+	addr := h.mustKind(v, obj.KPrimitive, "primitive-index")
+	return int(h.valueAt(addr + 1).FixnumValue())
+}
+
+// PrimitiveName returns a primitive's name value.
+func (h *Heap) PrimitiveName(v obj.Value) obj.Value {
+	return h.valueAt(h.mustKind(v, obj.KPrimitive, "primitive-name") + 2)
+}
+
+// IsProcedure reports whether v is applicable (closure or primitive).
+func (h *Heap) IsProcedure(v obj.Value) bool {
+	k, ok := h.KindOf(v)
+	return ok && (k == obj.KClosure || k == obj.KPrimitive)
+}
+
+// --- Boxes --------------------------------------------------------------------
+
+// MakeBox allocates a one-cell box holding v.
+func (h *Heap) MakeBox(v obj.Value) obj.Value {
+	addr := h.allocObj(obj.KBox, 1, 1, 0)
+	h.setWord(addr+1, uint64(v))
+	return obj.ObjAt(addr)
+}
+
+// Unbox returns a box's contents.
+func (h *Heap) Unbox(v obj.Value) obj.Value {
+	return h.valueAt(h.mustKind(v, obj.KBox, "unbox") + 1)
+}
+
+// SetBox stores x into a box, with the write barrier.
+func (h *Heap) SetBox(v, x obj.Value) {
+	h.writeCell(h.mustKind(v, obj.KBox, "set-box!")+1, x, false)
+}
+
+// --- Ports ---------------------------------------------------------------------
+
+// Port payload layout: [0] flags fixnum, [1] file id fixnum,
+// [2] buffer bytevector, [3] index fixnum, [4] limit fixnum,
+// [5] open flag (#t/#f). Field semantics belong to package ports.
+
+// Port field indices for PortField/SetPortField.
+const (
+	PortFlags = iota
+	PortFileID
+	PortBuffer
+	PortIndex
+	PortLimit
+	PortOpen
+	portFields
+)
+
+// MakePort allocates a port object with the given fields.
+func (h *Heap) MakePort(flags, fileID int64, buffer obj.Value) obj.Value {
+	addr := h.allocObj(obj.KPort, portFields, portFields, 0)
+	h.setWord(addr+1, uint64(obj.FromFixnum(flags)))
+	h.setWord(addr+2, uint64(obj.FromFixnum(fileID)))
+	h.setWord(addr+3, uint64(buffer))
+	h.setWord(addr+4, uint64(obj.FromFixnum(0)))
+	h.setWord(addr+5, uint64(obj.FromFixnum(0)))
+	h.setWord(addr+6, uint64(obj.True))
+	return obj.ObjAt(addr)
+}
+
+// PortField returns field i of a port.
+func (h *Heap) PortField(v obj.Value, i int) obj.Value {
+	addr := h.mustKind(v, obj.KPort, "port-field")
+	h.check(i >= 0 && i < portFields, "port-field: bad index %d", i)
+	return h.valueAt(addr + 1 + uint64(i))
+}
+
+// SetPortField stores x as field i of a port.
+func (h *Heap) SetPortField(v obj.Value, i int, x obj.Value) {
+	addr := h.mustKind(v, obj.KPort, "set-port-field!")
+	h.check(i >= 0 && i < portFields, "set-port-field!: bad index %d", i)
+	h.writeCell(addr+1+uint64(i), x, false)
+}
+
+// --- Records -----------------------------------------------------------------
+
+// Record payload layout: [0] type descriptor, [1..] fields.
+
+// MakeRecord allocates a record with the given type descriptor and
+// field count, fields initialized to #f.
+func (h *Heap) MakeRecord(rtd obj.Value, nfields int) obj.Value {
+	h.check(nfields >= 0, "make-record: negative field count")
+	addr := h.allocObj(obj.KRecord, 1+nfields, 1+nfields, 0)
+	h.setWord(addr+1, uint64(rtd))
+	for i := 0; i < nfields; i++ {
+		h.setWord(addr+2+uint64(i), uint64(obj.False))
+	}
+	return obj.ObjAt(addr)
+}
+
+// RecordRTD returns a record's type descriptor.
+func (h *Heap) RecordRTD(v obj.Value) obj.Value {
+	return h.valueAt(h.mustKind(v, obj.KRecord, "record-rtd") + 1)
+}
+
+// RecordLength returns a record's field count.
+func (h *Heap) RecordLength(v obj.Value) int {
+	addr := h.mustKind(v, obj.KRecord, "record-length")
+	return obj.HeaderLength(h.word(addr)) - 1
+}
+
+// RecordRef returns field i of a record.
+func (h *Heap) RecordRef(v obj.Value, i int) obj.Value {
+	addr := h.mustKind(v, obj.KRecord, "record-ref")
+	n := obj.HeaderLength(h.word(addr)) - 1
+	h.check(i >= 0 && i < n, "record-ref: index %d out of range [0,%d)", i, n)
+	return h.valueAt(addr + 2 + uint64(i))
+}
+
+// RecordSet stores x as field i of a record, with the write barrier.
+func (h *Heap) RecordSet(v obj.Value, i int, x obj.Value) {
+	addr := h.mustKind(v, obj.KRecord, "record-set!")
+	n := obj.HeaderLength(h.word(addr)) - 1
+	h.check(i >= 0 && i < n, "record-set!: index %d out of range [0,%d)", i, n)
+	h.writeCell(addr+2+uint64(i), x, false)
+}

@@ -1,0 +1,160 @@
+package heap_test
+
+import (
+	"testing"
+
+	"repro/internal/heap"
+	"repro/internal/obj"
+)
+
+// Direct unit tests for the object kinds primarily consumed by the
+// scheme package (closures, primitives, ports), so the heap package's
+// own suite covers every accessor.
+
+func TestClosureObject(t *testing.T) {
+	h := heap.NewDefault()
+	clauses := h.List(h.Cons(obj.Nil, obj.Nil))
+	env := h.Cons(obj.Nil, obj.Nil)
+	name := h.MakeSymbol(h.MakeString("f"))
+	c := h.MakeClosure(clauses, env, obj.False)
+	if !h.IsProcedure(c) {
+		t.Fatal("closure not a procedure")
+	}
+	if h.ClosureClauses(c) != clauses || h.ClosureEnv(c) != env {
+		t.Fatal("closure fields wrong")
+	}
+	if h.ClosureName(c) != obj.False {
+		t.Fatal("fresh closure should be unnamed")
+	}
+	h.SetClosureName(c, name)
+	if h.ClosureName(c) != name {
+		t.Fatal("set-closure-name! wrong")
+	}
+	r := h.NewRoot(c)
+	h.Collect(0)
+	if h.SymbolString(h.ClosureName(r.Get())) != "f" {
+		t.Fatal("closure name lost across collection")
+	}
+}
+
+func TestPrimitiveObject(t *testing.T) {
+	h := heap.NewDefault()
+	name := h.MakeSymbol(h.MakeString("car"))
+	p := h.MakePrimitive(7, name)
+	if !h.IsProcedure(p) {
+		t.Fatal("primitive not a procedure")
+	}
+	if h.PrimitiveIndex(p) != 7 {
+		t.Fatal("primitive index wrong")
+	}
+	if h.SymbolString(h.PrimitiveName(p)) != "car" {
+		t.Fatal("primitive name wrong")
+	}
+	if h.IsProcedure(h.Cons(obj.Nil, obj.Nil)) {
+		t.Fatal("pair is not a procedure")
+	}
+	if h.IsProcedure(obj.FromFixnum(1)) {
+		t.Fatal("fixnum is not a procedure")
+	}
+}
+
+func TestPortObjectFields(t *testing.T) {
+	h := heap.NewDefault()
+	buf := h.MakeBytevector(16)
+	p := h.MakePort(3, 42, buf)
+	if h.PortField(p, heap.PortFlags).FixnumValue() != 3 {
+		t.Fatal("flags wrong")
+	}
+	if h.PortField(p, heap.PortFileID).FixnumValue() != 42 {
+		t.Fatal("file id wrong")
+	}
+	if h.PortField(p, heap.PortBuffer) != buf {
+		t.Fatal("buffer wrong")
+	}
+	if h.PortField(p, heap.PortOpen) != obj.True {
+		t.Fatal("fresh port should be open")
+	}
+	h.SetPortField(p, heap.PortIndex, obj.FromFixnum(5))
+	if h.PortField(p, heap.PortIndex).FixnumValue() != 5 {
+		t.Fatal("index field wrong")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("bad port field index did not panic")
+			}
+		}()
+		h.PortField(p, 99)
+	}()
+}
+
+func TestPeekSymbolOutsideCollection(t *testing.T) {
+	h := heap.NewDefault()
+	s := h.MakeSymbol(h.MakeString("peeked"))
+	h.SetSymbolValue(s, obj.FromFixnum(8))
+	val, plist, ok := h.PeekSymbol(s)
+	if !ok || val.FixnumValue() != 8 || plist != obj.Nil {
+		t.Fatal("PeekSymbol wrong on live symbol")
+	}
+	if _, _, ok := h.PeekSymbol(h.Cons(obj.Nil, obj.Nil)); ok {
+		t.Fatal("PeekSymbol accepted a pair")
+	}
+	if _, _, ok := h.PeekSymbol(obj.FromFixnum(1)); ok {
+		t.Fatal("PeekSymbol accepted a fixnum")
+	}
+	if _, _, ok := h.PeekSymbol(h.MakeString("str")); ok {
+		t.Fatal("PeekSymbol accepted a string")
+	}
+}
+
+func TestConfigAccessorsAndStamp(t *testing.T) {
+	cfg := heap.DefaultConfig()
+	cfg.Generations = 5
+	h := heap.New(cfg)
+	if h.Config().Generations != 5 {
+		t.Fatal("Config accessor wrong")
+	}
+	if h.MaxGeneration() != 4 {
+		t.Fatal("MaxGeneration wrong")
+	}
+	before := h.Stamp()
+	h.Collect(0)
+	if h.Stamp() != before+1 {
+		t.Fatal("Stamp should advance by one per collection")
+	}
+}
+
+func TestAddressOfIdentity(t *testing.T) {
+	h := heap.NewDefault()
+	p := h.Cons(obj.Nil, obj.Nil)
+	q := h.Cons(obj.Nil, obj.Nil)
+	if h.AddressOf(p) == h.AddressOf(q) {
+		t.Fatal("distinct pairs share an address")
+	}
+	if h.AddressOf(obj.FromFixnum(7)) != h.AddressOf(obj.FromFixnum(7)) {
+		t.Fatal("equal immediates should share identity")
+	}
+	r := h.NewRoot(p)
+	before := h.AddressOf(r.Get())
+	h.Collect(0)
+	if h.AddressOf(r.Get()) == before {
+		t.Fatal("address should change when the collector moves the pair")
+	}
+}
+
+func TestRemoveRootProvider(t *testing.T) {
+	h := heap.NewDefault()
+	held := h.Cons(obj.FromFixnum(3), obj.Nil)
+	remove := h.AddRootProvider(heap.RootFunc(func(visit func(*obj.Value)) { visit(&held) }))
+	h.Collect(0)
+	if h.Car(held).FixnumValue() != 3 {
+		t.Fatal("provider not visited")
+	}
+	remove()
+	h.Collect(h.MaxGeneration())
+	// held is now stale (provider removed): verify the provider really
+	// is gone by checking the heap reclaimed everything.
+	if h.LiveWords() > 64 {
+		t.Fatalf("provider still holding objects: %d live words", h.LiveWords())
+	}
+}

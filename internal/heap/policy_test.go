@@ -1,0 +1,108 @@
+package heap_test
+
+import (
+	"testing"
+
+	"repro/internal/heap"
+	"repro/internal/obj"
+)
+
+// §4: "the number of generations and the promotion and tenure
+// strategies supported by the collector are under programmer control."
+// These tests exercise non-default promotion policies.
+
+func withPolicy(fn func(g, maxGen int) int) heap.Config {
+	cfg := heap.DefaultConfig()
+	cfg.TriggerWords = 1 << 20
+	cfg.TargetGen = fn
+	return cfg
+}
+
+func TestPolicySkipGeneration(t *testing.T) {
+	// Nursery survivors tenure straight to the oldest generation.
+	h := heap.New(withPolicy(func(g, maxGen int) int { return maxGen }))
+	r := h.NewRoot(h.Cons(obj.FromFixnum(1), obj.Nil))
+	h.Collect(0)
+	if got := h.Generation(r.Get()); got != h.MaxGeneration() {
+		t.Fatalf("skip policy: generation %d, want %d", got, h.MaxGeneration())
+	}
+	if h.Car(r.Get()).FixnumValue() != 1 {
+		t.Fatal("value lost")
+	}
+	h.MustVerify()
+}
+
+func TestPolicyNeverPromote(t *testing.T) {
+	// Survivors stay in generation 0 (a two-space copying collector).
+	h := heap.New(withPolicy(func(g, maxGen int) int { return 0 }))
+	r := h.NewRoot(h.Cons(obj.FromFixnum(2), obj.Nil))
+	for i := 0; i < 5; i++ {
+		h.Collect(0)
+		if got := h.Generation(r.Get()); got != 0 {
+			t.Fatalf("never-promote policy: generation %d", got)
+		}
+		h.MustVerify()
+	}
+	if h.Car(r.Get()).FixnumValue() != 2 {
+		t.Fatal("value lost under never-promote policy")
+	}
+}
+
+func TestPolicyGuardiansStillWork(t *testing.T) {
+	// Guardians under an eager-tenure policy: entries migrate to the
+	// policy's target lists and salvage still fires when the object's
+	// generation is collected.
+	h := heap.New(withPolicy(func(g, maxGen int) int { return maxGen }))
+	tc := h.NewRoot(makeTconc(h))
+	keep := h.NewRoot(h.Cons(obj.FromFixnum(3), obj.Nil))
+	h.InstallGuardian(keep.Get(), tc.Get())
+	h.Collect(0) // everything tenures to the oldest generation
+	byGen := h.ProtectedCountByGen()
+	if byGen[h.MaxGeneration()] != 1 {
+		t.Fatalf("entry should follow the policy's target: %v", byGen)
+	}
+	keep.Release()
+	h.Collect(0)
+	if _, ok := tconcGet(h, tc.Get()); ok {
+		t.Fatal("young collection must not salvage the tenured object")
+	}
+	h.Collect(h.MaxGeneration())
+	got, ok := tconcGet(h, tc.Get())
+	if !ok || h.Car(got).FixnumValue() != 3 {
+		t.Fatal("object not salvaged under custom policy")
+	}
+	h.MustVerify()
+}
+
+func TestPolicyWeakPairsStillSound(t *testing.T) {
+	h := heap.New(withPolicy(func(g, maxGen int) int { return maxGen }))
+	target := h.NewRoot(h.Cons(obj.FromFixnum(4), obj.Nil))
+	w := h.NewRoot(h.WeakCons(target.Get(), obj.Nil))
+	h.Collect(0)
+	if h.Car(w.Get()) != target.Get() {
+		t.Fatal("weak car lost under policy")
+	}
+	target.Release()
+	h.Collect(h.MaxGeneration())
+	if h.Car(w.Get()) != obj.False {
+		t.Fatal("weak car not broken under policy")
+	}
+	h.MustVerify()
+}
+
+func TestPolicyOutOfRangeClamped(t *testing.T) {
+	h := heap.New(withPolicy(func(g, maxGen int) int { return 99 }))
+	r := h.NewRoot(h.Cons(obj.FromFixnum(5), obj.Nil))
+	h.Collect(0)
+	if got := h.Generation(r.Get()); got != h.MaxGeneration() {
+		t.Fatalf("overshooting policy not clamped: %d", got)
+	}
+	h2 := heap.New(withPolicy(func(g, maxGen int) int { return -7 }))
+	r2 := h2.NewRoot(h2.Cons(obj.FromFixnum(6), obj.Nil))
+	h2.Collect(0)
+	if got := h2.Generation(r2.Get()); got != 0 {
+		t.Fatalf("undershooting policy not clamped: %d", got)
+	}
+	h.MustVerify()
+	h2.MustVerify()
+}

@@ -1,0 +1,99 @@
+package heap
+
+import "repro/internal/obj"
+
+// Root is a registered reference slot whose value survives collections
+// and is updated when the collector moves its referent. Go code that
+// holds heap values across a collection must do so through roots (or a
+// RootVisitor); a plain obj.Value in a Go variable is invisible to the
+// collector.
+//
+// Releasing a Root drops the reference; a guardian whose only
+// reference was a released root becomes collectible, which — per the
+// paper — cancels finalization of everything registered with it.
+type Root struct {
+	h   *Heap
+	idx int
+}
+
+// NewRoot registers v as a collector root and returns its slot.
+func (h *Heap) NewRoot(v obj.Value) *Root {
+	var idx int
+	if n := len(h.rootsFree); n > 0 {
+		idx = h.rootsFree[n-1]
+		h.rootsFree = h.rootsFree[:n-1]
+		h.roots[idx] = v
+		h.rootsLive[idx] = true
+	} else {
+		h.roots = append(h.roots, v)
+		h.rootsLive = append(h.rootsLive, true)
+		idx = len(h.roots) - 1
+	}
+	return &Root{h: h, idx: idx}
+}
+
+// Get returns the root's current value (updated across collections).
+func (r *Root) Get() obj.Value {
+	r.h.check(r.h.rootsLive[r.idx], "use of released root")
+	return r.h.roots[r.idx]
+}
+
+// Set replaces the root's value.
+func (r *Root) Set(v obj.Value) {
+	r.h.check(r.h.rootsLive[r.idx], "use of released root")
+	r.h.roots[r.idx] = v
+}
+
+// Release drops the root. Releasing twice panics.
+func (r *Root) Release() {
+	r.h.check(r.h.rootsLive[r.idx], "double release of root")
+	r.h.rootsLive[r.idx] = false
+	r.h.roots[r.idx] = obj.False
+	r.h.rootsFree = append(r.h.rootsFree, r.idx)
+}
+
+// RootVisitor is implemented by components that keep heap values in Go
+// data structures (interpreter stacks, symbol tables, Go-side caches).
+// VisitRoots must call visit on the address of every held Value; the
+// collector forwards each in place.
+type RootVisitor interface {
+	VisitRoots(visit func(*obj.Value))
+}
+
+// AddRootProvider registers a RootVisitor with the heap and returns a
+// function that unregisters it. Identity is tracked internally, so any
+// provider — including func-typed RootFunc values, which are not
+// comparable — can be removed safely.
+func (h *Heap) AddRootProvider(p RootVisitor) (remove func()) {
+	e := &providerEntry{v: p}
+	h.providers = append(h.providers, e)
+	return func() {
+		for i, q := range h.providers {
+			if q == e {
+				h.providers = append(h.providers[:i], h.providers[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+type providerEntry struct{ v RootVisitor }
+
+// RootSlot returns the value in root slot i and whether the slot
+// exists and is live. Slot indexes are stable across SaveImage /
+// LoadImage, which is what the image tests use it for.
+func (h *Heap) RootSlot(i int) (obj.Value, bool) {
+	if i < 0 || i >= len(h.roots) {
+		return obj.False, false
+	}
+	if !h.rootsLive[i] {
+		return obj.False, true // slot exists but is free
+	}
+	return h.roots[i], true
+}
+
+// RootFunc adapts a function to the RootVisitor interface.
+type RootFunc func(visit func(*obj.Value))
+
+// VisitRoots implements RootVisitor.
+func (f RootFunc) VisitRoots(visit func(*obj.Value)) { f(visit) }

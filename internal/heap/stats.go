@@ -1,0 +1,63 @@
+package heap
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Stats accumulates collector and mutator counters. The experiment
+// harness uses them to verify the paper's proportionality claims
+// independently of wall-clock noise: E1 checks that
+// GuardianEntriesScanned stays flat as old-generation registrations
+// grow, and the ablations compare DirtyCellsScanned and
+// WeakPairsScanned across configurations.
+type Stats struct {
+	WordsAllocated    uint64
+	SegmentsAllocated uint64
+	SegmentsFreed     uint64
+
+	Collections      uint64
+	CollectionsByGen [16]uint64
+	WordsCopied      uint64
+	PairsCopied      uint64
+	ObjectsCopied    uint64
+	CellsSwept       uint64
+	SweepPasses      uint64
+
+	BarrierHits       uint64
+	DirtyCellsScanned uint64
+
+	GuardianRegistrations   uint64
+	GuardianEntriesScanned  uint64
+	GuardianEntriesSalvaged uint64
+	GuardianEntriesHeld     uint64
+	GuardianEntriesDropped  uint64
+
+	WeakPairsScanned   uint64
+	WeakPointersBroken uint64
+
+	LastPause  time.Duration
+	TotalPause time.Duration
+}
+
+// Reset zeroes all counters.
+func (s *Stats) Reset() { *s = Stats{} }
+
+// String renders the counters in a compact multi-line report.
+func (s *Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "alloc: %d words, %d segs (+%d freed)\n",
+		s.WordsAllocated, s.SegmentsAllocated, s.SegmentsFreed)
+	fmt.Fprintf(&b, "gc: %d collections, %d words copied, %d cells swept, %d sweep passes\n",
+		s.Collections, s.WordsCopied, s.CellsSwept, s.SweepPasses)
+	fmt.Fprintf(&b, "barrier: %d hits, %d dirty cells scanned\n",
+		s.BarrierHits, s.DirtyCellsScanned)
+	fmt.Fprintf(&b, "guardians: %d registered, %d scanned, %d salvaged, %d held, %d dropped\n",
+		s.GuardianRegistrations, s.GuardianEntriesScanned,
+		s.GuardianEntriesSalvaged, s.GuardianEntriesHeld, s.GuardianEntriesDropped)
+	fmt.Fprintf(&b, "weak: %d scanned, %d broken\n",
+		s.WeakPairsScanned, s.WeakPointersBroken)
+	fmt.Fprintf(&b, "pause: last %v, total %v", s.LastPause, s.TotalPause)
+	return b.String()
+}

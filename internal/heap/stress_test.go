@@ -1,0 +1,241 @@
+package heap_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/heap"
+	"repro/internal/obj"
+)
+
+// stressState drives a randomized workload that exercises every
+// collector feature at once: ordinary and weak pairs, vectors,
+// strings, old-generation mutation (dirty sets), guardians with
+// chained registration, tconc draining, and collections of random
+// generations. After every collection the full heap is verified.
+type stressState struct {
+	h      *heap.Heap
+	rng    *rand.Rand
+	roots  []*heap.Root
+	tconcs []*heap.Root
+}
+
+func (s *stressState) randomValue(depth int) obj.Value {
+	h := s.h
+	if depth <= 0 {
+		return obj.FromFixnum(s.rng.Int63n(1000))
+	}
+	switch s.rng.Intn(6) {
+	case 0:
+		return h.Cons(s.randomValue(depth-1), s.randomValue(depth-1))
+	case 1:
+		return h.WeakCons(s.randomValue(depth-1), s.randomValue(depth-1))
+	case 2:
+		v := h.MakeVector(s.rng.Intn(4), obj.Nil)
+		for i := 0; i < h.VectorLength(v); i++ {
+			h.VectorSet(v, i, obj.FromFixnum(int64(i)))
+		}
+		return v
+	case 3:
+		return h.MakeString("stress")
+	case 4:
+		return h.MakeBox(obj.FromFixnum(s.rng.Int63n(100)))
+	default:
+		if len(s.roots) > 0 {
+			return s.roots[s.rng.Intn(len(s.roots))].Get() // share structure
+		}
+		return obj.Nil
+	}
+}
+
+func (s *stressState) step() {
+	h := s.h
+	switch s.rng.Intn(10) {
+	case 0, 1, 2: // allocate and root
+		s.roots = append(s.roots, h.NewRoot(s.randomValue(3)))
+	case 3: // drop a root
+		if len(s.roots) > 1 {
+			i := s.rng.Intn(len(s.roots))
+			s.roots[i].Release()
+			s.roots[i] = s.roots[len(s.roots)-1]
+			s.roots = s.roots[:len(s.roots)-1]
+		}
+	case 4: // mutate something rooted (exercises the write barrier)
+		if len(s.roots) > 0 {
+			v := s.roots[s.rng.Intn(len(s.roots))].Get()
+			if v.IsPair() {
+				if s.rng.Intn(2) == 0 {
+					h.SetCar(v, s.randomValue(2))
+				} else {
+					h.SetCdr(v, s.randomValue(2))
+				}
+			} else if h.IsKind(v, obj.KVector) && h.VectorLength(v) > 0 {
+				h.VectorSet(v, 0, s.randomValue(2))
+			} else if h.IsKind(v, obj.KBox) {
+				h.SetBox(v, s.randomValue(2))
+			}
+		}
+	case 5: // new guardian (tconc held by root)
+		dummy := h.Cons(obj.False, obj.False)
+		s.tconcs = append(s.tconcs, h.NewRoot(h.Cons(dummy, dummy)))
+	case 6, 7: // register something with a random guardian
+		if len(s.tconcs) > 0 {
+			tc := s.tconcs[s.rng.Intn(len(s.tconcs))]
+			v := s.randomValue(2)
+			h.InstallGuardian(v, tc.Get())
+			if s.rng.Intn(4) == 0 {
+				// §5 interface with a distinct representative.
+				h.InstallGuardianRep(v, s.randomValue(1), tc.Get())
+			}
+		}
+	case 8: // drain a guardian (mutator tconc protocol)
+		if len(s.tconcs) > 0 {
+			tc := s.tconcs[s.rng.Intn(len(s.tconcs))].Get()
+			for h.Car(tc) != h.Cdr(tc) {
+				x := h.Car(tc)
+				h.SetCar(tc, h.Cdr(x))
+				h.SetCar(x, obj.False)
+				h.SetCdr(x, obj.False)
+			}
+		}
+	case 9: // drop a guardian entirely (cancels its finalization)
+		if len(s.tconcs) > 1 {
+			i := s.rng.Intn(len(s.tconcs))
+			s.tconcs[i].Release()
+			s.tconcs[i] = s.tconcs[len(s.tconcs)-1]
+			s.tconcs = s.tconcs[:len(s.tconcs)-1]
+		}
+	}
+}
+
+func runStress(t *testing.T, cfg heap.Config, seed int64, steps int) {
+	t.Helper()
+	h := heap.New(cfg)
+	s := &stressState{h: h, rng: rand.New(rand.NewSource(seed))}
+	for i := 0; i < steps; i++ {
+		s.step()
+		if i%7 == 6 {
+			g := s.rng.Intn(cfg.Generations)
+			h.Collect(g)
+			if errs := h.Verify(); len(errs) > 0 {
+				t.Fatalf("seed %d step %d after Collect(%d): %v (total %d violations)",
+					seed, i, g, errs[0], len(errs))
+			}
+		}
+	}
+}
+
+func TestStressAllConfigurations(t *testing.T) {
+	configs := map[string]heap.Config{
+		"default": heap.DefaultConfig(),
+		"one-generation": {Generations: 1, TriggerWords: 1 << 20,
+			Radix: 4, UseDirtySet: true},
+		"two-generations": {Generations: 2, TriggerWords: 1 << 20,
+			Radix: 2, UseDirtySet: true},
+		"eight-generations": {Generations: 8, TriggerWords: 1 << 20,
+			Radix: 2, UseDirtySet: true},
+		"scan-all-old": {Generations: 4, TriggerWords: 1 << 20,
+			Radix: 4, UseDirtySet: false},
+		"weak-scan-all": {Generations: 4, TriggerWords: 1 << 20,
+			Radix: 4, UseDirtySet: true, WeakScanAll: true},
+		"eager-tenure-policy": {Generations: 4, TriggerWords: 1 << 20,
+			Radix: 4, UseDirtySet: true,
+			TargetGen: func(g, maxGen int) int { return maxGen }},
+		"lazy-promotion-policy": {Generations: 4, TriggerWords: 1 << 20,
+			Radix: 4, UseDirtySet: true,
+			TargetGen: func(g, maxGen int) int { return g }},
+	}
+	for name, cfg := range configs {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(1); seed <= 5; seed++ {
+				runStress(t, cfg, seed, 400)
+			}
+		})
+	}
+}
+
+func TestStressLongDefault(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long stress test")
+	}
+	runStress(t, heap.DefaultConfig(), 424242, 3000)
+}
+
+func TestVerifyCleanHeap(t *testing.T) {
+	h := heap.NewDefault()
+	r := h.NewRoot(h.Cons(obj.FromFixnum(1), h.MakeString("x")))
+	h.Collect(0)
+	if errs := h.Verify(); len(errs) != 0 {
+		t.Fatalf("clean heap reported violations: %v", errs)
+	}
+	_ = r
+}
+
+func TestVerifyCatchesPlantedCorruption(t *testing.T) {
+	// Sanity-check the verifier itself: an unremembered old-to-young
+	// pointer must be reported. We plant one by mutating with the
+	// barrier disabled via the scan-all config... which has no dirty
+	// invariant; instead, plant a dangling pointer through a root.
+	h := heap.NewDefault()
+	p := h.Cons(obj.FromFixnum(1), obj.Nil)
+	r := h.NewRoot(p)
+	h.Collect(0) // p moves; the raw value in our local Go var is stale
+	r.Release()
+	stale := h.NewRoot(p) // re-root the stale pre-collection pointer
+	defer stale.Release()
+	if errs := h.Verify(); len(errs) == 0 {
+		t.Fatal("verifier missed a stale root pointer")
+	}
+}
+
+func TestSurvivedInsidePostCollectHook(t *testing.T) {
+	h := heap.NewDefault()
+	kept := h.NewRoot(h.Cons(obj.FromFixnum(1), obj.Nil))
+	dead := h.Cons(obj.FromFixnum(2), obj.Nil)
+	var keptAlive, deadAlive bool
+	var keptNew obj.Value
+	h.AddPostCollectHook(func(hh *heap.Heap) {
+		keptNew, keptAlive = hh.Survived(kept.Get())
+		_, deadAlive = hh.Survived(dead)
+	})
+	keptOld := kept.Get()
+	h.Collect(0)
+	if !keptAlive || deadAlive {
+		t.Fatalf("Survived: kept=%v dead=%v", keptAlive, deadAlive)
+	}
+	if keptNew == keptOld {
+		t.Fatal("Survived should report the new location")
+	}
+	if keptNew != kept.Get() {
+		t.Fatal("Survived location disagrees with root")
+	}
+	// Survived outside a collection panics.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Survived outside a hook did not panic")
+		}
+	}()
+	h.Survived(kept.Get())
+}
+
+func TestStressStatsAreCoherent(t *testing.T) {
+	h := heap.NewDefault()
+	s := &stressState{h: h, rng: rand.New(rand.NewSource(7))}
+	for i := 0; i < 300; i++ {
+		s.step()
+	}
+	h.Collect(h.MaxGeneration())
+	st := h.Stats
+	if st.SegmentsFreed > st.SegmentsAllocated {
+		t.Fatal("freed more segments than allocated")
+	}
+	if st.GuardianEntriesSalvaged+st.GuardianEntriesHeld+st.GuardianEntriesDropped >
+		st.GuardianEntriesScanned {
+		t.Fatal("guardian outcome counters exceed scanned count")
+	}
+	if fmt.Sprint(st.String()) == "" {
+		t.Fatal("stats rendering empty")
+	}
+}

@@ -1,0 +1,195 @@
+package heap
+
+import (
+	"fmt"
+
+	"repro/internal/obj"
+	"repro/internal/seg"
+)
+
+// Verify walks the entire heap and checks the structural and
+// generational invariants the collector relies on. It returns the
+// violations found (nil when the heap is sound). The stress tests run
+// it after every collection; it is also exported so embedders can
+// check heap health in their own tests.
+//
+// Invariants checked:
+//
+//  1. every allocated cell holds a well-formed value: an immediate or
+//     a pointer into an in-use segment of a compatible space, with an
+//     object header at the target for object pointers;
+//  2. no forwarding words survive outside a collection;
+//  3. no strong old-to-young pointer exists outside the dirty set
+//     (when the dirty set is enabled);
+//  4. no weak car points to a strictly younger generation unless its
+//     cell is in the dirty set;
+//  5. protected-list entries index generations consistently: an entry
+//     in generation i's list guards an object residing in generation
+//     >= i, and its representative and tconc likewise;
+//  6. root slots hold well-formed values.
+func (h *Heap) Verify() []error {
+	var errs []error
+	report := func(format string, args ...any) {
+		if len(errs) < 50 {
+			errs = append(errs, fmt.Errorf(format, args...))
+		}
+	}
+
+	checkValue := func(where string, addr uint64, v obj.Value, weakCar, genCheck bool) {
+		switch v.Tag() {
+		case obj.TagFixnum, obj.TagImm:
+			return
+		case obj.TagHeader:
+			report("%s @%d: header word used as value", where, addr)
+			return
+		case obj.TagFwd:
+			report("%s @%d: forwarding word outside collection", where, addr)
+			return
+		}
+		ta := v.Addr()
+		if seg.SegIndexOf(ta) >= h.tab.Len() {
+			report("%s @%d: pointer past end of heap (%d)", where, addr, ta)
+			return
+		}
+		ts := h.tab.SegOf(ta)
+		if !ts.InUse {
+			report("%s @%d: dangling pointer into freed segment %d", where, addr, seg.SegIndexOf(ta))
+			return
+		}
+		switch {
+		case v.IsPair():
+			if ts.Space != seg.SpacePair && ts.Space != seg.SpaceWeak {
+				report("%s @%d: pair pointer into %v space", where, addr, ts.Space)
+			} else if seg.Offset(ta)%2 != 0 {
+				report("%s @%d: misaligned pair pointer", where, addr)
+			}
+		case v.IsObj():
+			if ts.Space != seg.SpaceObj && ts.Space != seg.SpaceData {
+				report("%s @%d: object pointer into %v space", where, addr, ts.Space)
+			} else if !obj.IsHeader(h.word(ta)) {
+				report("%s @%d: object pointer to non-header word", where, addr)
+			}
+		}
+		// Generational invariant: old cell pointing young must be
+		// remembered (or be a deferred weak car, also remembered).
+		if genCheck && h.cfg.UseDirtySet && !h.inCollect {
+			cellGen := h.tab.SegOf(addr).Gen
+			if ts.Gen < cellGen {
+				if got, ok := h.dirty[addr]; !ok || (weakCar && !got) {
+					report("%s @%d (gen %d) points to gen %d without a dirty entry",
+						where, addr, cellGen, ts.Gen)
+				}
+			}
+		}
+	}
+
+	for idx := 0; idx < h.tab.Len(); idx++ {
+		s := h.tab.Seg(idx)
+		if !s.InUse || s.Cont {
+			continue
+		}
+		base := seg.BaseAddr(idx)
+		switch s.Space {
+		case seg.SpacePair:
+			for off := 0; off+1 < s.Fill; off += 2 {
+				checkValue("pair car", base+uint64(off), h.valueAt(base+uint64(off)), false, true)
+				checkValue("pair cdr", base+uint64(off+1), h.valueAt(base+uint64(off+1)), false, true)
+			}
+		case seg.SpaceWeak:
+			for off := 0; off+1 < s.Fill; off += 2 {
+				checkValue("weak car", base+uint64(off), h.valueAt(base+uint64(off)), true, true)
+				checkValue("weak cdr", base+uint64(off+1), h.valueAt(base+uint64(off+1)), false, true)
+			}
+		case seg.SpaceObj:
+			off := 0
+			for off < s.Fill {
+				w := h.word(base + uint64(off))
+				if !obj.IsHeader(w) {
+					report("obj segment %d: missing header at offset %d", idx, off)
+					break
+				}
+				kind := obj.HeaderKind(w)
+				if kind >= obj.NumKinds {
+					report("obj segment %d: bad kind %d at offset %d", idx, kind, off)
+					break
+				}
+				if !kind.HasPointers() {
+					report("obj segment %d: data kind %v in pointer space", idx, kind)
+				}
+				n := obj.PayloadWords(kind, obj.HeaderLength(w))
+				for i := 1; i <= n; i++ {
+					a := base + uint64(off+i)
+					checkValue(kind.String(), a, h.valueAt(a), false, true)
+				}
+				off += 1 + n
+				if off > seg.Words {
+					break // large object; continuation segments skipped
+				}
+			}
+		case seg.SpaceData:
+			off := 0
+			for off < s.Fill {
+				w := h.word(base + uint64(off))
+				if !obj.IsHeader(w) {
+					report("data segment %d: missing header at offset %d", idx, off)
+					break
+				}
+				kind := obj.HeaderKind(w)
+				if kind.HasPointers() {
+					report("data segment %d: pointer kind %v in data space", idx, kind)
+				}
+				off += 1 + obj.PayloadWords(kind, obj.HeaderLength(w))
+				if off > seg.Words {
+					break
+				}
+			}
+		}
+	}
+
+	// Roots.
+	for i, live := range h.rootsLive {
+		if live {
+			v := h.roots[i]
+			if v.IsPointer() {
+				checkValue("root", 0, v, false, false)
+			}
+		}
+	}
+
+	// Protected lists.
+	for gen, lst := range h.protected {
+		for _, e := range lst {
+			for _, part := range []struct {
+				name string
+				v    obj.Value
+			}{{"obj", e.Obj}, {"rep", e.Rep}, {"tconc", e.Tconc}} {
+				if !part.v.IsPointer() {
+					continue
+				}
+				if seg.SegIndexOf(part.v.Addr()) >= h.tab.Len() {
+					report("protected[%d] %s: pointer past heap", gen, part.name)
+					continue
+				}
+				ts := h.tab.SegOf(part.v.Addr())
+				if !ts.InUse {
+					report("protected[%d] %s: dangling pointer", gen, part.name)
+					continue
+				}
+				if ts.Gen < gen {
+					report("protected[%d] %s resides in younger generation %d", gen, part.name, ts.Gen)
+				}
+			}
+			if !e.Tconc.IsPair() {
+				report("protected[%d]: tconc is not a pair", gen)
+			}
+		}
+	}
+	return errs
+}
+
+// MustVerify panics on the first invariant violation (test helper).
+func (h *Heap) MustVerify() {
+	if errs := h.Verify(); len(errs) > 0 {
+		panic(fmt.Sprintf("heap: verification failed: %v (and %d more)", errs[0], len(errs)-1))
+	}
+}

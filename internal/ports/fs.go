@@ -1,0 +1,143 @@
+// Package ports implements the paper's motivating example (§1, §3):
+// files represented by ports that encapsulate a file identifier and a
+// buffer of unwritten data. Because of exceptions and nonlocal exits a
+// port may not be closed explicitly before the last reference to it is
+// dropped, tying up system resources and leaving output data
+// unwritten; guardians let the implementation flush and close such
+// ports at times of the program's choosing.
+//
+// The file system is simulated: files live in memory, file descriptors
+// are bounded, and the store counts opens, closes, leaks, and lost
+// bytes so the experiments can measure exactly what guardian-driven
+// port finalization buys.
+package ports
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FS is a simulated file system.
+type FS struct {
+	files  map[string][]byte
+	open   map[int]*openFile
+	nextFD int
+	// FDLimit bounds simultaneously open descriptors; 0 means
+	// unlimited. Opens beyond the limit fail, as on a real system.
+	FDLimit int
+
+	// Counters for the experiments.
+	Opens      uint64
+	Closes     uint64
+	PeakOpen   int
+	OpenFailed uint64
+}
+
+type openFile struct {
+	name    string
+	reading bool
+	pos     int
+}
+
+// NewFS creates an empty simulated file system.
+func NewFS() *FS {
+	return &FS{files: make(map[string][]byte), open: make(map[int]*openFile), nextFD: 3}
+}
+
+// WriteFile creates or replaces a file's contents directly.
+func (fs *FS) WriteFile(name string, data []byte) {
+	fs.files[name] = append([]byte(nil), data...)
+}
+
+// ReadFile returns a file's contents.
+func (fs *FS) ReadFile(name string) ([]byte, bool) {
+	b, ok := fs.files[name]
+	return b, ok
+}
+
+// Exists reports whether the named file exists.
+func (fs *FS) Exists(name string) bool {
+	_, ok := fs.files[name]
+	return ok
+}
+
+// Names returns all file names, sorted.
+func (fs *FS) Names() []string {
+	out := make([]string, 0, len(fs.files))
+	for n := range fs.files {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// OpenRead opens a file for reading and returns its descriptor.
+func (fs *FS) OpenRead(name string) (int, error) {
+	if _, ok := fs.files[name]; !ok {
+		return 0, fmt.Errorf("ports: open %q: no such file", name)
+	}
+	return fs.alloc(name, true)
+}
+
+// OpenWrite creates (truncates) a file for writing and returns its
+// descriptor.
+func (fs *FS) OpenWrite(name string) (int, error) {
+	fd, err := fs.alloc(name, false)
+	if err != nil {
+		return 0, err
+	}
+	fs.files[name] = nil
+	return fd, nil
+}
+
+func (fs *FS) alloc(name string, reading bool) (int, error) {
+	if fs.FDLimit > 0 && len(fs.open) >= fs.FDLimit {
+		fs.OpenFailed++
+		return 0, fmt.Errorf("ports: open %q: too many open files (%d)", name, fs.FDLimit)
+	}
+	fd := fs.nextFD
+	fs.nextFD++
+	fs.open[fd] = &openFile{name: name, reading: reading}
+	fs.Opens++
+	if len(fs.open) > fs.PeakOpen {
+		fs.PeakOpen = len(fs.open)
+	}
+	return fd, nil
+}
+
+// Write appends data to the file behind fd.
+func (fs *FS) Write(fd int, data []byte) error {
+	of, ok := fs.open[fd]
+	if !ok || of.reading {
+		return fmt.Errorf("ports: write on bad descriptor %d", fd)
+	}
+	fs.files[of.name] = append(fs.files[of.name], data...)
+	return nil
+}
+
+// Read fills buf from the file behind fd and returns the byte count;
+// 0 at end of file.
+func (fs *FS) Read(fd int, buf []byte) (int, error) {
+	of, ok := fs.open[fd]
+	if !ok || !of.reading {
+		return 0, fmt.Errorf("ports: read on bad descriptor %d", fd)
+	}
+	data := fs.files[of.name]
+	n := copy(buf, data[min(of.pos, len(data)):])
+	of.pos += n
+	return n, nil
+}
+
+// Close releases fd.
+func (fs *FS) Close(fd int) error {
+	if _, ok := fs.open[fd]; !ok {
+		return fmt.Errorf("ports: close on bad descriptor %d", fd)
+	}
+	delete(fs.open, fd)
+	fs.Closes++
+	return nil
+}
+
+// OpenCount returns the number of currently open descriptors — the
+// leak figure E5 reports.
+func (fs *FS) OpenCount() int { return len(fs.open) }

@@ -1,0 +1,327 @@
+package ports_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/heap"
+	"repro/internal/obj"
+	"repro/internal/ports"
+)
+
+func setup() (*heap.Heap, *ports.Manager) {
+	h := heap.NewDefault()
+	return h, ports.NewManager(h, ports.NewFS())
+}
+
+func TestFSBasics(t *testing.T) {
+	fs := ports.NewFS()
+	fs.WriteFile("a.txt", []byte("hello"))
+	if !fs.Exists("a.txt") || fs.Exists("b.txt") {
+		t.Fatal("Exists wrong")
+	}
+	b, ok := fs.ReadFile("a.txt")
+	if !ok || string(b) != "hello" {
+		t.Fatal("ReadFile wrong")
+	}
+	fd, err := fs.OpenRead("a.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 3)
+	n, err := fs.Read(fd, buf)
+	if err != nil || n != 3 || string(buf) != "hel" {
+		t.Fatalf("Read: n=%d err=%v buf=%q", n, err, buf)
+	}
+	n, _ = fs.Read(fd, buf)
+	if n != 2 || string(buf[:n]) != "lo" {
+		t.Fatal("second read wrong")
+	}
+	n, _ = fs.Read(fd, buf)
+	if n != 0 {
+		t.Fatal("expected EOF")
+	}
+	if err := fs.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(fd); err == nil {
+		t.Fatal("double close should fail")
+	}
+	if _, err := fs.OpenRead("missing"); err == nil {
+		t.Fatal("open of missing file should fail")
+	}
+}
+
+func TestFSLimit(t *testing.T) {
+	fs := ports.NewFS()
+	fs.FDLimit = 2
+	fs.WriteFile("f", nil)
+	a, _ := fs.OpenRead("f")
+	if _, err := fs.OpenRead("f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.OpenRead("f"); err == nil {
+		t.Fatal("open beyond FDLimit should fail")
+	}
+	if fs.OpenFailed != 1 {
+		t.Fatal("OpenFailed not counted")
+	}
+	fs.Close(a)
+	if _, err := fs.OpenRead("f"); err != nil {
+		t.Fatal("open after close should succeed")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	h, m := setup()
+	p, err := m.OpenOutput("out.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := "the quick brown fox"
+	if err := m.WriteString(p, msg); err != nil {
+		t.Fatal(err)
+	}
+	// Unflushed data is not yet in the file.
+	if b, _ := m.FS().ReadFile("out.txt"); len(b) != 0 {
+		t.Fatal("data appeared before flush")
+	}
+	if err := m.Close(p); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := m.FS().ReadFile("out.txt")
+	if string(b) != msg {
+		t.Fatalf("file = %q, want %q", b, msg)
+	}
+
+	in, err := m.OpenInput("out.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for {
+		c, err := m.ReadChar(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c == obj.EOF {
+			break
+		}
+		sb.WriteRune(c.CharValue())
+	}
+	if sb.String() != msg {
+		t.Fatalf("read back %q, want %q", sb.String(), msg)
+	}
+	m.Close(in)
+	if h.SegmentsInUse() == 0 {
+		t.Fatal("sanity")
+	}
+}
+
+func TestLargeWriteFlushesBuffer(t *testing.T) {
+	_, m := setup()
+	p, _ := m.OpenOutput("big.txt")
+	data := strings.Repeat("x", ports.BufferSize*3+17)
+	if err := m.WriteString(p, data); err != nil {
+		t.Fatal(err)
+	}
+	m.Close(p)
+	b, _ := m.FS().ReadFile("big.txt")
+	if string(b) != data {
+		t.Fatalf("got %d bytes, want %d", len(b), len(data))
+	}
+}
+
+func TestPortPredicates(t *testing.T) {
+	_, m := setup()
+	out, _ := m.OpenOutput("o")
+	m.FS().WriteFile("i", []byte("z"))
+	in, _ := m.OpenInput("i")
+	if !m.IsOutput(out) || m.IsInput(out) {
+		t.Fatal("output port predicates wrong")
+	}
+	if !m.IsInput(in) || m.IsOutput(in) {
+		t.Fatal("input port predicates wrong")
+	}
+	if !m.IsOpen(out) {
+		t.Fatal("fresh port should be open")
+	}
+	m.Close(out)
+	if m.IsOpen(out) {
+		t.Fatal("closed port reports open")
+	}
+	if err := m.WriteChar(out, 'x'); err == nil {
+		t.Fatal("write on closed port should fail")
+	}
+}
+
+func TestGuardedOpenClosesDroppedPorts(t *testing.T) {
+	// §3's example: dropped ports are closed — and their unwritten
+	// data flushed — at the next guarded open.
+	h, m := setup()
+	p, err := m.GuardedOpenOutput("dropped.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteString(p, "precious data"); err != nil {
+		t.Fatal(err)
+	}
+	p = obj.False // drop the only strong reference
+	_ = p
+	h.Collect(0)
+	// The next guarded open performs close-dropped-ports.
+	q, err := m.GuardedOpenOutput("other.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.DroppedClosed != 1 {
+		t.Fatalf("DroppedClosed = %d, want 1", m.DroppedClosed)
+	}
+	b, _ := m.FS().ReadFile("dropped.txt")
+	if string(b) != "precious data" {
+		t.Fatalf("unwritten data lost: %q", b)
+	}
+	if m.FS().OpenCount() != 1 { // only q remains
+		t.Fatalf("OpenCount = %d, want 1", m.FS().OpenCount())
+	}
+	m.Close(q)
+}
+
+func TestGuardedOpenRecoversFromFDExhaustion(t *testing.T) {
+	// With a descriptor limit, a loop that opens and drops guarded
+	// ports keeps working because each open first closes dropped
+	// ports; unguarded opens run out of descriptors.
+	h, m := setup()
+	m.FS().FDLimit = 8
+	for i := 0; i < 100; i++ {
+		p, err := m.GuardedOpenOutput("f")
+		if err != nil {
+			// The limit may be hit before enough drops are proven;
+			// collect and retry once, as a real program would.
+			h.Collect(h.MaxGeneration())
+			p, err = m.GuardedOpenOutput("f")
+			if err != nil {
+				t.Fatalf("iteration %d: %v", i, err)
+			}
+		}
+		m.WriteChar(p, byte('a'))
+		// p dropped here.
+		if h.CollectPending() {
+			h.Collect(0)
+		}
+		if i%7 == 0 {
+			h.Collect(0)
+		}
+	}
+}
+
+func TestInstallCollectHandler(t *testing.T) {
+	h, m := setup()
+	m.InstallCollectHandler()
+	p, _ := m.GuardedOpenOutput("h.txt")
+	m.WriteString(p, "via handler")
+	p = obj.False
+	_ = p
+	// Burn allocation until a collect request fires, then checkpoint.
+	for !h.CollectPending() {
+		h.Cons(obj.Nil, obj.Nil)
+	}
+	h.Checkpoint()
+	// One young collection may not prove the port dead if it was
+	// promoted; force a full cycle.
+	for i := 0; i < 4 && m.DroppedClosed == 0; i++ {
+		for !h.CollectPending() {
+			h.Cons(obj.Nil, obj.Nil)
+		}
+		h.Checkpoint()
+	}
+	if m.DroppedClosed == 0 {
+		t.Fatal("collect handler never closed the dropped port")
+	}
+	b, _ := m.FS().ReadFile("h.txt")
+	if string(b) != "via handler" {
+		t.Fatalf("data lost: %q", b)
+	}
+}
+
+func TestExplicitlyClosedPortNotReclosed(t *testing.T) {
+	h, m := setup()
+	p, _ := m.GuardedOpenOutput("e.txt")
+	m.WriteString(p, "x")
+	if err := m.Close(p); err != nil {
+		t.Fatal(err)
+	}
+	closes := m.FS().Closes
+	p = obj.False
+	_ = p
+	h.Collect(0)
+	m.CloseDroppedPorts()
+	if m.FS().Closes != closes {
+		t.Fatal("already-closed port was closed again")
+	}
+	if m.DroppedClosed != 0 {
+		t.Fatal("DroppedClosed miscounted an explicit close")
+	}
+}
+
+func TestPortSurvivesCollectionsWhileHeld(t *testing.T) {
+	h, m := setup()
+	pr, err := m.GuardedOpenOutput("live.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := h.NewRoot(pr)
+	for i := 0; i < 3; i++ {
+		h.Collect(h.MaxGeneration())
+	}
+	m.CloseDroppedPorts()
+	if m.DroppedClosed != 0 {
+		t.Fatal("held port treated as dropped")
+	}
+	if err := m.WriteString(r.Get(), "still here"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(r.Get()); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := m.FS().ReadFile("live.txt")
+	if string(b) != "still here" {
+		t.Fatal("port state corrupted by collections")
+	}
+}
+
+func TestGuardedOpenInput(t *testing.T) {
+	h, m := setup()
+	m.FS().WriteFile("in.txt", []byte("abc"))
+	p, err := m.GuardedOpenInput("in.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := m.ReadChar(p)
+	if c.CharValue() != 'a' {
+		t.Fatal("read wrong")
+	}
+	// Drop it; the next guarded open closes it.
+	p = obj.False
+	_ = p
+	h.Collect(0)
+	if _, err := m.GuardedOpenInput("in.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if m.DroppedClosed != 1 {
+		t.Fatalf("DroppedClosed = %d, want 1", m.DroppedClosed)
+	}
+	if _, err := m.GuardedOpenInput("missing"); err == nil {
+		t.Fatal("guarded open of missing file should fail")
+	}
+}
+
+func TestFSNames(t *testing.T) {
+	fs := ports.NewFS()
+	fs.WriteFile("b", nil)
+	fs.WriteFile("a", nil)
+	names := fs.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Names = %v", names)
+	}
+}

@@ -1,0 +1,70 @@
+package ports
+
+import (
+	"fmt"
+
+	"repro/internal/obj"
+)
+
+// String ports reuse the file-port machinery against hidden files in
+// the simulated file system, so they share buffering, flushing, and —
+// crucially for this reproduction — guardian-driven finalization with
+// ordinary ports.
+
+// FlagString marks a port backed by a hidden string-port file.
+const FlagString = 1 << 2
+
+func (m *Manager) nextStringName() string {
+	m.strPorts++
+	return fmt.Sprintf("%%strport-%d", m.strPorts)
+}
+
+// OpenInputString returns an input port reading the bytes of s.
+func (m *Manager) OpenInputString(s string) (obj.Value, error) {
+	name := m.nextStringName()
+	m.fs.WriteFile(name, []byte(s))
+	fd, err := m.fs.OpenRead(name)
+	if err != nil {
+		return obj.False, err
+	}
+	return m.newPort(FlagInput|FlagString, fd), nil
+}
+
+// OpenOutputString returns an output port accumulating written bytes.
+func (m *Manager) OpenOutputString() (obj.Value, error) {
+	name := m.nextStringName()
+	fd, err := m.fs.OpenWrite(name)
+	if err != nil {
+		return obj.False, err
+	}
+	p := m.newPort(FlagOutput|FlagString, fd)
+	m.strNames[m.fdOf(p)] = name
+	return p, nil
+}
+
+// IsStringPort reports whether p is a string port.
+func (m *Manager) IsStringPort(p obj.Value) bool {
+	m.mustPort(p, "string-port?")
+	return m.h.PortField(p, 0).FixnumValue()&FlagString != 0
+}
+
+// OutputString flushes p and returns everything written to it so far.
+func (m *Manager) OutputString(p obj.Value) (string, error) {
+	m.mustPort(p, "get-output-string")
+	if !m.IsStringPort(p) || !m.IsOutput(p) {
+		return "", fmt.Errorf("ports: get-output-string: not an output string port")
+	}
+	if m.IsOpen(p) {
+		if err := m.Flush(p); err != nil {
+			return "", err
+		}
+	}
+	name, ok := m.strNames[m.fdOf(p)]
+	if !ok {
+		return "", fmt.Errorf("ports: get-output-string: unknown string port")
+	}
+	b, _ := m.fs.ReadFile(name)
+	return string(b), nil
+}
+
+func (m *Manager) fdOf(p obj.Value) int { return m.fd(p) }

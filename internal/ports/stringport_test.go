@@ -1,0 +1,97 @@
+package ports_test
+
+import (
+	"testing"
+
+	"repro/internal/heap"
+	"repro/internal/obj"
+	"repro/internal/ports"
+)
+
+func TestOutputStringPort(t *testing.T) {
+	h, m := setup()
+	p, err := m.OpenOutputString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsStringPort(p) || !m.IsOutput(p) {
+		t.Fatal("predicates wrong for output string port")
+	}
+	if err := m.WriteString(p, "hello "); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteString(p, "world"); err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.OutputString(p)
+	if err != nil || s != "hello world" {
+		t.Fatalf("OutputString = %q, %v", s, err)
+	}
+	// Accumulation continues after a read-out.
+	m.WriteString(p, "!")
+	s, _ = m.OutputString(p)
+	if s != "hello world!" {
+		t.Fatalf("OutputString after more writes = %q", s)
+	}
+	_ = h
+}
+
+func TestInputStringPort(t *testing.T) {
+	_, m := setup()
+	p, err := m.OpenInputString("ab")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsStringPort(p) || !m.IsInput(p) {
+		t.Fatal("predicates wrong for input string port")
+	}
+	c1, _ := m.ReadChar(p)
+	c2, _ := m.ReadChar(p)
+	c3, _ := m.ReadChar(p)
+	if c1.CharValue() != 'a' || c2.CharValue() != 'b' || c3 != obj.EOF {
+		t.Fatalf("read %v %v %v", c1, c2, c3)
+	}
+}
+
+func TestStringPortSurvivesCollections(t *testing.T) {
+	h, m := setup()
+	r := h.NewRoot(obj.False)
+	p, _ := m.OpenOutputString()
+	r.Set(p)
+	m.WriteString(p, "before gc ")
+	h.Collect(h.MaxGeneration())
+	m.WriteString(r.Get(), "after gc")
+	s, err := m.OutputString(r.Get())
+	if err != nil || s != "before gc after gc" {
+		t.Fatalf("OutputString = %q, %v", s, err)
+	}
+}
+
+func TestStringPortNotAStringPortErrors(t *testing.T) {
+	_, m := setup()
+	p, _ := m.OpenOutput("regular")
+	if _, err := m.OutputString(p); err == nil {
+		t.Fatal("get-output-string on a file port should error")
+	}
+	if m.IsStringPort(p) {
+		t.Fatal("file port claims to be a string port")
+	}
+}
+
+func TestStringPortsAreGuardable(t *testing.T) {
+	// String ports share the port machinery, so the port guardian can
+	// close dropped ones too.
+	h, m := setup()
+	p, _ := m.OpenOutputString()
+	m.Guardian().Register(p)
+	m.WriteString(p, "x")
+	p = obj.False
+	_ = p
+	h.Collect(0)
+	if n := m.CloseDroppedPorts(); n != 1 {
+		t.Fatalf("CloseDroppedPorts = %d, want 1", n)
+	}
+}
+
+var _ = ports.BufferSize
+var _ = heap.PortFlags

@@ -1,0 +1,114 @@
+package recycle_test
+
+import (
+	"testing"
+
+	"repro/internal/heap"
+	"repro/internal/obj"
+	"repro/internal/recycle"
+)
+
+const bitmapBytes = 4096
+
+func bitmapPool(h *heap.Heap) (*recycle.Pool, *int) {
+	inits := 0
+	p := recycle.NewPool(h,
+		func(h *heap.Heap) obj.Value { return h.MakeBytevector(bitmapBytes) },
+		func(h *heap.Heap, v obj.Value) {
+			inits++
+			for i := 0; i < bitmapBytes; i += 64 {
+				h.ByteSet(v, i, 0xAA)
+			}
+		})
+	return p, &inits
+}
+
+func TestPoolCreatesWhenEmpty(t *testing.T) {
+	h := heap.NewDefault()
+	p, inits := bitmapPool(h)
+	v := p.Get()
+	if h.BytevectorLength(v) != bitmapBytes {
+		t.Fatal("wrong object")
+	}
+	if h.ByteRef(v, 64) != 0xAA {
+		t.Fatal("init did not run")
+	}
+	if *inits != 1 || p.Created != 1 || p.Reused != 0 {
+		t.Fatal("counters wrong")
+	}
+}
+
+func TestPoolReusesDroppedObjects(t *testing.T) {
+	h := heap.NewDefault()
+	p, inits := bitmapPool(h)
+	v := p.Get()
+	addrBefore := h.AddressOf(v)
+	_ = addrBefore
+	v = obj.False // drop
+	_ = v
+	h.Collect(0)
+	w := p.Get()
+	if p.Reused != 1 || p.Created != 1 {
+		t.Fatalf("Created=%d Reused=%d, want 1/1", p.Created, p.Reused)
+	}
+	if *inits != 1 {
+		t.Fatal("reused object re-initialized")
+	}
+	if h.ByteRef(w, 64) != 0xAA {
+		t.Fatal("reused object lost initialization")
+	}
+}
+
+func TestPoolObjectCyclesRepeatedly(t *testing.T) {
+	h := heap.NewDefault()
+	p, _ := bitmapPool(h)
+	for round := 0; round < 10; round++ {
+		v := p.Get()
+		_ = v
+		h.Collect(h.MaxGeneration())
+	}
+	if p.Created != 1 {
+		t.Fatalf("Created = %d over 10 rounds, want 1", p.Created)
+	}
+	if p.Reused != 9 {
+		t.Fatalf("Reused = %d, want 9", p.Reused)
+	}
+}
+
+func TestPoolNoDuplicateHandout(t *testing.T) {
+	// The same object must never be live in two hands at once, even
+	// through repeated drop/reuse cycles.
+	h := heap.NewDefault()
+	p, _ := bitmapPool(h)
+	a := h.NewRoot(p.Get())
+	b := h.NewRoot(p.Get())
+	if a.Get() == b.Get() {
+		t.Fatal("pool handed out the same object twice")
+	}
+	a.Release()
+	h.Collect(0)
+	c := h.NewRoot(p.Get()) // reuses a's object
+	if c.Get() == b.Get() {
+		t.Fatal("reuse collided with a live object")
+	}
+	h.Collect(0)
+	if p.FreeCount() != 0 {
+		t.Fatalf("free list should be empty, has %d", p.FreeCount())
+	}
+}
+
+func TestPoolHeldObjectsNotStolen(t *testing.T) {
+	h := heap.NewDefault()
+	p, _ := bitmapPool(h)
+	held := h.NewRoot(p.Get())
+	h.ByteSet(held.Get(), 0, 0x42)
+	for i := 0; i < 3; i++ {
+		h.Collect(h.MaxGeneration())
+	}
+	if p.FreeCount() != 0 {
+		t.Fatal("live object landed on the free list")
+	}
+	if h.ByteRef(held.Get(), 0) != 0x42 {
+		t.Fatal("held object corrupted")
+	}
+}

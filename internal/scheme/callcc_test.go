@@ -1,0 +1,111 @@
+package scheme_test
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCallCCBasicEscape(t *testing.T) {
+	m := newMachine(t)
+	expectEval(t, m, "(call/cc (lambda (k) 42))", "42")
+	expectEval(t, m, "(call/cc (lambda (k) (k 7) 99))", "7")
+	expectEval(t, m, "(+ 1 (call/cc (lambda (k) (k 10) 99)))", "11")
+	expectEval(t, m, "(call/cc (lambda (k) (k)))", "#<void>")
+	expectEval(t, m, "(call-with-current-continuation (lambda (k) (k 'same)))", "same")
+	expectEval(t, m, "(procedure? (call/cc (lambda (k) k)))", "#t")
+}
+
+func TestCallCCEscapesThroughDeepCalls(t *testing.T) {
+	m := newMachine(t)
+	expectEval(t, m, `
+		(begin
+		  (define (find-first pred ls fail)
+		    (cond [(null? ls) (fail 'not-found)]
+		          [(pred (car ls)) (car ls)]
+		          [else (find-first pred (cdr ls) fail)]))
+		  (call/cc (lambda (k) (find-first even? '(1 3 5) k))))`, "not-found")
+	expectEval(t, m, `
+		(call/cc (lambda (k) (find-first even? '(1 4 5) k)))`, "4")
+	// Escape from deep non-tail recursion unwinds cleanly.
+	expectEval(t, m, `
+		(begin
+		  (define (deep n k) (if (zero? n) (k 'bottom) (+ 1 (deep (- n 1) k))))
+		  (call/cc (lambda (k) (deep 500 k))))`, "bottom")
+	// Machine still consistent afterwards.
+	expectEval(t, m, "(+ 1 2)", "3")
+}
+
+func TestCallCCDeadContinuationErrors(t *testing.T) {
+	m := newMachine(t)
+	m.MustEval("(define saved #f)")
+	expectEval(t, m, "(call/cc (lambda (k) (set! saved k) 'first))", "first")
+	_, err := m.EvalString("(saved 'again)")
+	if err == nil || !strings.Contains(err.Error(), "escape-only") {
+		t.Fatalf("re-invoking a dead continuation should error, got %v", err)
+	}
+	expectEval(t, m, "(car '(1))", "1") // machine usable
+}
+
+func TestCallCCNestedEscapes(t *testing.T) {
+	m := newMachine(t)
+	expectEval(t, m, `
+		(call/cc (lambda (outer)
+		  (+ 100 (call/cc (lambda (inner)
+		            (inner 1)
+		            999)))))`, "101")
+	expectEval(t, m, `
+		(call/cc (lambda (outer)
+		  (+ 100 (call/cc (lambda (inner)
+		            (outer 1)
+		            999)))))`, "1")
+}
+
+func TestNonlocalExitSkipsPortClose(t *testing.T) {
+	// The paper's §1 scenario, run verbatim: a nonlocal exit abandons
+	// the code that would have closed the port; the guarded open's
+	// guardian saves the buffered data.
+	m := newMachine(t)
+	m.MustEval(`
+		(define (risky-write)
+		  (call/cc
+		    (lambda (abort)
+		      (let ([p (guarded-open-output-file "journal")])
+		        (display "committed line" p)
+		        (abort 'bailed-out)          ; nonlocal exit!
+		        (close-output-port p)))))    ; never reached
+		(define outcome (risky-write))
+		(collect 1)
+		(close-dropped-ports)`)
+	expectEval(t, m, "outcome", "bailed-out")
+	expectEval(t, m, `(file-contents "journal")`, `"committed line"`)
+}
+
+func TestCallCCInteractsWithGuardiansAndCollections(t *testing.T) {
+	m := newMachine(t)
+	expectEval(t, m, `
+		(begin
+		  (define G (make-guardian))
+		  (define r
+		    (call/cc (lambda (k)
+		      (G (cons 'escaped 'object))
+		      (k 'out)
+		      'not-here)))
+		  (collect 1)
+		  (list r (car (G))))`, "(out escaped)")
+}
+
+func TestCallCCErrorInsideBodyPropagates(t *testing.T) {
+	m := newMachine(t)
+	_, err := m.EvalString("(call/cc (lambda (k) (car 5)))")
+	if err == nil {
+		t.Fatal("error inside call/cc body should propagate")
+	}
+	expectEval(t, m, "(+ 2 2)", "4")
+}
+
+func TestCallCCNonProcedureErrors(t *testing.T) {
+	m := newMachine(t)
+	if _, err := m.EvalString("(call/cc 42)"); err == nil {
+		t.Fatal("call/cc of a non-procedure should error")
+	}
+}

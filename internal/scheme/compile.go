@@ -1,0 +1,440 @@
+package scheme
+
+import (
+	"fmt"
+
+	"repro/internal/obj"
+)
+
+// This file implements a bytecode compiler for the same language the
+// tree-walking evaluator interprets. The paper's host system (Chez
+// Scheme) is a compiler; compiling gives the reproduction a second,
+// faster execution engine over the identical heap — closures,
+// environments, and constants are all heap values, so compiled code
+// drives the collector exactly like interpreted code and the two
+// engines are differentially tested against each other.
+//
+// Derived forms (cond, case, and, or, when, unless, let, let*, letrec,
+// named let, do, quasiquote) are desugared into the core language
+// (quote, if, lambda, case-lambda, begin, define, set!, application)
+// before code generation. Compiled environments are chains of vectors
+// — [parent, slot0, slot1, ...] — addressed by lexical (depth, index)
+// pairs computed at compile time, rather than the interpreter's
+// association-list frames.
+
+// Op is a bytecode opcode.
+type Op uint8
+
+// Opcodes. A and B are immediate operands; the value stack is the
+// machine's shadow stack, so every intermediate is a collector root.
+const (
+	OpConst       Op = iota // push consts[A]
+	OpVoid                  // push #<void>
+	OpLocal                 // push frame value at depth A, index B
+	OpSetLocal              // pop into depth A, index B; push #<void>
+	OpGlobal                // push global value of symbol consts[A]
+	OpSetGlobal             // pop into global cell of consts[A]; push #<void>
+	OpDefGlobal             // pop, define global consts[A]; push #<void>
+	OpClosure               // push compiled closure over codes[A], current env
+	OpJump                  // pc = A
+	OpJumpIfFalse           // pop; if false, pc = A
+	OpCall                  // call with A args: stack [.. fn a1..aA]
+	OpTailCall              // tail call with A args
+	OpReturn                // return top of stack
+	OpPop                   // drop top of stack
+)
+
+var opNames = [...]string{
+	"const", "void", "local", "set-local", "global", "set-global",
+	"def-global", "closure", "jump", "jump-if-false", "call",
+	"tail-call", "return", "pop",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Instr is one instruction.
+type Instr struct {
+	Op   Op
+	A, B int
+}
+
+// Code is one compiled procedure body (one clause of a lambda or
+// case-lambda, or a top-level form). Its constants are heap values,
+// visited as machine roots.
+type Code struct {
+	Name   string
+	NReq   int  // required parameters
+	Rest   bool // accepts a rest list
+	NSlots int  // frame slots: params (+ rest) + internal defines
+	Consts []obj.Value
+	Instrs []Instr
+	// Clauses is non-nil for case-lambda entry points: the runtime
+	// selects the first clause matching the argument count.
+	Clauses []*Code
+}
+
+// cenv is the compile-time environment: one name list per frame.
+type cenv struct {
+	names  []string
+	parent *cenv
+}
+
+func (e *cenv) lookup(name string) (depth, index int, ok bool) {
+	d := 0
+	for f := e; f != nil; f = f.parent {
+		for i, n := range f.names {
+			if n == name {
+				return d, i, true
+			}
+		}
+		d++
+	}
+	return 0, 0, false
+}
+
+// compiler accumulates code for one procedure body.
+type compiler struct {
+	m    *Machine
+	code *Code
+}
+
+func (c *compiler) emit(op Op, a, b int) int {
+	c.code.Instrs = append(c.code.Instrs, Instr{Op: op, A: a, B: b})
+	return len(c.code.Instrs) - 1
+}
+
+func (c *compiler) patch(at int, target int) { c.code.Instrs[at].A = target }
+
+func (c *compiler) constIdx(v obj.Value) int {
+	for i, k := range c.code.Consts {
+		if k == v {
+			return i
+		}
+	}
+	c.code.Consts = append(c.code.Consts, v)
+	return len(c.code.Consts) - 1
+}
+
+func (c *compiler) errf(expr obj.Value, format string, args ...any) error {
+	return fmt.Errorf("compile: %s: %s", fmt.Sprintf(format, args...), c.m.WriteString(expr))
+}
+
+// CompileTop compiles a top-level form into a zero-argument Code.
+// Compilation allocates heap values (desugaring builds expressions)
+// but never collects, so no rooting is needed during compilation;
+// the finished code's constants are registered as machine roots.
+func (m *Machine) CompileTop(expr obj.Value) (*Code, error) {
+	c := &compiler{m: m, code: &Code{Name: "top"}}
+	if err := c.compile(expr, nil, true); err != nil {
+		return nil, err
+	}
+	c.emit(OpReturn, 0, 0)
+	optimize(c.code)
+	m.registerCode(c.code)
+	return c.code, nil
+}
+
+// registerCode adds code (and nested codes reachable from it) to the
+// machine's code table so their constants are visited as roots.
+func (m *Machine) registerCode(c *Code) {
+	m.codes = append(m.codes, c)
+}
+
+// compile compiles expr in compile-time environment env; tail marks
+// tail position.
+func (c *compiler) compile(expr obj.Value, env *cenv, tail bool) error {
+	m := c.m
+	h := m.H
+	switch {
+	case m.isSymbol(expr):
+		name := h.SymbolString(expr)
+		if d, i, ok := env.lookupFrom(name); ok {
+			c.emit(OpLocal, d, i)
+		} else {
+			c.emit(OpGlobal, c.constIdx(expr), 0)
+		}
+		return nil
+	case !expr.IsPair():
+		c.emit(OpConst, c.constIdx(expr), 0)
+		return nil
+	}
+
+	head := h.Car(expr)
+	if form, ok := m.specialFormOf(head); ok && !c.shadowed(head, env) {
+		return c.compileForm(form, expr, env, tail)
+	}
+
+	// Application.
+	n := 0
+	if err := c.compile(h.Car(expr), env, false); err != nil {
+		return err
+	}
+	for p := h.Cdr(expr); ; p = h.Cdr(p) {
+		if p == obj.Nil {
+			break
+		}
+		if !p.IsPair() {
+			return c.errf(expr, "improper argument list")
+		}
+		if err := c.compile(h.Car(p), env, false); err != nil {
+			return err
+		}
+		n++
+	}
+	if tail {
+		c.emit(OpTailCall, n, 0)
+	} else {
+		c.emit(OpCall, n, 0)
+	}
+	return nil
+}
+
+// lookupFrom is lookup on a possibly-nil cenv.
+func (e *cenv) lookupFrom(name string) (int, int, bool) {
+	if e == nil {
+		return 0, 0, false
+	}
+	return e.lookup(name)
+}
+
+// shadowed reports whether a keyword symbol is bound as a variable in
+// the compile-time environment (matching the interpreter's rule).
+func (c *compiler) shadowed(sym obj.Value, env *cenv) bool {
+	_, _, ok := env.lookupFrom(c.m.H.SymbolString(sym))
+	return ok
+}
+
+func (c *compiler) compileForm(form formID, expr obj.Value, env *cenv, tail bool) error {
+	m := c.m
+	h := m.H
+	rest := h.Cdr(expr)
+	operand := func(i int) obj.Value {
+		p := rest
+		for ; i > 0; i-- {
+			p = h.Cdr(p)
+		}
+		return h.Car(p)
+	}
+	need := func(n int) bool {
+		p := rest
+		for i := 0; i < n; i++ {
+			if !p.IsPair() {
+				return false
+			}
+			p = h.Cdr(p)
+		}
+		return true
+	}
+
+	switch form {
+	case fQuote:
+		if !need(1) {
+			return c.errf(expr, "malformed quote")
+		}
+		c.emit(OpConst, c.constIdx(operand(0)), 0)
+		return nil
+
+	case fIf:
+		if !need(2) {
+			return c.errf(expr, "malformed if")
+		}
+		if err := c.compile(operand(0), env, false); err != nil {
+			return err
+		}
+		jf := c.emit(OpJumpIfFalse, 0, 0)
+		if err := c.compile(operand(1), env, tail); err != nil {
+			return err
+		}
+		jEnd := c.emit(OpJump, 0, 0)
+		c.patch(jf, len(c.code.Instrs))
+		if need(3) {
+			if err := c.compile(operand(2), env, tail); err != nil {
+				return err
+			}
+		} else {
+			c.emit(OpVoid, 0, 0)
+		}
+		c.patch(jEnd, len(c.code.Instrs))
+		return nil
+
+	case fDefine:
+		if !need(1) {
+			return c.errf(expr, "malformed define")
+		}
+		target := operand(0)
+		var name obj.Value
+		var valExpr obj.Value
+		if target.IsPair() {
+			// (define (f . formals) body...) => (define f (lambda formals body...))
+			name = h.Car(target)
+			valExpr = h.Cons(m.Intern("lambda"), h.Cons(h.Cdr(target), h.Cdr(rest)))
+		} else {
+			name = target
+			if need(2) {
+				valExpr = operand(1)
+			} else {
+				valExpr = obj.Void
+			}
+		}
+		if !m.isSymbol(name) {
+			return c.errf(expr, "define of non-symbol")
+		}
+		if err := c.compile(valExpr, env, false); err != nil {
+			return err
+		}
+		if d, i, ok := env.lookupFrom(h.SymbolString(name)); ok {
+			c.emit(OpSetLocal, d, i)
+		} else if env != nil {
+			return c.errf(expr, "internal define of %s not at body start", h.SymbolString(name))
+		} else {
+			c.emit(OpDefGlobal, c.constIdx(name), 0)
+		}
+		return nil
+
+	case fSet:
+		if !need(2) || !m.isSymbol(operand(0)) {
+			return c.errf(expr, "malformed set!")
+		}
+		if err := c.compile(operand(1), env, false); err != nil {
+			return err
+		}
+		name := h.SymbolString(operand(0))
+		if d, i, ok := env.lookupFrom(name); ok {
+			c.emit(OpSetLocal, d, i)
+		} else {
+			c.emit(OpSetGlobal, c.constIdx(operand(0)), 0)
+		}
+		return nil
+
+	case fLambda:
+		if !need(1) {
+			return c.errf(expr, "malformed lambda")
+		}
+		code, err := c.compileLambdaClause(operand(0), h.Cdr(rest), env, "lambda")
+		if err != nil {
+			return err
+		}
+		c.m.registerCode(code)
+		c.emit(OpClosure, c.codeIdx(code), 0)
+		return nil
+
+	case fCaseLambda:
+		entry := &Code{Name: "case-lambda"}
+		for p := rest; p.IsPair(); p = h.Cdr(p) {
+			cl := h.Car(p)
+			if !cl.IsPair() {
+				return c.errf(expr, "malformed case-lambda clause")
+			}
+			code, err := c.compileLambdaClause(h.Car(cl), h.Cdr(cl), env, "case-lambda-clause")
+			if err != nil {
+				return err
+			}
+			entry.Clauses = append(entry.Clauses, code)
+			c.m.registerCode(code)
+		}
+		c.m.registerCode(entry)
+		c.emit(OpClosure, c.codeIdx(entry), 0)
+		return nil
+
+	case fBegin:
+		return c.compileBody(rest, env, tail)
+
+	default:
+		// Every other form is desugared to the core language.
+		desugared, err := m.desugar(form, expr)
+		if err != nil {
+			return err
+		}
+		return c.compile(desugared, env, tail)
+	}
+}
+
+// codeIdx returns a code's index in the machine code table.
+func (c *compiler) codeIdx(code *Code) int {
+	for i := len(c.m.codes) - 1; i >= 0; i-- {
+		if c.m.codes[i] == code {
+			return i
+		}
+	}
+	panic("scheme: unregistered code object")
+}
+
+// compileBody compiles a body sequence (non-empty for lambda bodies;
+// an empty begin yields void).
+func (c *compiler) compileBody(body obj.Value, env *cenv, tail bool) error {
+	h := c.m.H
+	if body == obj.Nil {
+		c.emit(OpVoid, 0, 0)
+		return nil
+	}
+	for p := body; p.IsPair(); p = h.Cdr(p) {
+		last := h.Cdr(p) == obj.Nil
+		if err := c.compile(h.Car(p), env, tail && last); err != nil {
+			return err
+		}
+		if !last {
+			c.emit(OpPop, 0, 0)
+		}
+	}
+	return nil
+}
+
+// compileLambdaClause compiles one (formals . body) clause into a Code.
+func (c *compiler) compileLambdaClause(formals, body obj.Value, env *cenv, name string) (*Code, error) {
+	m := c.m
+	h := m.H
+	code := &Code{Name: name}
+	var names []string
+	f := formals
+	for f.IsPair() {
+		if !m.isSymbol(h.Car(f)) {
+			return nil, c.errf(formals, "non-symbol formal")
+		}
+		names = append(names, h.SymbolString(h.Car(f)))
+		code.NReq++
+		f = h.Cdr(f)
+	}
+	if f != obj.Nil {
+		if !m.isSymbol(f) {
+			return nil, c.errf(formals, "non-symbol rest formal")
+		}
+		names = append(names, h.SymbolString(f))
+		code.Rest = true
+	}
+	// Internal defines at the head of the body get frame slots
+	// (letrec* semantics: they are in scope throughout the body).
+	for p := body; p.IsPair(); p = h.Cdr(p) {
+		e := h.Car(p)
+		if !e.IsPair() {
+			break
+		}
+		if form, ok := m.specialFormOf(h.Car(e)); !ok || form != fDefine {
+			break
+		}
+		target := h.Car(h.Cdr(e))
+		var dn obj.Value
+		if target.IsPair() {
+			dn = h.Car(target)
+		} else {
+			dn = target
+		}
+		if !m.isSymbol(dn) {
+			return nil, c.errf(e, "define of non-symbol")
+		}
+		names = append(names, h.SymbolString(dn))
+	}
+	code.NSlots = len(names)
+	sub := &compiler{m: m, code: code}
+	newEnv := &cenv{names: names, parent: env}
+	if err := sub.compileBody(body, newEnv, true); err != nil {
+		return nil, err
+	}
+	sub.emit(OpReturn, 0, 0)
+	optimize(code)
+	return code, nil
+}

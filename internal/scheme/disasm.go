@@ -1,0 +1,80 @@
+package scheme
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders compiled code as readable assembly, one
+// instruction per line, with constants printed via the machine's
+// writer. Nested clause codes of a case-lambda are listed after the
+// entry.
+func (m *Machine) Disassemble(code *Code) string {
+	var b strings.Builder
+	seen := map[*Code]bool{}
+	m.disasmRec(&b, code, "", seen)
+	return b.String()
+}
+
+func (m *Machine) disasmRec(b *strings.Builder, code *Code, indent string, seen map[*Code]bool) {
+	if seen[code] {
+		return
+	}
+	seen[code] = true
+	m.disasmOne(b, code, indent)
+	for i, cl := range code.Clauses {
+		fmt.Fprintf(b, "%sclause %d:\n", indent, i)
+		m.disasmRec(b, cl, indent+"  ", seen)
+	}
+	// Nested lambdas referenced by closure instructions.
+	for _, in := range code.Instrs {
+		if in.Op == OpClosure {
+			m.disasmRec(b, m.codes[in.A], indent+"  ", seen)
+		}
+	}
+}
+
+func (m *Machine) disasmOne(b *strings.Builder, code *Code, indent string) {
+	fmt.Fprintf(b, "%s;; %s: %d required", indent, code.Name, code.NReq)
+	if code.Rest {
+		fmt.Fprintf(b, " + rest")
+	}
+	fmt.Fprintf(b, ", %d slots, %d consts\n", code.NSlots, len(code.Consts))
+	for pc, in := range code.Instrs {
+		fmt.Fprintf(b, "%s%4d  %-14s", indent, pc, in.Op)
+		switch in.Op {
+		case OpConst, OpGlobal, OpSetGlobal, OpDefGlobal:
+			fmt.Fprintf(b, "%d    ; %s", in.A, m.WriteString(code.Consts[in.A]))
+		case OpLocal, OpSetLocal:
+			fmt.Fprintf(b, "%d %d", in.A, in.B)
+		case OpClosure:
+			fmt.Fprintf(b, "%d    ; %s", in.A, m.codes[in.A].Name)
+		case OpJump, OpJumpIfFalse, OpCall, OpTailCall:
+			fmt.Fprintf(b, "%d", in.A)
+		}
+		b.WriteByte('\n')
+	}
+}
+
+// DisassembleString compiles every form in src and returns the
+// disassembly of each, separated by blank lines — the REPL's
+// inspection hook and a compiler-debugging aid.
+func (m *Machine) DisassembleString(src string) (string, error) {
+	forms, err := m.ReadAll(src)
+	if err != nil {
+		return "", err
+	}
+	base := len(m.stack)
+	defer func() { m.stack = m.stack[:base] }()
+	m.stack = append(m.stack, forms...)
+	var b strings.Builder
+	for i := range forms {
+		code, err := m.CompileTop(m.stack[base+i])
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(m.Disassemble(code))
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}

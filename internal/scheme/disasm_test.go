@@ -1,0 +1,81 @@
+package scheme_test
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDisassembleBasics(t *testing.T) {
+	m := newMachine(t)
+	out, err := m.DisassembleString("(if (< x 1) 'a 'b)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"global", "jump-if-false", "const", "return", "; <", "; a"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDisassembleLambdaAndTailCall(t *testing.T) {
+	m := newMachine(t)
+	out, err := m.DisassembleString("(define (loop n) (loop (- n 1)))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "closure") {
+		t.Errorf("missing closure op:\n%s", out)
+	}
+	if !strings.Contains(out, "def-global") {
+		t.Errorf("missing def-global op:\n%s", out)
+	}
+	// The recursive call in tail position must be a tail call.
+	sub, err := m.DisassembleString("(lambda (n) (loop (- n 1)))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = sub
+	// Look into the lambda's clause: compile it and inspect directly.
+	forms, err := m.ReadAll("(lambda (n) (loop (- n 1)))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := m.CompileTop(forms[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	asm := m.Disassemble(code)
+	if !strings.Contains(asm, "closure") {
+		t.Fatalf("expected closure in:\n%s", asm)
+	}
+}
+
+func TestDisassembleLocalAddressing(t *testing.T) {
+	m := newMachine(t)
+	forms, err := m.ReadAll("(lambda (a b) (lambda (c) (list a b c)))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.CompileTop(forms[0]); err != nil {
+		t.Fatal(err)
+	}
+	// The inner lambda references a and b at depth 1 and c at depth 0.
+	out, err := m.DisassembleString("(lambda (a b) (lambda (c) (list a b c)))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "local") {
+		t.Fatalf("expected local ops for inner lambda body (inspect nested codes):\n%s", out)
+	}
+}
+
+func TestDisassembleErrorsPropagate(t *testing.T) {
+	m := newMachine(t)
+	if _, err := m.DisassembleString("(let ([x]) x)"); err == nil {
+		t.Fatal("expected compile error")
+	}
+	if _, err := m.DisassembleString("((("); err == nil {
+		t.Fatal("expected read error")
+	}
+}

@@ -1,0 +1,101 @@
+package scheme_test
+
+import "testing"
+
+func TestDynamicWindNormalReturn(t *testing.T) {
+	m := newMachine(t)
+	expectEval(t, m, `
+		(let ([trace '()])
+		  (define (note x) (set! trace (cons x trace)))
+		  (let ([v (dynamic-wind
+		             (lambda () (note 'before))
+		             (lambda () (note 'during) 'value)
+		             (lambda () (note 'after)))])
+		    (list v (reverse trace))))`,
+		"(value (before during after))")
+}
+
+func TestDynamicWindRunsAfterOnEscape(t *testing.T) {
+	m := newMachine(t)
+	expectEval(t, m, `
+		(let ([cleaned #f])
+		  (define r
+		    (call/cc (lambda (k)
+		      (dynamic-wind
+		        (lambda () #f)
+		        (lambda () (k 'escaped) 'unreached)
+		        (lambda () (set! cleaned #t))))))
+		  (list r cleaned))`,
+		"(escaped #t)")
+}
+
+func TestDynamicWindRunsAfterOnError(t *testing.T) {
+	m := newMachine(t)
+	m.MustEval("(define cleaned #f)")
+	_, err := m.EvalString(`
+		(dynamic-wind
+		  (lambda () #f)
+		  (lambda () (error "boom"))
+		  (lambda () (set! cleaned #t)))`)
+	if err == nil {
+		t.Fatal("error should propagate through dynamic-wind")
+	}
+	expectEval(t, m, "cleaned", "#t")
+}
+
+func TestDynamicWindNestedEscape(t *testing.T) {
+	m := newMachine(t)
+	expectEval(t, m, `
+		(let ([trace '()])
+		  (define (note x) (set! trace (cons x trace)))
+		  (call/cc (lambda (k)
+		    (dynamic-wind
+		      (lambda () (note 'outer-in))
+		      (lambda ()
+		        (dynamic-wind
+		          (lambda () (note 'inner-in))
+		          (lambda () (k 'out))
+		          (lambda () (note 'inner-out))))
+		      (lambda () (note 'outer-out)))))
+		  (reverse trace))`,
+		"(outer-in inner-in inner-out outer-out)")
+}
+
+func TestDynamicWindVsGuardedPorts(t *testing.T) {
+	// The two idioms compose: dynamic-wind closes the port it knows
+	// about; the port guardian catches the one abandoned before
+	// dynamic-wind could be entered.
+	m := newMachine(t)
+	m.MustEval(`
+		(define abandoned (guarded-open-output-file "abandoned"))
+		(display "orphan data" abandoned)
+		(set! abandoned #f)
+		(define wound (guarded-open-output-file "wound"))
+		(dynamic-wind
+		  (lambda () #f)
+		  (lambda () (display "managed data" wound))
+		  (lambda () (close-output-port wound)))
+		(collect 1)
+		(close-dropped-ports)`)
+	expectEval(t, m, `(file-contents "wound")`, `"managed data"`)
+	expectEval(t, m, `(file-contents "abandoned")`, `"orphan data"`)
+}
+
+func TestDynamicWindNonProcedureErrors(t *testing.T) {
+	m := newMachine(t)
+	if _, err := m.EvalString("(dynamic-wind 1 2 3)"); err == nil {
+		t.Fatal("dynamic-wind of non-procedures should error")
+	}
+}
+
+func TestDynamicWindAfterRunsOnceOnly(t *testing.T) {
+	m := newMachine(t)
+	expectEval(t, m, `
+		(let ([n 0])
+		  (call/cc (lambda (k)
+		    (dynamic-wind
+		      (lambda () #f)
+		      (lambda () (k 'x))
+		      (lambda () (set! n (+ n 1))))))
+		  n)`, "1")
+}

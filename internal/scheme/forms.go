@@ -1,0 +1,649 @@
+package scheme
+
+import (
+	"fmt"
+
+	"repro/internal/obj"
+)
+
+// evalForm handles one special form. It either produces a final result
+// (done == true) or a tail expression/environment pair for the Eval
+// loop to continue with.
+func (m *Machine) evalForm(form formID, expr, env obj.Value) (tailExpr, tailEnv, result obj.Value, done bool, err error) {
+	h := m.H
+	base := len(m.stack)
+	defer func() { m.stack = m.stack[:base] }()
+	eS := m.slot(expr)
+	envS := m.slot(env)
+	fail := func(format string, args ...any) (obj.Value, obj.Value, obj.Value, bool, error) {
+		return obj.Void, obj.Void, obj.Void, false, m.errf(m.get(eS), format, args...)
+	}
+	rest := h.Cdr(expr) // the form's operands
+	restS := m.slot(rest)
+
+	need := func(n int) bool {
+		p := m.get(restS)
+		for i := 0; i < n; i++ {
+			if !p.IsPair() {
+				return false
+			}
+			p = h.Cdr(p)
+		}
+		return true
+	}
+	operand := func(i int) obj.Value {
+		p := m.get(restS)
+		for ; i > 0; i-- {
+			p = h.Cdr(p)
+		}
+		return h.Car(p)
+	}
+
+	switch form {
+	case fQuote:
+		if !need(1) {
+			return fail("malformed quote")
+		}
+		return obj.Void, obj.Void, operand(0), true, nil
+
+	case fIf:
+		if !need(2) {
+			return fail("malformed if")
+		}
+		t, err := m.Eval(operand(0), m.get(envS))
+		if err != nil {
+			return fail("%v", err)
+		}
+		if t.IsTruthy() {
+			return operand(1), m.get(envS), obj.Void, false, nil
+		}
+		if need(3) {
+			return operand(2), m.get(envS), obj.Void, false, nil
+		}
+		return obj.Void, obj.Void, obj.Void, true, nil
+
+	case fDefine:
+		if !need(1) {
+			return fail("malformed define")
+		}
+		target := operand(0)
+		var valS slot
+		var nameS slot
+		if target.IsPair() {
+			// (define (f . formals) body...)
+			nameS = m.slot(h.Car(target))
+			clause := h.Cons(h.Cdr(target), h.Cdr(m.get(restS)))
+			cl := m.slot(clause)
+			fn := h.MakeClosure(h.Cons(m.get(cl), obj.Nil), m.get(envS), m.get(nameS))
+			valS = m.slot(fn)
+		} else {
+			if !m.isSymbol(target) {
+				return fail("define of non-symbol")
+			}
+			nameS = m.slot(target)
+			var v obj.Value = obj.Void
+			if need(2) {
+				v, err = m.Eval(operand(1), m.get(envS))
+				if err != nil {
+					return fail("%v", err)
+				}
+			}
+			valS = m.slot(v)
+			if h.IsKind(v, obj.KClosure) && h.ClosureName(v) == obj.False {
+				h.SetClosureName(v, m.get(nameS))
+			}
+		}
+		if m.get(envS) == obj.Nil {
+			h.SetSymbolValue(m.get(nameS), m.get(valS))
+		} else {
+			m.defineLocal(m.get(nameS), m.get(valS), envS)
+		}
+		return obj.Void, obj.Void, obj.Void, true, nil
+
+	case fSet:
+		if !need(2) {
+			return fail("malformed set!")
+		}
+		if !m.isSymbol(operand(0)) {
+			return fail("set! of non-symbol")
+		}
+		v, err := m.Eval(operand(1), m.get(envS))
+		if err != nil {
+			return fail("%v", err)
+		}
+		if err := m.assign(operand(0), v, m.get(envS)); err != nil {
+			return fail("%v", err)
+		}
+		return obj.Void, obj.Void, obj.Void, true, nil
+
+	case fLambda:
+		if !need(1) {
+			return fail("malformed lambda")
+		}
+		clause := h.Cons(operand(0), h.Cdr(m.get(restS)))
+		clS := m.slot(clause)
+		fn := h.MakeClosure(h.Cons(m.get(clS), obj.Nil), m.get(envS), obj.False)
+		return obj.Void, obj.Void, fn, true, nil
+
+	case fCaseLambda:
+		clausesS := m.slot(obj.Nil)
+		// Build the clause list in reverse, then reverse it.
+		for p := m.slot(m.get(restS)); m.get(p).IsPair(); m.set(p, h.Cdr(m.get(p))) {
+			c := h.Car(m.get(p))
+			if !c.IsPair() {
+				return fail("malformed case-lambda clause")
+			}
+			cl := h.Cons(h.Car(c), h.Cdr(c))
+			m.set(clausesS, h.Cons(cl, m.get(clausesS)))
+		}
+		revS := m.slot(obj.Nil)
+		for p := m.get(clausesS); p.IsPair(); p = h.Cdr(p) {
+			m.set(revS, h.Cons(h.Car(p), m.get(revS)))
+		}
+		fn := h.MakeClosure(m.get(revS), m.get(envS), obj.False)
+		return obj.Void, obj.Void, fn, true, nil
+
+	case fBegin:
+		if m.get(restS) == obj.Nil {
+			return obj.Void, obj.Void, obj.Void, true, nil
+		}
+		return m.tailBody(restS, envS)
+
+	case fLet:
+		if need(1) && m.isSymbol(operand(0)) {
+			return m.namedLet(restS, envS)
+		}
+		if !need(1) {
+			return fail("malformed let")
+		}
+		// Evaluate inits in the outer env, then bind.
+		frameS := m.slot(obj.Nil)
+		for b := m.slot(operand(0)); m.get(b).IsPair(); m.set(b, h.Cdr(m.get(b))) {
+			bind := h.Car(m.get(b))
+			if !bind.IsPair() || !h.Cdr(bind).IsPair() || !m.isSymbol(h.Car(bind)) {
+				return fail("malformed let binding")
+			}
+			v, err := m.Eval(h.Car(h.Cdr(bind)), m.get(envS))
+			if err != nil {
+				return fail("%v", err)
+			}
+			vS := m.slot(v)
+			sym := h.Car(h.Car(m.get(b)))
+			m.set(frameS, h.Cons(h.Cons(sym, m.get(vS)), m.get(frameS)))
+		}
+		newEnv := h.Cons(m.get(frameS), m.get(envS))
+		m.set(envS, newEnv)
+		m.set(restS, h.Cdr(m.get(restS)))
+		return m.tailBody(restS, envS)
+
+	case fLetStar:
+		if !need(1) {
+			return fail("malformed let*")
+		}
+		for b := m.slot(operand(0)); m.get(b).IsPair(); m.set(b, h.Cdr(m.get(b))) {
+			bind := h.Car(m.get(b))
+			if !bind.IsPair() || !h.Cdr(bind).IsPair() || !m.isSymbol(h.Car(bind)) {
+				return fail("malformed let* binding")
+			}
+			v, err := m.Eval(h.Car(h.Cdr(bind)), m.get(envS))
+			if err != nil {
+				return fail("%v", err)
+			}
+			vS := m.slot(v)
+			sym := h.Car(h.Car(m.get(b)))
+			frame := h.Cons(h.Cons(sym, m.get(vS)), obj.Nil)
+			m.set(envS, h.Cons(frame, m.get(envS)))
+		}
+		m.set(restS, h.Cdr(m.get(restS)))
+		return m.tailBody(restS, envS)
+
+	case fLetrec, fLetrecStar:
+		if !need(1) {
+			return fail("malformed letrec")
+		}
+		// One frame with all names pre-bound to Unbound, then
+		// sequential initialization (letrec* semantics; letrec
+		// programs that depend on simultaneity are rare and rejected
+		// by the used-before-initialization check).
+		frameS := m.slot(obj.Nil)
+		for b := m.slot(operand(0)); m.get(b).IsPair(); m.set(b, h.Cdr(m.get(b))) {
+			bind := h.Car(m.get(b))
+			if !bind.IsPair() || !h.Cdr(bind).IsPair() || !m.isSymbol(h.Car(bind)) {
+				return fail("malformed letrec binding")
+			}
+			m.set(frameS, h.Cons(h.Cons(h.Car(bind), obj.Unbound), m.get(frameS)))
+		}
+		m.set(envS, h.Cons(m.get(frameS), m.get(envS)))
+		for b := m.slot(operand(0)); m.get(b).IsPair(); m.set(b, h.Cdr(m.get(b))) {
+			bind := h.Car(m.get(b))
+			v, err := m.Eval(h.Car(h.Cdr(bind)), m.get(envS))
+			if err != nil {
+				return fail("%v", err)
+			}
+			sym := h.Car(h.Car(m.get(b)))
+			if h.IsKind(v, obj.KClosure) && h.ClosureName(v) == obj.False {
+				h.SetClosureName(v, sym)
+			}
+			if err := m.assign(sym, v, m.get(envS)); err != nil {
+				return fail("%v", err)
+			}
+		}
+		m.set(restS, h.Cdr(m.get(restS)))
+		return m.tailBody(restS, envS)
+
+	case fCond:
+		for c := m.slot(m.get(restS)); m.get(c).IsPair(); m.set(c, h.Cdr(m.get(c))) {
+			clause := h.Car(m.get(c))
+			if !clause.IsPair() {
+				return fail("malformed cond clause")
+			}
+			test := h.Car(clause)
+			if m.isSymbol(test) && test == m.syms[m.symElse] {
+				bodyS := m.slot(h.Cdr(clause))
+				return m.tailBody(bodyS, envS)
+			}
+			t, err := m.Eval(test, m.get(envS))
+			if err != nil {
+				return fail("%v", err)
+			}
+			if !t.IsTruthy() {
+				continue
+			}
+			clause = h.Car(m.get(c)) // re-read post-eval
+			body := h.Cdr(clause)
+			if body == obj.Nil {
+				return obj.Void, obj.Void, t, true, nil
+			}
+			if m.isSymbol(h.Car(body)) && h.Car(body) == m.syms[m.symArrow] {
+				tS := m.slot(t)
+				recv, err := m.Eval(h.Car(h.Cdr(body)), m.get(envS))
+				if err != nil {
+					return fail("%v", err)
+				}
+				v, err := m.Apply(recv, []obj.Value{m.get(tS)})
+				if err != nil {
+					return fail("%v", err)
+				}
+				return obj.Void, obj.Void, v, true, nil
+			}
+			bodyS := m.slot(body)
+			return m.tailBody(bodyS, envS)
+		}
+		return obj.Void, obj.Void, obj.Void, true, nil
+
+	case fCase:
+		if !need(1) {
+			return fail("malformed case")
+		}
+		key, err := m.Eval(operand(0), m.get(envS))
+		if err != nil {
+			return fail("%v", err)
+		}
+		keyS := m.slot(key)
+		for c := m.slot(h.Cdr(m.get(restS))); m.get(c).IsPair(); m.set(c, h.Cdr(m.get(c))) {
+			clause := h.Car(m.get(c))
+			if !clause.IsPair() {
+				return fail("malformed case clause")
+			}
+			data := h.Car(clause)
+			match := m.isSymbol(data) && data == m.syms[m.symElse]
+			for d := data; !match && d.IsPair(); d = h.Cdr(d) {
+				if h.Eqv(h.Car(d), m.get(keyS)) {
+					match = true
+				}
+			}
+			if match {
+				bodyS := m.slot(h.Cdr(clause))
+				return m.tailBody(bodyS, envS)
+			}
+		}
+		return obj.Void, obj.Void, obj.Void, true, nil
+
+	case fAnd:
+		if m.get(restS) == obj.Nil {
+			return obj.Void, obj.Void, obj.True, true, nil
+		}
+		for h.Cdr(m.get(restS)).IsPair() {
+			v, err := m.Eval(h.Car(m.get(restS)), m.get(envS))
+			if err != nil {
+				return fail("%v", err)
+			}
+			if !v.IsTruthy() {
+				return obj.Void, obj.Void, obj.False, true, nil
+			}
+			m.set(restS, h.Cdr(m.get(restS)))
+		}
+		return h.Car(m.get(restS)), m.get(envS), obj.Void, false, nil
+
+	case fOr:
+		if m.get(restS) == obj.Nil {
+			return obj.Void, obj.Void, obj.False, true, nil
+		}
+		for h.Cdr(m.get(restS)).IsPair() {
+			v, err := m.Eval(h.Car(m.get(restS)), m.get(envS))
+			if err != nil {
+				return fail("%v", err)
+			}
+			if v.IsTruthy() {
+				return obj.Void, obj.Void, v, true, nil
+			}
+			m.set(restS, h.Cdr(m.get(restS)))
+		}
+		return h.Car(m.get(restS)), m.get(envS), obj.Void, false, nil
+
+	case fWhen, fUnless:
+		if !need(1) {
+			return fail("malformed when/unless")
+		}
+		t, err := m.Eval(operand(0), m.get(envS))
+		if err != nil {
+			return fail("%v", err)
+		}
+		want := t.IsTruthy()
+		if form == fUnless {
+			want = !want
+		}
+		if !want {
+			return obj.Void, obj.Void, obj.Void, true, nil
+		}
+		m.set(restS, h.Cdr(m.get(restS)))
+		if m.get(restS) == obj.Nil {
+			return obj.Void, obj.Void, obj.Void, true, nil
+		}
+		return m.tailBody(restS, envS)
+
+	case fDo:
+		return m.doLoop(restS, envS)
+
+	case fQuasiquote:
+		if !need(1) {
+			return fail("malformed quasiquote")
+		}
+		v, err := m.quasi(operand(0), m.get(envS), 1)
+		if err != nil {
+			return fail("%v", err)
+		}
+		return obj.Void, obj.Void, v, true, nil
+	}
+	return fail("unhandled special form %d", form)
+}
+
+// defineLocal adds or updates a binding in the innermost frame.
+func (m *Machine) defineLocal(sym, val obj.Value, envS slot) {
+	h := m.H
+	frame := h.Car(m.get(envS))
+	for b := frame; b.IsPair(); b = h.Cdr(b) {
+		if h.Car(h.Car(b)) == sym {
+			h.SetCdr(h.Car(b), val)
+			return
+		}
+	}
+	symS := m.slot(sym)
+	valS := m.slot(val)
+	bind := h.Cons(m.get(symS), m.get(valS))
+	h.SetCar(m.get(envS), h.Cons(bind, h.Car(m.get(envS))))
+}
+
+// tailBody evaluates all but the last form of the body in bodyS and
+// returns the last as the tail expression.
+func (m *Machine) tailBody(bodyS, envS slot) (obj.Value, obj.Value, obj.Value, bool, error) {
+	h := m.H
+	if m.get(bodyS) == obj.Nil {
+		return obj.Void, obj.Void, obj.Void, true, nil
+	}
+	for h.Cdr(m.get(bodyS)).IsPair() {
+		if _, err := m.Eval(h.Car(m.get(bodyS)), m.get(envS)); err != nil {
+			return obj.Void, obj.Void, obj.Void, false, err
+		}
+		m.set(bodyS, h.Cdr(m.get(bodyS)))
+	}
+	return h.Car(m.get(bodyS)), m.get(envS), obj.Void, false, nil
+}
+
+// namedLet implements (let name ((var init) ...) body ...).
+func (m *Machine) namedLet(restS, envS slot) (obj.Value, obj.Value, obj.Value, bool, error) {
+	h := m.H
+	nameS := m.slot(h.Car(m.get(restS)))
+	bindingsS := m.slot(h.Car(h.Cdr(m.get(restS))))
+	bodyS := m.slot(h.Cdr(h.Cdr(m.get(restS))))
+
+	// Collect formals and evaluate inits in the outer environment.
+	formalsS := m.slot(obj.Nil)
+	bIter := m.slot(m.get(bindingsS))
+	argsBase := len(m.stack)
+	nargs := 0
+	for b := bIter; m.get(b).IsPair(); m.set(b, h.Cdr(m.get(b))) {
+		bind := h.Car(m.get(b))
+		if !bind.IsPair() || !h.Cdr(bind).IsPair() || !m.isSymbol(h.Car(bind)) {
+			return obj.Void, obj.Void, obj.Void, false,
+				fmt.Errorf("scheme: malformed named-let binding")
+		}
+		v, err := m.Eval(h.Car(h.Cdr(bind)), m.get(envS))
+		if err != nil {
+			return obj.Void, obj.Void, obj.Void, false, err
+		}
+		m.stack = append(m.stack, v)
+		nargs++
+		sym := h.Car(h.Car(m.get(b)))
+		m.set(formalsS, h.Cons(sym, m.get(formalsS)))
+	}
+	// formals were accumulated in reverse; so were args? No: args are
+	// in order on the stack; reverse the formals.
+	revS := m.slot(obj.Nil)
+	for p := m.get(formalsS); p.IsPair(); p = h.Cdr(p) {
+		m.set(revS, h.Cons(h.Car(p), m.get(revS)))
+	}
+	// Closure whose environment contains its own name (letrec effect).
+	selfBindS := m.slot(h.Cons(m.get(nameS), obj.Unbound))
+	frame := h.Cons(m.get(selfBindS), obj.Nil)
+	frameS := m.slot(frame)
+	closEnv := h.Cons(m.get(frameS), m.get(envS))
+	closEnvS := m.slot(closEnv)
+	clause := h.Cons(m.get(revS), m.get(bodyS))
+	clauseS := m.slot(clause)
+	fn := h.MakeClosure(h.Cons(m.get(clauseS), obj.Nil), m.get(closEnvS), m.get(nameS))
+	h.SetCdr(m.get(selfBindS), fn)
+	fnS := m.slot(fn)
+
+	newEnv, body, err := m.bindClause(m.get(fnS), argsBase, nargs)
+	if err != nil {
+		return obj.Void, obj.Void, obj.Void, false, err
+	}
+	newEnvS := m.slot(newEnv)
+	bS := m.slot(body)
+	for h.Cdr(m.get(bS)).IsPair() {
+		if _, err := m.Eval(h.Car(m.get(bS)), m.get(newEnvS)); err != nil {
+			return obj.Void, obj.Void, obj.Void, false, err
+		}
+		m.set(bS, h.Cdr(m.get(bS)))
+	}
+	if m.get(bS) == obj.Nil {
+		return obj.Void, obj.Void, obj.Void, true, nil
+	}
+	return h.Car(m.get(bS)), m.get(newEnvS), obj.Void, false, nil
+}
+
+// doLoop implements (do ((var init step) ...) (test result ...) body ...).
+func (m *Machine) doLoop(restS, envS slot) (obj.Value, obj.Value, obj.Value, bool, error) {
+	h := m.H
+	if !m.get(restS).IsPair() || !h.Cdr(m.get(restS)).IsPair() {
+		return obj.Void, obj.Void, obj.Void, false, fmt.Errorf("scheme: malformed do")
+	}
+	specsS := m.slot(h.Car(m.get(restS)))
+	exitS := m.slot(h.Car(h.Cdr(m.get(restS))))
+	bodyS := m.slot(h.Cdr(h.Cdr(m.get(restS))))
+
+	// Initial frame.
+	frameS := m.slot(obj.Nil)
+	for s := m.slot(m.get(specsS)); m.get(s).IsPair(); m.set(s, h.Cdr(m.get(s))) {
+		spec := h.Car(m.get(s))
+		if !spec.IsPair() || !h.Cdr(spec).IsPair() || !m.isSymbol(h.Car(spec)) {
+			return obj.Void, obj.Void, obj.Void, false, fmt.Errorf("scheme: malformed do binding")
+		}
+		v, err := m.Eval(h.Car(h.Cdr(spec)), m.get(envS))
+		if err != nil {
+			return obj.Void, obj.Void, obj.Void, false, err
+		}
+		vS := m.slot(v)
+		sym := h.Car(h.Car(m.get(s)))
+		m.set(frameS, h.Cons(h.Cons(sym, m.get(vS)), m.get(frameS)))
+	}
+	loopEnvS := m.slot(h.Cons(m.get(frameS), m.get(envS)))
+
+	for iter := 0; ; iter++ {
+		if iter > 1<<26 {
+			return obj.Void, obj.Void, obj.Void, false, fmt.Errorf("scheme: do loop iteration limit")
+		}
+		iterBase := len(m.stack)
+		m.safepoint()
+		if err := m.burn(); err != nil {
+			return obj.Void, obj.Void, obj.Void, false, err
+		}
+		if !m.get(exitS).IsPair() {
+			return obj.Void, obj.Void, obj.Void, false, fmt.Errorf("scheme: malformed do exit clause")
+		}
+		t, err := m.Eval(h.Car(m.get(exitS)), m.get(loopEnvS))
+		if err != nil {
+			return obj.Void, obj.Void, obj.Void, false, err
+		}
+		if t.IsTruthy() {
+			resS := m.slot(h.Cdr(m.get(exitS)))
+			if m.get(resS) == obj.Nil {
+				return obj.Void, obj.Void, obj.Void, true, nil
+			}
+			return m.tailBody(resS, loopEnvS)
+		}
+		for b := m.slot(m.get(bodyS)); m.get(b).IsPair(); m.set(b, h.Cdr(m.get(b))) {
+			if _, err := m.Eval(h.Car(m.get(b)), m.get(loopEnvS)); err != nil {
+				return obj.Void, obj.Void, obj.Void, false, err
+			}
+		}
+		// Evaluate steps in the current loop env, then rebind.
+		sIter := m.slot(m.get(specsS))
+		stepBase := len(m.stack)
+		nsteps := 0
+		for s := sIter; m.get(s).IsPair(); m.set(s, h.Cdr(m.get(s))) {
+			spec := h.Car(m.get(s))
+			step := h.Cdr(h.Cdr(spec))
+			var v obj.Value
+			if step.IsPair() {
+				v, err = m.Eval(h.Car(step), m.get(loopEnvS))
+				if err != nil {
+					return obj.Void, obj.Void, obj.Void, false, err
+				}
+			} else {
+				v, err = m.lookup(h.Car(spec), m.get(loopEnvS))
+				if err != nil {
+					return obj.Void, obj.Void, obj.Void, false, err
+				}
+			}
+			m.stack = append(m.stack, v)
+			nsteps++
+		}
+		newFrameS := m.slot(obj.Nil)
+		i := 0
+		for s := m.slot(m.get(specsS)); m.get(s).IsPair(); m.set(s, h.Cdr(m.get(s))) {
+			sym := h.Car(h.Car(m.get(s)))
+			m.set(newFrameS, h.Cons(h.Cons(sym, m.stack[stepBase+i]), m.get(newFrameS)))
+			i++
+		}
+		m.set(loopEnvS, h.Cons(m.get(newFrameS), m.get(envS)))
+		m.stack = m.stack[:iterBase]
+	}
+}
+
+// quasi expands a quasiquote template at the given nesting depth.
+func (m *Machine) quasi(t, env obj.Value, depth int) (obj.Value, error) {
+	h := m.H
+	base := len(m.stack)
+	defer func() { m.stack = m.stack[:base] }()
+	tS := m.slot(t)
+	envS := m.slot(env)
+
+	isTagged := func(v obj.Value, name string) bool {
+		return v.IsPair() && m.isSymbol(h.Car(v)) && h.Car(v) == m.Intern(name) &&
+			h.Cdr(v).IsPair()
+	}
+
+	t = m.get(tS)
+	switch {
+	case isTagged(t, "unquote"):
+		if depth == 1 {
+			return m.Eval(h.Car(h.Cdr(t)), m.get(envS))
+		}
+		inner, err := m.quasi(h.Car(h.Cdr(m.get(tS))), m.get(envS), depth-1)
+		if err != nil {
+			return obj.Void, err
+		}
+		iS := m.slot(inner)
+		return h.List(m.Intern("unquote"), m.get(iS)), nil
+	case isTagged(t, "quasiquote"):
+		inner, err := m.quasi(h.Car(h.Cdr(m.get(tS))), m.get(envS), depth+1)
+		if err != nil {
+			return obj.Void, err
+		}
+		iS := m.slot(inner)
+		return h.List(m.Intern("quasiquote"), m.get(iS)), nil
+	case t.IsPair():
+		head := h.Car(t)
+		if isTagged(head, "unquote-splicing") && depth == 1 {
+			spliced, err := m.Eval(h.Car(h.Cdr(head)), m.get(envS))
+			if err != nil {
+				return obj.Void, err
+			}
+			sS := m.slot(spliced)
+			rest, err := m.quasi(h.Cdr(m.get(tS)), m.get(envS), depth)
+			if err != nil {
+				return obj.Void, err
+			}
+			rS := m.slot(rest)
+			return m.appendLists(sS, rS)
+		}
+		carV, err := m.quasi(h.Car(m.get(tS)), m.get(envS), depth)
+		if err != nil {
+			return obj.Void, err
+		}
+		cS := m.slot(carV)
+		cdrV, err := m.quasi(h.Cdr(m.get(tS)), m.get(envS), depth)
+		if err != nil {
+			return obj.Void, err
+		}
+		dS := m.slot(cdrV)
+		return h.Cons(m.get(cS), m.get(dS)), nil
+	case h.IsKind(t, obj.KVector):
+		n := h.VectorLength(t)
+		outS := m.slot(h.MakeVector(n, obj.False))
+		for i := 0; i < n; i++ {
+			v, err := m.quasi(h.VectorRef(m.get(tS), i), m.get(envS), depth)
+			if err != nil {
+				return obj.Void, err
+			}
+			h.VectorSet(m.get(outS), i, v)
+		}
+		return m.get(outS), nil
+	default:
+		return t, nil
+	}
+}
+
+// appendLists appends the list in slot aS to the value in slot bS
+// (copying a, sharing b).
+func (m *Machine) appendLists(aS, bS slot) (obj.Value, error) {
+	h := m.H
+	// Copy a into a Go slice of slots-by-index via the stack.
+	n := 0
+	for p := m.get(aS); p.IsPair(); p = h.Cdr(p) {
+		n++
+	}
+	base := len(m.stack)
+	for p := m.get(aS); p.IsPair(); p = h.Cdr(p) {
+		m.stack = append(m.stack, h.Car(p))
+	}
+	outS := m.slot(m.get(bS))
+	for i := n - 1; i >= 0; i-- {
+		m.set(outS, h.Cons(m.stack[base+i], m.get(outS)))
+	}
+	out := m.get(outS)
+	m.stack = m.stack[:base]
+	return out, nil
+}

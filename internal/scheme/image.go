@@ -1,0 +1,153 @@
+package scheme
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"os"
+
+	"repro/internal/heap"
+	"repro/internal/obj"
+	"repro/internal/ports"
+)
+
+// Machine images layer the symbol table over heap images: SaveImage
+// writes the heap followed by every interned symbol (name and heap
+// value), and LoadMachineImage rebuilds a machine whose globals,
+// closures, and guardians — everything expressible in Scheme — pick up
+// exactly where the saved session stopped. This mirrors Chez Scheme's
+// saved heaps.
+//
+// Restrictions: the machine must be quiescent (no evaluation in
+// progress) and must not have compiled code (bytecode is a Go-side
+// table that a heap image cannot carry); primitives are re-installed
+// by index, which is stable because installPrims is deterministic.
+
+const machineMagic = "GUARDMACH2\n"
+
+// SaveImage writes the machine (heap + symbol table) to w.
+func (m *Machine) SaveImage(w io.Writer) error {
+	if len(m.stack) != 0 || len(m.vmFrames) != 0 {
+		return fmt.Errorf("scheme: SaveImage requires a quiescent machine")
+	}
+	if len(m.codes) != 0 {
+		return fmt.Errorf("scheme: SaveImage does not support machines that have compiled code")
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(machineMagic); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if err := m.H.SaveImage(w); err != nil {
+		return err
+	}
+	bw = bufio.NewWriter(w)
+	wr := func(v uint64) error { return binary.Write(bw, binary.LittleEndian, v) }
+	if err := wr(uint64(m.gensymN)); err != nil {
+		return err
+	}
+	live := 0
+	for i := range m.syms {
+		if m.syms[i] != obj.False || m.symNames[i] != "" {
+			live++
+		}
+	}
+	if err := wr(uint64(live)); err != nil {
+		return err
+	}
+	for i := range m.syms {
+		if m.syms[i] == obj.False && m.symNames[i] == "" {
+			continue // freed (pruned) slot
+		}
+		if err := wr(uint64(len(m.symNames[i]))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(m.symNames[i]); err != nil {
+			return err
+		}
+		if err := wr(uint64(m.syms[i])); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadMachineImage reconstructs a machine from an image written by
+// SaveImage, bound to a fresh port manager over pm (or an empty file
+// system if nil).
+func LoadMachineImage(r io.Reader, pm *ports.Manager) (*Machine, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(machineMagic))
+	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != machineMagic {
+		return nil, fmt.Errorf("scheme: not a machine image")
+	}
+	h, _, err := heap.LoadImage(br)
+	if err != nil {
+		return nil, err
+	}
+	if pm == nil {
+		pm = ports.NewManager(h, ports.NewFS())
+	}
+	m := &Machine{
+		H:      h,
+		PM:     pm,
+		Out:    os.Stdout,
+		symIdx: make(map[string]int),
+		fuel:   -1,
+	}
+	h.AddRootProvider(m)
+
+	rd := func() (uint64, error) {
+		var v uint64
+		err := binary.Read(br, binary.LittleEndian, &v)
+		return v, err
+	}
+	g, err := rd()
+	if err != nil {
+		return nil, err
+	}
+	m.gensymN = int(g)
+	count, err := rd()
+	if err != nil || count > 1<<24 {
+		return nil, fmt.Errorf("scheme: corrupt machine image")
+	}
+	for k := uint64(0); k < count; k++ {
+		nlen, err := rd()
+		if err != nil || nlen > 1<<16 {
+			return nil, fmt.Errorf("scheme: corrupt machine image (symbol)")
+		}
+		nameB := make([]byte, nlen)
+		if _, err := io.ReadFull(br, nameB); err != nil {
+			return nil, err
+		}
+		sv, err := rd()
+		if err != nil {
+			return nil, err
+		}
+		name := string(nameB)
+		m.symIdx[name] = len(m.syms)
+		m.syms = append(m.syms, obj.Value(sv))
+		m.symNames = append(m.symNames, name)
+	}
+
+	// Rebind the machine's internals against the restored table.
+	for name, id := range formNames {
+		m.Intern(name)
+		m.formSyms[id] = m.symIdx[name]
+	}
+	m.Intern("else")
+	m.symElse = m.symIdx["else"]
+	m.Intern("=>")
+	m.symArrow = m.symIdx["=>"]
+	// Primitives: same deterministic order as New, so primitive
+	// objects restored from the heap carry valid indexes; installPrims
+	// also rebinds each name's global cell to a fresh primitive.
+	m.installPrims()
+	m.permanentSyms = len(m.syms)
+	h.AddPostCollectHook(m.pruneDeadSymbols)
+	return m, nil
+}

@@ -1,0 +1,106 @@
+package scheme_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/heap"
+	"repro/internal/scheme"
+)
+
+func TestMachineImageRoundTrip(t *testing.T) {
+	m := scheme.New(heap.NewDefault(), nil)
+	m.MustEval(`
+		(define counter
+		  (let ([n 100])
+		    (lambda () (set! n (+ n 1)) n)))
+		(counter)  ; n = 101
+		(define G (make-guardian))
+		(define x (cons 'saved 'pair))
+		(G x)
+		(define table '((a . 1) (b . 2)))`)
+
+	var buf bytes.Buffer
+	if err := m.SaveImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := scheme.LoadMachineImage(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Globals, closures, and captured state survive.
+	expectEval(t, m2, "(counter)", "102")
+	expectEval(t, m2, "(cdr (assq 'b table))", "2")
+	// The guardian (a prelude-made closure over a tconc) survives,
+	// including its pending registration.
+	expectEval(t, m2, "(begin (set! x #f) (collect 3) (G))", "(saved . pair)")
+	expectEval(t, m2, "(G)", "#f")
+	// Symbol identity is coherent: re-interning finds the same symbol.
+	expectEval(t, m2, "(eq? 'saved (car (quote (saved))))", "#t")
+	// Primitives and the prelude work.
+	expectEval(t, m2, "(sort < '(3 1 2))", "(1 2 3)")
+	expectEval(t, m2, "(map (lambda (i) (* i i)) (iota 4))", "(0 1 4 9)")
+	if errs := m2.H.Verify(); len(errs) > 0 {
+		t.Fatalf("restored heap unsound: %v", errs[0])
+	}
+}
+
+func TestMachineImageGensymCounterSurvives(t *testing.T) {
+	m := scheme.New(heap.NewDefault(), nil)
+	before := m.WriteString(m.MustEval("(gensym)"))
+	var buf bytes.Buffer
+	if err := m.SaveImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := scheme.LoadMachineImage(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := m2.WriteString(m2.MustEval("(gensym)"))
+	if before == after {
+		t.Fatalf("gensym counter reset across image: %s repeated", after)
+	}
+}
+
+func TestMachineImageRefusesCompiledCode(t *testing.T) {
+	m := scheme.New(heap.NewDefault(), nil)
+	if _, err := m.EvalStringCompiled("(define (f) 1)"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.SaveImage(&buf); err == nil {
+		t.Fatal("SaveImage should refuse machines with compiled code")
+	}
+}
+
+func TestMachineImageRejectsGarbage(t *testing.T) {
+	if _, err := scheme.LoadMachineImage(bytes.NewReader([]byte("junk")), nil); err == nil {
+		t.Fatal("garbage accepted as machine image")
+	}
+}
+
+func TestMachineImageContinuesCollecting(t *testing.T) {
+	h := heap.New(heap.Config{Generations: 4, TriggerWords: 4096, Radix: 4, UseDirtySet: true})
+	m := scheme.New(h, nil)
+	m.MustEval("(define (build n) (if (zero? n) '() (cons n (build (- n 1)))))")
+	var buf bytes.Buffer
+	if err := m.SaveImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := scheme.LoadMachineImage(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sustained allocation with automatic collections on the restored
+	// machine.
+	v := m2.MustEval(`
+		(let loop ([i 0] [acc 0])
+		  (if (= i 50) acc (loop (+ i 1) (+ acc (length (build 100))))))`)
+	if v.FixnumValue() != 5000 {
+		t.Fatalf("got %d", v.FixnumValue())
+	}
+	if m2.H.Stats.Collections == 0 {
+		t.Fatal("expected collections on restored machine")
+	}
+}

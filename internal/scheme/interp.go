@@ -1,0 +1,650 @@
+// Package scheme implements a small Scheme interpreter whose every
+// value — environments, closures, syntax trees — lives in the
+// simulated heap of package heap. Running Scheme code therefore drives
+// the paper's collector with realistic workloads, and the code figures
+// of the paper (make-guardian, make-transport-guardian,
+// make-guarded-hash-table, guarded-open-*) run verbatim: they are the
+// interpreter's prelude.
+//
+// The interpreter is a tree-walking evaluator with proper tail calls.
+// Collections happen only at evaluator safe points; every heap value
+// the evaluator holds across a potential safe point is kept on a
+// shadow stack that the collector treats as roots, so objects may move
+// freely between any two evaluation steps.
+package scheme
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/heap"
+	"repro/internal/obj"
+	"repro/internal/ports"
+)
+
+// formID enumerates special forms.
+type formID int
+
+const (
+	fQuote formID = iota
+	fIf
+	fDefine
+	fSet
+	fLambda
+	fCaseLambda
+	fBegin
+	fLet
+	fLetStar
+	fLetrec
+	fLetrecStar
+	fCond
+	fCase
+	fAnd
+	fOr
+	fWhen
+	fUnless
+	fDo
+	fQuasiquote
+	numForms
+)
+
+var formNames = map[string]formID{
+	"quote": fQuote, "if": fIf, "define": fDefine, "set!": fSet,
+	"lambda": fLambda, "case-lambda": fCaseLambda, "begin": fBegin,
+	"let": fLet, "let*": fLetStar, "letrec": fLetrec,
+	"letrec*": fLetrecStar, "cond": fCond, "case": fCase,
+	"and": fAnd, "or": fOr, "when": fWhen, "unless": fUnless,
+	"do": fDo, "quasiquote": fQuasiquote,
+}
+
+// maxEvalDepth bounds evaluator recursion (Scheme-level infinite
+// non-tail recursion becomes an error instead of a Go stack overflow).
+const maxEvalDepth = 10000
+
+// ExitError is returned when a program calls (exit [code]): the
+// embedder (e.g. the REPL) decides what process-level exit means. It
+// propagates as an ordinary error, so any dynamic-wind after thunks
+// run on the way out — which is exactly what the paper's guarded-exit
+// relies on for close-dropped-ports.
+type ExitError struct{ Code int }
+
+func (e *ExitError) Error() string { return fmt.Sprintf("scheme: exit %d", e.Code) }
+
+// Machine is an interpreter instance bound to a heap.
+type Machine struct {
+	H   *heap.Heap
+	PM  *ports.Manager
+	Out io.Writer
+
+	symIdx   map[string]int
+	syms     []obj.Value
+	symNames []string
+	symsFree []int
+	stack    []obj.Value
+	prims    []prim
+	formSyms [numForms]int // index into syms for each special form
+	symElse  int
+	symArrow int
+	gensymN  int
+	depth    int
+
+	// Symbol pruning (Friedman & Wise [6], as deployed in Chez Scheme
+	// per §2): when enabled, interned symbols with no global value, no
+	// property list, and no heap references are removed from the
+	// symbol table at each collection instead of living forever.
+	pruneSymbols  bool
+	permanentSyms int
+
+	// Escape continuations (see callcc.go).
+	nextContID  int64
+	activeConts map[int64]bool
+
+	// Bytecode engine (see compile.go and vm.go).
+	codes    []*Code
+	vmFrames []vmFrame
+
+	// fuel bounds execution steps when non-negative; -1 = unlimited.
+	fuel int64
+}
+
+type prim struct {
+	name string
+	min  int
+	max  int // -1 = variadic
+	fn   func(m *Machine, a Args) (obj.Value, error)
+}
+
+// Args gives primitives access to their evaluated arguments. Arguments
+// live on the machine's shadow stack, so they remain valid (and are
+// updated in place) across collections triggered inside the primitive.
+type Args struct {
+	m    *Machine
+	base int
+	n    int
+}
+
+// Len returns the argument count.
+func (a Args) Len() int { return a.n }
+
+// Get returns argument i.
+func (a Args) Get(i int) obj.Value { return a.m.stack[a.base+i] }
+
+// New creates a machine over h, with ports backed by pm (a fresh
+// manager over an empty simulated file system if nil). The prelude —
+// including the paper's make-guardian, make-transport-guardian, and
+// make-guarded-hash-table — is evaluated before New returns.
+func New(h *heap.Heap, pm *ports.Manager) *Machine {
+	if pm == nil {
+		pm = ports.NewManager(h, ports.NewFS())
+	}
+	m := &Machine{
+		H:      h,
+		PM:     pm,
+		Out:    os.Stdout,
+		symIdx: make(map[string]int),
+		fuel:   -1,
+	}
+	h.AddRootProvider(m)
+	for name, id := range formNames {
+		m.Intern(name)
+		m.formSyms[id] = m.symIdx[name]
+	}
+	m.Intern("else")
+	m.symElse = m.symIdx["else"]
+	m.Intern("=>")
+	m.symArrow = m.symIdx["=>"]
+	m.installPrims()
+	if _, err := m.EvalString(prelude); err != nil {
+		panic(fmt.Sprintf("scheme: prelude failed: %v", err))
+	}
+	// Symbols interned up to this point (special forms, primitives,
+	// everything the prelude mentions) are permanent; symbols interned
+	// later are candidates for pruning.
+	m.permanentSyms = len(m.syms)
+	h.AddPostCollectHook(m.pruneDeadSymbols)
+	return m
+}
+
+// EnableSymbolPruning turns the symbol table weak: interned symbols
+// that carry no global binding, no property list, and are unreferenced
+// from the heap are uninterned at each collection. Symbols interned
+// before the machine finished initializing are never pruned.
+func (m *Machine) EnableSymbolPruning(on bool) { m.pruneSymbols = on }
+
+// InternedSymbols returns the number of currently interned symbols.
+func (m *Machine) InternedSymbols() int { return len(m.symIdx) }
+
+// pruneDeadSymbols is the post-collect hook implementing the weak
+// symbol table: prunable symbols are not visited as roots, so a
+// symbol survives only if something else in the heap kept it alive.
+func (m *Machine) pruneDeadSymbols(h *heap.Heap) {
+	if !m.pruneSymbols {
+		return
+	}
+	for i := m.permanentSyms; i < len(m.syms); i++ {
+		v := m.syms[i]
+		if v == obj.False {
+			continue // already freed slot
+		}
+		if nv, ok := h.Survived(v); ok {
+			m.syms[i] = nv
+			continue
+		}
+		delete(m.symIdx, m.symNames[i])
+		m.syms[i] = obj.False
+		m.symNames[i] = ""
+		m.symsFree = append(m.symsFree, i)
+	}
+}
+
+// VisitRoots implements heap.RootVisitor: interned symbols and the
+// shadow stack. With symbol pruning enabled, a non-permanent symbol
+// without a global value or property list is deliberately *not*
+// visited; if nothing else in the heap references it, the post-collect
+// hook uninterns it.
+func (m *Machine) VisitRoots(visit func(*obj.Value)) {
+	for i := range m.syms {
+		v := m.syms[i]
+		if v == obj.False {
+			continue // freed slot
+		}
+		if m.pruneSymbols && i >= m.permanentSyms {
+			if val, plist, ok := m.H.PeekSymbol(v); ok &&
+				val == obj.Unbound && plist == obj.Nil {
+				continue // weak: survives only via other references
+			}
+		}
+		visit(&m.syms[i])
+	}
+	for i := range m.stack {
+		visit(&m.stack[i])
+	}
+	for _, c := range m.codes {
+		for i := range c.Consts {
+			visit(&c.Consts[i])
+		}
+	}
+	for i := range m.vmFrames {
+		visit(&m.vmFrames[i].env)
+	}
+}
+
+// Intern returns the unique symbol named name, creating it on first
+// use.
+func (m *Machine) Intern(name string) obj.Value {
+	if idx, ok := m.symIdx[name]; ok {
+		return m.syms[idx]
+	}
+	s := m.H.MakeSymbol(m.H.MakeString(name))
+	var idx int
+	if n := len(m.symsFree); n > 0 {
+		idx = m.symsFree[n-1]
+		m.symsFree = m.symsFree[:n-1]
+		m.syms[idx] = s
+		m.symNames[idx] = name
+	} else {
+		idx = len(m.syms)
+		m.syms = append(m.syms, s)
+		m.symNames = append(m.symNames, name)
+	}
+	m.symIdx[name] = idx
+	return s
+}
+
+// slot pushes v onto the shadow stack and returns its index.
+type slot int
+
+func (m *Machine) slot(v obj.Value) slot {
+	m.stack = append(m.stack, v)
+	return slot(len(m.stack) - 1)
+}
+
+func (m *Machine) get(s slot) obj.Value    { return m.stack[s] }
+func (m *Machine) set(s slot, v obj.Value) { m.stack[s] = v }
+
+// safepoint runs the collect-request handler when a request is
+// pending. All evaluator state is rooted at call sites.
+func (m *Machine) safepoint() {
+	if m.H.CollectPending() {
+		m.H.Checkpoint()
+	}
+}
+
+// SetFuel bounds further execution to n evaluation steps (evaluator
+// loop iterations and VM calls/back-jumps); a program that exceeds its
+// budget stops with an error instead of running forever. Pass -1 for
+// unlimited (the default). Useful for sandboxed evaluation and for
+// fuzzing a Turing-complete language.
+func (m *Machine) SetFuel(n int64) { m.fuel = n }
+
+// burn consumes one unit of fuel.
+func (m *Machine) burn() error {
+	if m.fuel < 0 {
+		return nil
+	}
+	if m.fuel == 0 {
+		return fmt.Errorf("scheme: execution budget exhausted")
+	}
+	m.fuel--
+	return nil
+}
+
+func (m *Machine) isSymbol(v obj.Value) bool { return m.H.IsKind(v, obj.KSymbol) }
+
+// specialFormOf reports whether head is a special-form keyword (by
+// symbol identity against the interned keyword symbols).
+func (m *Machine) specialFormOf(head obj.Value) (formID, bool) {
+	if !m.isSymbol(head) {
+		return 0, false
+	}
+	for id := formID(0); id < numForms; id++ {
+		if head == m.syms[m.formSyms[id]] {
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+// lexicallyBound reports whether sym has a binding in env's frames
+// (used to let local variables shadow special-form keywords).
+func (m *Machine) lexicallyBound(sym, env obj.Value) bool {
+	h := m.H
+	for e := env; e.IsPair(); e = h.Cdr(e) {
+		for b := h.Car(e); b.IsPair(); b = h.Cdr(b) {
+			if h.Car(h.Car(b)) == sym {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (m *Machine) lookup(sym, env obj.Value) (obj.Value, error) {
+	h := m.H
+	for e := env; e.IsPair(); e = h.Cdr(e) {
+		for b := h.Car(e); b.IsPair(); b = h.Cdr(b) {
+			bind := h.Car(b)
+			if h.Car(bind) == sym {
+				v := h.Cdr(bind)
+				if v == obj.Unbound {
+					return obj.Void, fmt.Errorf("scheme: %s used before initialization", h.SymbolString(sym))
+				}
+				return v, nil
+			}
+		}
+	}
+	v := h.SymbolValue(sym)
+	if v == obj.Unbound {
+		return obj.Void, fmt.Errorf("scheme: unbound variable %s", h.SymbolString(sym))
+	}
+	return v, nil
+}
+
+func (m *Machine) assign(sym, val, env obj.Value) error {
+	h := m.H
+	for e := env; e.IsPair(); e = h.Cdr(e) {
+		for b := h.Car(e); b.IsPair(); b = h.Cdr(b) {
+			bind := h.Car(b)
+			if h.Car(bind) == sym {
+				h.SetCdr(bind, val)
+				return nil
+			}
+		}
+	}
+	if h.SymbolValue(sym) == obj.Unbound {
+		return fmt.Errorf("scheme: set! of unbound variable %s", h.SymbolString(sym))
+	}
+	h.SetSymbolValue(sym, val)
+	return nil
+}
+
+// errf builds an error that includes a rendering of the offending
+// expression.
+func (m *Machine) errf(v obj.Value, format string, args ...any) error {
+	msg := fmt.Sprintf(format, args...)
+	return fmt.Errorf("scheme: %s: %s", msg, m.WriteString(v))
+}
+
+// Eval evaluates expr in env (obj.Nil is the global environment).
+func (m *Machine) Eval(expr, env obj.Value) (v obj.Value, err error) {
+	m.depth++
+	defer func() { m.depth-- }()
+	if m.depth > maxEvalDepth {
+		return obj.Void, fmt.Errorf("scheme: evaluation depth exceeded (non-tail recursion too deep)")
+	}
+	h := m.H
+	base := len(m.stack)
+	defer func() { m.stack = m.stack[:base] }()
+	eExpr := m.slot(expr)
+	eEnv := m.slot(env)
+
+	for {
+		m.safepoint()
+		if err := m.burn(); err != nil {
+			return obj.Void, err
+		}
+		expr, env = m.get(eExpr), m.get(eEnv)
+		switch {
+		case m.isSymbol(expr):
+			return m.lookup(expr, env)
+		case !expr.IsPair():
+			return expr, nil // self-evaluating
+		}
+		head := h.Car(expr)
+		if form, ok := m.specialFormOf(head); ok && !m.lexicallyBound(head, env) {
+			tailExpr, tailEnv, result, done, ferr := m.evalForm(form, expr, env)
+			if ferr != nil {
+				return obj.Void, ferr
+			}
+			if done {
+				return result, nil
+			}
+			m.set(eExpr, tailExpr)
+			m.set(eEnv, tailEnv)
+			m.stack = m.stack[:base+2]
+			continue
+		}
+
+		// Application: evaluate operator, then operands left to right.
+		fnS := m.slot(obj.Void)
+		fv, err := m.Eval(h.Car(m.get(eExpr)), m.get(eEnv))
+		if err != nil {
+			return obj.Void, err
+		}
+		m.set(fnS, fv)
+		restS := m.slot(h.Cdr(m.get(eExpr)))
+		argsBase := len(m.stack)
+		for m.get(restS).IsPair() {
+			av, err := m.Eval(h.Car(m.get(restS)), m.get(eEnv))
+			if err != nil {
+				return obj.Void, err
+			}
+			m.stack = append(m.stack, av)
+			m.set(restS, h.Cdr(m.get(restS)))
+		}
+		if m.get(restS) != obj.Nil {
+			return obj.Void, m.errf(m.get(eExpr), "improper argument list")
+		}
+		n := len(m.stack) - argsBase
+		fn := m.get(fnS)
+		if m.isContinuation(fn) {
+			var val obj.Value = obj.Void
+			if n >= 1 {
+				val = m.stack[argsBase]
+			}
+			return m.invokeContinuation(fn, val)
+		}
+		if m.isCompiledClosure(fn) {
+			return m.applyCompiled(fn, argsBase, n)
+		}
+		kind, _ := h.KindOf(fn)
+		switch kind {
+		case obj.KPrimitive:
+			return m.callPrim(fn, Args{m: m, base: argsBase, n: n})
+		case obj.KClosure:
+			newEnv, body, err := m.bindClause(fn, argsBase, n)
+			if err != nil {
+				return obj.Void, err
+			}
+			// Evaluate all but the last body form, then loop on the
+			// last (proper tail call).
+			last, err := m.evalBodyButLast(body, newEnv, eExpr, eEnv)
+			if err != nil {
+				return obj.Void, err
+			}
+			if last {
+				return obj.Void, nil // empty body
+			}
+			m.stack = m.stack[:base+2]
+			continue
+		default:
+			return obj.Void, m.errf(fn, "attempt to apply non-procedure")
+		}
+	}
+}
+
+// evalBodyButLast evaluates every body form except the last, then
+// stores the last form and env into the caller's expr/env slots. It
+// reports true when the body was empty. body and env must be passed
+// rooted via fresh slots inside.
+func (m *Machine) evalBodyButLast(body, env obj.Value, eExpr, eEnv slot) (empty bool, err error) {
+	h := m.H
+	if body == obj.Nil {
+		return true, nil
+	}
+	bS := m.slot(body)
+	envS := m.slot(env)
+	for h.Cdr(m.get(bS)).IsPair() {
+		if _, err := m.Eval(h.Car(m.get(bS)), m.get(envS)); err != nil {
+			return false, err
+		}
+		m.set(bS, h.Cdr(m.get(bS)))
+	}
+	m.set(eExpr, h.Car(m.get(bS)))
+	m.set(eEnv, m.get(envS))
+	return false, nil
+}
+
+// callPrim checks arity and invokes a primitive.
+func (m *Machine) callPrim(fn obj.Value, a Args) (obj.Value, error) {
+	idx := m.H.PrimitiveIndex(fn)
+	p := &m.prims[idx]
+	if a.n < p.min || (p.max >= 0 && a.n > p.max) {
+		return obj.Void, fmt.Errorf("scheme: %s: wrong number of arguments (%d)", p.name, a.n)
+	}
+	return p.fn(m, a)
+}
+
+// bindClause selects the closure clause matching the argument count
+// and builds the new environment frame. Arguments are read from the
+// shadow stack.
+func (m *Machine) bindClause(fn obj.Value, argsBase, n int) (env, body obj.Value, err error) {
+	h := m.H
+	fnS := m.slot(fn)
+	for cl := m.slot(h.ClosureClauses(fn)); m.get(cl).IsPair(); m.set(cl, h.Cdr(m.get(cl))) {
+		clause := h.Car(m.get(cl))
+		formals := h.Car(clause)
+		req, rest := 0, false
+		for f := formals; ; {
+			if f.IsPair() {
+				req++
+				f = h.Cdr(f)
+				continue
+			}
+			rest = f != obj.Nil
+			break
+		}
+		if n < req || (!rest && n != req) {
+			continue
+		}
+		// Build the frame: one binding per formal, then the rest list.
+		frameS := m.slot(obj.Nil)
+		fS := m.slot(h.Car(h.Car(m.get(cl)))) // formals, re-read rooted
+		for i := 0; i < req; i++ {
+			sym := h.Car(m.get(fS))
+			bind := h.Cons(sym, m.stack[argsBase+i])
+			m.set(frameS, h.Cons(bind, m.get(frameS)))
+			m.set(fS, h.Cdr(m.get(fS)))
+		}
+		if rest {
+			restList := m.slot(obj.Nil)
+			for i := n - 1; i >= req; i-- {
+				m.set(restList, h.Cons(m.stack[argsBase+i], m.get(restList)))
+			}
+			bind := h.Cons(m.get(fS), m.get(restList))
+			m.set(frameS, h.Cons(bind, m.get(frameS)))
+		}
+		clause = h.Car(m.get(cl)) // re-read after allocations
+		newEnv := h.Cons(m.get(frameS), h.ClosureEnv(m.get(fnS)))
+		return newEnv, h.Cdr(clause), nil
+	}
+	return obj.Void, obj.Void, fmt.Errorf(
+		"scheme: no matching clause for %d arguments in %s", n, m.WriteString(m.get(fnS)))
+}
+
+// Apply invokes fn (closure or primitive) on args from Go code — used
+// by the apply primitive, map/for-each, and the collect-request
+// handler bridge.
+func (m *Machine) Apply(fn obj.Value, args []obj.Value) (obj.Value, error) {
+	base := len(m.stack)
+	defer func() { m.stack = m.stack[:base] }()
+	fnS := m.slot(fn)
+	argsBase := len(m.stack)
+	m.stack = append(m.stack, args...)
+	h := m.H
+	if m.isContinuation(m.get(fnS)) {
+		var val obj.Value = obj.Void
+		if len(args) >= 1 {
+			val = m.stack[argsBase]
+		}
+		return m.invokeContinuation(m.get(fnS), val)
+	}
+	if m.isCompiledClosure(m.get(fnS)) {
+		return m.applyCompiled(m.get(fnS), argsBase, len(args))
+	}
+	kind, _ := h.KindOf(m.get(fnS))
+	switch kind {
+	case obj.KPrimitive:
+		return m.callPrim(m.get(fnS), Args{m: m, base: argsBase, n: len(args)})
+	case obj.KClosure:
+		env, body, err := m.bindClause(m.get(fnS), argsBase, len(args))
+		if err != nil {
+			return obj.Void, err
+		}
+		return m.evalBody(body, env)
+	default:
+		return obj.Void, m.errf(m.get(fnS), "attempt to apply non-procedure")
+	}
+}
+
+// evalBody evaluates a body sequence and returns the last value.
+func (m *Machine) evalBody(body, env obj.Value) (obj.Value, error) {
+	h := m.H
+	base := len(m.stack)
+	defer func() { m.stack = m.stack[:base] }()
+	bS := m.slot(body)
+	envS := m.slot(env)
+	result := m.slot(obj.Void)
+	for m.get(bS).IsPair() {
+		v, err := m.Eval(h.Car(m.get(bS)), m.get(envS))
+		if err != nil {
+			return obj.Void, err
+		}
+		m.set(result, v)
+		m.set(bS, h.Cdr(m.get(bS)))
+	}
+	return m.get(result), nil
+}
+
+// EvalString reads and evaluates every form in src, returning the last
+// value. The returned value is valid until the next collection; root
+// it if it must live longer. Panics from malformed programs reaching
+// heap accessors (for example taking the car of a non-pair deep inside
+// a special form) are converted to errors at this boundary.
+func (m *Machine) EvalString(src string) (v obj.Value, err error) {
+	stackBase, depthBase := len(m.stack), m.depth
+	defer func() {
+		if r := recover(); r != nil {
+			m.stack = m.stack[:stackBase]
+			m.depth = depthBase
+			v, err = obj.Void, fmt.Errorf("scheme: %v", r)
+		}
+	}()
+	return m.evalString(src)
+}
+
+func (m *Machine) evalString(src string) (obj.Value, error) {
+	forms, err := m.ReadAll(src)
+	if err != nil {
+		return obj.Void, err
+	}
+	base := len(m.stack)
+	defer func() { m.stack = m.stack[:base] }()
+	m.stack = append(m.stack, forms...)
+	resS := m.slot(obj.Void)
+	for i := range forms {
+		v, err := m.Eval(m.stack[base+i], obj.Nil)
+		if err != nil {
+			return obj.Void, err
+		}
+		m.set(resS, v)
+	}
+	return m.get(resS), nil
+}
+
+// MustEval evaluates src and panics on error (test helper).
+func (m *Machine) MustEval(src string) obj.Value {
+	v, err := m.EvalString(src)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Gensym returns a fresh uninterned-looking (but interned, uniquely
+// named) symbol.
+func (m *Machine) Gensym() obj.Value {
+	m.gensymN++
+	return m.Intern(fmt.Sprintf("g%d%%", m.gensymN))
+}

@@ -1,0 +1,27 @@
+package scheme
+
+// optimize performs peephole optimization on compiled code. The only
+// transformation is jump threading: a jump (conditional or not) whose
+// target is itself an unconditional jump is retargeted at the final
+// destination. Nested ifs and desugared cond/case chains produce such
+// jump-to-jump sequences. Instructions are never inserted or removed,
+// so no target remapping is needed.
+func optimize(code *Code) {
+	final := func(target int) int {
+		seen := 0
+		for target < len(code.Instrs) && code.Instrs[target].Op == OpJump {
+			target = code.Instrs[target].A
+			seen++
+			if seen > len(code.Instrs) { // jump cycle: leave as-is
+				return target
+			}
+		}
+		return target
+	}
+	for i := range code.Instrs {
+		switch code.Instrs[i].Op {
+		case OpJump, OpJumpIfFalse:
+			code.Instrs[i].A = final(code.Instrs[i].A)
+		}
+	}
+}

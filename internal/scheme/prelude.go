@@ -1,0 +1,266 @@
+package scheme
+
+// prelude is evaluated when a Machine is created. The guardian
+// section is the paper's code, verbatim up to bracket style:
+// make-guardian (§4's packaging of the tconc structure, using
+// case-lambda), make-transport-guardian (§3), make-guarded-hash-table
+// (Figure 1), and the guarded file-open operations (§3).
+const prelude = `
+;; ---- list utilities --------------------------------------------------
+
+(define (caar p) (car (car p)))
+(define (cadr p) (car (cdr p)))
+(define (cdar p) (cdr (car p)))
+(define (cddr p) (cdr (cdr p)))
+(define (caddr p) (car (cdr (cdr p))))
+(define (cadddr p) (car (cdr (cdr (cdr p)))))
+
+(define (list-tail ls n)
+  (if (zero? n) ls (list-tail (cdr ls) (- n 1))))
+
+(define (map f ls . more)
+  (if (null? more)
+      (let loop ([ls ls])
+        (if (null? ls)
+            '()
+            (cons (f (car ls)) (loop (cdr ls)))))
+      (let loop ([ls ls] [ls2 (car more)])
+        (if (or (null? ls) (null? ls2))
+            '()
+            (cons (f (car ls) (car ls2))
+                  (loop (cdr ls) (cdr ls2)))))))
+
+(define (for-each f ls . more)
+  (if (null? more)
+      (let loop ([ls ls])
+        (unless (null? ls)
+          (f (car ls))
+          (loop (cdr ls))))
+      (let loop ([ls ls] [ls2 (car more)])
+        (unless (or (null? ls) (null? ls2))
+          (f (car ls) (car ls2))
+          (loop (cdr ls) (cdr ls2))))))
+
+(define (member x ls)
+  (cond [(null? ls) #f]
+        [(equal? x (car ls)) ls]
+        [else (member x (cdr ls))]))
+
+(define (assoc x ls)
+  (cond [(null? ls) #f]
+        [(equal? x (caar ls)) (car ls)]
+        [else (assoc x (cdr ls))]))
+
+(define (filter pred ls)
+  (cond [(null? ls) '()]
+        [(pred (car ls)) (cons (car ls) (filter pred (cdr ls)))]
+        [else (filter pred (cdr ls))]))
+
+(define (iota n)
+  (let loop ([i (- n 1)] [acc '()])
+    (if (negative? i) acc (loop (- i 1) (cons i acc)))))
+
+(define (memv x ls)
+  (cond [(null? ls) #f]
+        [(eqv? x (car ls)) ls]
+        [else (memv x (cdr ls))]))
+
+(define (assv x ls)
+  (cond [(null? ls) #f]
+        [(eqv? x (caar ls)) (car ls)]
+        [else (assv x (cdr ls))]))
+
+(define (last-pair ls)
+  (if (pair? (cdr ls)) (last-pair (cdr ls)) ls))
+
+(define (list-copy ls)
+  (if (pair? ls) (cons (car ls) (list-copy (cdr ls))) ls))
+
+(define (fold-left f acc ls)
+  (if (null? ls) acc (fold-left f (f acc (car ls)) (cdr ls))))
+
+(define (fold-right f acc ls)
+  (if (null? ls) acc (f (car ls) (fold-right f acc (cdr ls)))))
+
+(define (vector-map f v)
+  (let ([out (make-vector (vector-length v) #f)])
+    (do ([i 0 (+ i 1)]) ((= i (vector-length v)) out)
+      (vector-set! out i (f (vector-ref v i))))))
+
+(define (vector-for-each f v)
+  (do ([i 0 (+ i 1)]) ((= i (vector-length v)))
+    (f (vector-ref v i))))
+
+(define (string->list s)
+  (let loop ([i (- (string-length s) 1)] [acc '()])
+    (if (negative? i) acc (loop (- i 1) (cons (string-ref s i) acc)))))
+
+(define (list->string ls)
+  (fold-left (lambda (acc c) (string-append acc (string c))) "" ls))
+
+(define (string . chars)
+  (fold-left (lambda (acc c)
+               (string-append acc (char->string c)))
+             "" chars))
+
+;; Stable merge sort.
+(define (sort less? ls)
+  (define (merge a b)
+    (cond [(null? a) b]
+          [(null? b) a]
+          [(less? (car b) (car a)) (cons (car b) (merge a (cdr b)))]
+          [else (cons (car a) (merge (cdr a) b))]))
+  (define (split ls)
+    (if (or (null? ls) (null? (cdr ls)))
+        (cons ls '())
+        (let ([rest (split (cddr ls))])
+          (cons (cons (car ls) (car rest))
+                (cons (cadr ls) (cdr rest))))))
+  (if (or (null? ls) (null? (cdr ls)))
+      ls
+      (let ([halves (split ls)])
+        (merge (sort less? (car halves)) (sort less? (cdr halves))))))
+
+(define (list-index pred ls)
+  (let loop ([ls ls] [i 0])
+    (cond [(null? ls) #f]
+          [(pred (car ls)) i]
+          [else (loop (cdr ls) (+ i 1))])))
+
+(define (boolean=? a b) (eq? a b))
+
+;; ---- guardians (the paper, section 4) ---------------------------------
+;;
+;; A guardian is a procedure closed over a tconc: invoked with no
+;; arguments it removes and returns the first inaccessible object (or
+;; #f); invoked with an object it registers the object for
+;; preservation via the low-level install-guardian interface.
+
+(define make-guardian
+  (lambda ()
+    (let ([tc (let ([x (cons #f '())]) (cons x x))])
+      (case-lambda
+        [() (and (not (eq? (car tc) (cdr tc)))
+                 (let ([x (car tc)])
+                   (let ([y (car x)])
+                     (set-car! tc (cdr x))
+                     (set-car! x #f)
+                     (set-cdr! x #f)
+                     y)))]
+        [(obj) (install-guardian (cons obj tc))]))))
+
+;; The section 5 generalization: registering with an explicit
+;; representative; the representative, not the object, is returned.
+
+(define make-guardian/rep
+  (lambda ()
+    (let ([tc (let ([x (cons #f '())]) (cons x x))])
+      (case-lambda
+        [() (and (not (eq? (car tc) (cdr tc)))
+                 (let ([x (car tc)])
+                   (let ([y (car x)])
+                     (set-car! tc (cdr x))
+                     (set-car! x #f)
+                     (set-cdr! x #f)
+                     y)))]
+        [(obj rep) (install-guardian-rep (cons obj (cons rep tc)))]))))
+
+;; ---- transport guardians (the paper, section 3) ------------------------
+;;
+;; A conservative transport guardian returns all objects that have
+;; moved (and possibly some that have not). A fresh marker — a weak
+;; pair holding the object — is guaranteed to be no older than the
+;; object; it is returned by the guardian after any collection it was
+;; subjected to. Re-registering the same marker makes it age along
+;; with the object.
+
+(define make-transport-guardian
+  (lambda ()
+    (let ([g (make-guardian)])
+      (case-lambda
+        [(x) (g (weak-cons x '*))]
+        [() (let loop ([m (g)])
+              (and m (if (car m)
+                         (begin (g m) (car m))
+                         (loop (g)))))]))))
+
+;; ---- guarded hash tables (the paper, figure 1) --------------------------
+;;
+;; make-guarded-hash-table accepts a hash procedure and a table size
+;; and returns a hash-table access procedure. The access procedure
+;; accepts a key and a value; if the key is already present the
+;; existing value is returned, otherwise the key is added with the
+;; value provided. Sometime after a key becomes inaccessible it is
+;; returned by the guardian g and the corresponding key/value pair is
+;; removed from the table. Deleting the guardian-related expressions
+;; yields the unguarded version.
+
+(define make-guarded-hash-table
+  (lambda (hash size)
+    (let ([g (make-guardian)]
+          [v (make-vector size '())])
+      (lambda (key value)
+        (let cleanup ([z (g)])
+          (when z
+            (let ([h (hash z size)])
+              (let ([bucket (vector-ref v h)])
+                (vector-set! v h (remq (assq z bucket) bucket))))
+            (cleanup (g))))
+        (let ([h (hash key size)])
+          (let ([bucket (vector-ref v h)])
+            (let ([a (assq key bucket)])
+              (if a
+                  (cdr a)
+                  (let ([a (weak-cons key value)])
+                    (vector-set! v h (cons a bucket))
+                    value)))))))))
+
+(define make-unguarded-hash-table
+  (lambda (hash size)
+    (let ([v (make-vector size '())])
+      (lambda (key value)
+        (let ([h (hash key size)])
+          (let ([bucket (vector-ref v h)])
+            (let ([a (assq key bucket)])
+              (if a
+                  (cdr a)
+                  (let ([a (cons key value)])
+                    (vector-set! v h (cons a bucket))
+                    value)))))))))
+
+;; ---- guarded ports (the paper, section 3) -------------------------------
+
+(define port-guardian (make-guardian))
+
+(define close-dropped-ports
+  (lambda ()
+    (let ([p (port-guardian)])
+      (if p
+          (begin
+            (when (port-open? p)
+              (if (output-port? p)
+                  (begin
+                    (flush-output-port p)
+                    (close-output-port p))
+                  (close-input-port p)))
+            (close-dropped-ports))))))
+
+(define guarded-open-input-file
+  (lambda (pathname)
+    (close-dropped-ports)
+    (let ([p (open-input-file pathname)])
+      (port-guardian p)
+      p)))
+
+(define guarded-open-output-file
+  (lambda (pathname)
+    (close-dropped-ports)
+    (let ([p (open-output-file pathname)])
+      (port-guardian p)
+      p)))
+
+(define guarded-exit
+  (lambda ()
+    (close-dropped-ports)
+    (exit)))
+`

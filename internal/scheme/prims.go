@@ -1,0 +1,956 @@
+package scheme
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/heap"
+	"repro/internal/obj"
+)
+
+// installPrims registers every primitive procedure as the global value
+// of its name.
+func (m *Machine) installPrims() {
+	def := func(name string, min, max int, fn func(*Machine, Args) (obj.Value, error)) {
+		idx := len(m.prims)
+		m.prims = append(m.prims, prim{name: name, min: min, max: max, fn: fn})
+		symS := m.slot(m.Intern(name))
+		p := m.H.MakePrimitive(idx, m.get(symS))
+		m.H.SetSymbolValue(m.get(symS), p)
+		m.stack = m.stack[:len(m.stack)-1]
+	}
+
+	h := m.H
+
+	// --- Pairs and lists -------------------------------------------------
+	def("cons", 2, 2, func(m *Machine, a Args) (obj.Value, error) {
+		return h.Cons(a.Get(0), a.Get(1)), nil
+	})
+	def("car", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		if !a.Get(0).IsPair() {
+			return obj.Void, m.errf(a.Get(0), "car: not a pair")
+		}
+		return h.Car(a.Get(0)), nil
+	})
+	def("cdr", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		if !a.Get(0).IsPair() {
+			return obj.Void, m.errf(a.Get(0), "cdr: not a pair")
+		}
+		return h.Cdr(a.Get(0)), nil
+	})
+	def("set-car!", 2, 2, func(m *Machine, a Args) (obj.Value, error) {
+		if !a.Get(0).IsPair() {
+			return obj.Void, m.errf(a.Get(0), "set-car!: not a pair")
+		}
+		h.SetCar(a.Get(0), a.Get(1))
+		return obj.Void, nil
+	})
+	def("set-cdr!", 2, 2, func(m *Machine, a Args) (obj.Value, error) {
+		if !a.Get(0).IsPair() {
+			return obj.Void, m.errf(a.Get(0), "set-cdr!: not a pair")
+		}
+		h.SetCdr(a.Get(0), a.Get(1))
+		return obj.Void, nil
+	})
+	def("pair?", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		return obj.FromBool(a.Get(0).IsPair()), nil
+	})
+	def("null?", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		return obj.FromBool(a.Get(0) == obj.Nil), nil
+	})
+	def("list", 0, -1, func(m *Machine, a Args) (obj.Value, error) {
+		out := m.slot(obj.Nil)
+		for i := a.Len() - 1; i >= 0; i-- {
+			m.set(out, h.Cons(a.Get(i), m.get(out)))
+		}
+		v := m.get(out)
+		m.stack = m.stack[:len(m.stack)-1]
+		return v, nil
+	})
+	def("length", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		n := h.ListLength(a.Get(0))
+		if n < 0 {
+			return obj.Void, m.errf(a.Get(0), "length: not a proper list")
+		}
+		return obj.FromFixnum(int64(n)), nil
+	})
+	def("list?", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		return obj.FromBool(h.ListLength(a.Get(0)) >= 0), nil
+	})
+	def("append", 0, -1, func(m *Machine, a Args) (obj.Value, error) {
+		if a.Len() == 0 {
+			return obj.Nil, nil
+		}
+		outS := m.slot(a.Get(a.Len() - 1))
+		for i := a.Len() - 2; i >= 0; i-- {
+			aS := m.slot(a.Get(i))
+			v, err := m.appendLists(aS, outS)
+			if err != nil {
+				return obj.Void, err
+			}
+			m.stack = m.stack[:len(m.stack)-1]
+			m.set(outS, v)
+		}
+		v := m.get(outS)
+		m.stack = m.stack[:len(m.stack)-1]
+		return v, nil
+	})
+	def("reverse", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		outS := m.slot(obj.Nil)
+		pS := m.slot(a.Get(0))
+		for m.get(pS).IsPair() {
+			m.set(outS, h.Cons(h.Car(m.get(pS)), m.get(outS)))
+			m.set(pS, h.Cdr(m.get(pS)))
+		}
+		v := m.get(outS)
+		m.stack = m.stack[:len(m.stack)-2]
+		return v, nil
+	})
+	def("memq", 2, 2, func(m *Machine, a Args) (obj.Value, error) {
+		for p := a.Get(1); p.IsPair(); p = h.Cdr(p) {
+			if h.Car(p) == a.Get(0) {
+				return p, nil
+			}
+		}
+		return obj.False, nil
+	})
+	def("assq", 2, 2, func(m *Machine, a Args) (obj.Value, error) {
+		for p := a.Get(1); p.IsPair(); p = h.Cdr(p) {
+			e := h.Car(p)
+			if e.IsPair() && h.Car(e) == a.Get(0) {
+				return e, nil
+			}
+		}
+		return obj.False, nil
+	})
+	def("remq", 2, 2, func(m *Machine, a Args) (obj.Value, error) {
+		// Copy the list, dropping elements eq to the first argument.
+		outBase := len(m.stack)
+		for p := m.slot(a.Get(1)); m.get(p).IsPair(); m.set(p, h.Cdr(m.get(p))) {
+			if c := h.Car(m.get(p)); c != a.Get(0) {
+				m.stack = append(m.stack, c)
+			}
+		}
+		outS := m.slot(obj.Nil)
+		for i := len(m.stack) - 2; i >= outBase+1; i-- {
+			m.set(outS, h.Cons(m.stack[i], m.get(outS)))
+		}
+		v := m.get(outS)
+		m.stack = m.stack[:outBase]
+		return v, nil
+	})
+	def("list-ref", 2, 2, func(m *Machine, a Args) (obj.Value, error) {
+		p := a.Get(0)
+		for i := a.Get(1).FixnumValue(); i > 0; i-- {
+			if !p.IsPair() {
+				return obj.Void, m.errf(a.Get(0), "list-ref: index out of range")
+			}
+			p = h.Cdr(p)
+		}
+		if !p.IsPair() {
+			return obj.Void, m.errf(a.Get(0), "list-ref: index out of range")
+		}
+		return h.Car(p), nil
+	})
+
+	// --- Identity and equality --------------------------------------------
+	def("eq?", 2, 2, func(m *Machine, a Args) (obj.Value, error) {
+		return obj.FromBool(a.Get(0) == a.Get(1)), nil
+	})
+	def("eqv?", 2, 2, func(m *Machine, a Args) (obj.Value, error) {
+		return obj.FromBool(h.Eqv(a.Get(0), a.Get(1))), nil
+	})
+	def("equal?", 2, 2, func(m *Machine, a Args) (obj.Value, error) {
+		return obj.FromBool(m.equalValues(a.Get(0), a.Get(1), 1000)), nil
+	})
+	def("not", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		return obj.FromBool(a.Get(0) == obj.False), nil
+	})
+
+	// --- Type predicates -----------------------------------------------------
+	def("symbol?", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		return obj.FromBool(m.isSymbol(a.Get(0))), nil
+	})
+	def("string?", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		return obj.FromBool(h.IsKind(a.Get(0), obj.KString)), nil
+	})
+	def("vector?", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		return obj.FromBool(h.IsKind(a.Get(0), obj.KVector)), nil
+	})
+	def("procedure?", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		return obj.FromBool(m.isApplicable(a.Get(0))), nil
+	})
+	def("boolean?", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		return obj.FromBool(a.Get(0).IsBool()), nil
+	})
+	def("char?", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		return obj.FromBool(a.Get(0).IsChar()), nil
+	})
+	def("number?", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		return obj.FromBool(a.Get(0).IsFixnum() || h.IsKind(a.Get(0), obj.KFlonum)), nil
+	})
+	def("integer?", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		return obj.FromBool(a.Get(0).IsFixnum()), nil
+	})
+	def("eof-object?", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		return obj.FromBool(a.Get(0) == obj.EOF), nil
+	})
+	def("weak-pair?", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		return obj.FromBool(h.IsWeakPair(a.Get(0))), nil
+	})
+	def("box?", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		return obj.FromBool(h.IsKind(a.Get(0), obj.KBox)), nil
+	})
+
+	// --- Arithmetic -------------------------------------------------------------
+	def("+", 0, -1, m.arithPrim(0, func(x, y int64) int64 { return x + y },
+		func(x, y float64) float64 { return x + y }))
+	def("*", 0, -1, m.arithPrim(1, func(x, y int64) int64 { return x * y },
+		func(x, y float64) float64 { return x * y }))
+	def("-", 1, -1, m.arithSubPrim(func(x, y int64) int64 { return x - y },
+		func(x, y float64) float64 { return x - y }, 0))
+	def("/", 1, -1, func(m *Machine, a Args) (obj.Value, error) {
+		// Division always yields a flonum unless exact and evenly divisible.
+		x, err := m.numAsFloat(a.Get(0))
+		if err != nil {
+			return obj.Void, err
+		}
+		if a.Len() == 1 {
+			if x == 0 {
+				return obj.Void, fmt.Errorf("scheme: /: division by zero")
+			}
+			return h.MakeFlonum(1 / x), nil
+		}
+		allExact := a.Get(0).IsFixnum()
+		acc := x
+		iacc := a.Get(0).FixnumValue()
+		exactOK := allExact
+		for i := 1; i < a.Len(); i++ {
+			y, err := m.numAsFloat(a.Get(i))
+			if err != nil {
+				return obj.Void, err
+			}
+			if y == 0 {
+				return obj.Void, fmt.Errorf("scheme: /: division by zero")
+			}
+			acc /= y
+			if exactOK && a.Get(i).IsFixnum() && iacc%a.Get(i).FixnumValue() == 0 {
+				iacc /= a.Get(i).FixnumValue()
+			} else {
+				exactOK = false
+			}
+		}
+		if exactOK {
+			return obj.FromFixnum(iacc), nil
+		}
+		return h.MakeFlonum(acc), nil
+	})
+	def("quotient", 2, 2, m.intBinPrim("quotient", func(x, y int64) (int64, error) {
+		if y == 0 {
+			return 0, fmt.Errorf("scheme: quotient: division by zero")
+		}
+		return x / y, nil
+	}))
+	def("remainder", 2, 2, m.intBinPrim("remainder", func(x, y int64) (int64, error) {
+		if y == 0 {
+			return 0, fmt.Errorf("scheme: remainder: division by zero")
+		}
+		return x % y, nil
+	}))
+	def("modulo", 2, 2, m.intBinPrim("modulo", func(x, y int64) (int64, error) {
+		if y == 0 {
+			return 0, fmt.Errorf("scheme: modulo: division by zero")
+		}
+		r := x % y
+		if r != 0 && (r < 0) != (y < 0) {
+			r += y
+		}
+		return r, nil
+	}))
+	def("=", 2, -1, m.cmpPrim(func(x, y float64) bool { return x == y }))
+	def("<", 2, -1, m.cmpPrim(func(x, y float64) bool { return x < y }))
+	def(">", 2, -1, m.cmpPrim(func(x, y float64) bool { return x > y }))
+	def("<=", 2, -1, m.cmpPrim(func(x, y float64) bool { return x <= y }))
+	def(">=", 2, -1, m.cmpPrim(func(x, y float64) bool { return x >= y }))
+	def("zero?", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		x, err := m.numAsFloat(a.Get(0))
+		return obj.FromBool(x == 0), err
+	})
+	def("positive?", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		x, err := m.numAsFloat(a.Get(0))
+		return obj.FromBool(x > 0), err
+	})
+	def("negative?", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		x, err := m.numAsFloat(a.Get(0))
+		return obj.FromBool(x < 0), err
+	})
+	def("even?", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		return obj.FromBool(a.Get(0).FixnumValue()%2 == 0), nil
+	})
+	def("odd?", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		return obj.FromBool(a.Get(0).FixnumValue()%2 != 0), nil
+	})
+	def("abs", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		if a.Get(0).IsFixnum() {
+			n := a.Get(0).FixnumValue()
+			if n < 0 {
+				n = -n
+			}
+			return obj.FromFixnum(n), nil
+		}
+		f, err := m.numAsFloat(a.Get(0))
+		if err != nil {
+			return obj.Void, err
+		}
+		if f < 0 {
+			f = -f
+		}
+		return h.MakeFlonum(f), nil
+	})
+	def("min", 1, -1, m.minmaxPrim(func(x, y float64) bool { return x < y }))
+	def("max", 1, -1, m.minmaxPrim(func(x, y float64) bool { return x > y }))
+
+	// --- Characters ------------------------------------------------------------
+	def("char->integer", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		return obj.FromFixnum(int64(a.Get(0).CharValue())), nil
+	})
+	def("integer->char", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		return obj.FromChar(rune(a.Get(0).FixnumValue())), nil
+	})
+	def("char=?", 2, 2, func(m *Machine, a Args) (obj.Value, error) {
+		return obj.FromBool(a.Get(0) == a.Get(1)), nil
+	})
+
+	// --- Strings ----------------------------------------------------------------
+	def("string-length", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		return obj.FromFixnum(int64(h.StringLength(a.Get(0)))), nil
+	})
+	def("string-ref", 2, 2, func(m *Machine, a Args) (obj.Value, error) {
+		s := h.StringValue(a.Get(0))
+		i := int(a.Get(1).FixnumValue())
+		if i < 0 || i >= len(s) {
+			return obj.Void, fmt.Errorf("scheme: string-ref: index out of range")
+		}
+		return obj.FromChar(rune(s[i])), nil
+	})
+	def("string-append", 0, -1, func(m *Machine, a Args) (obj.Value, error) {
+		out := ""
+		for i := 0; i < a.Len(); i++ {
+			out += h.StringValue(a.Get(i))
+		}
+		return h.MakeString(out), nil
+	})
+	def("substring", 3, 3, func(m *Machine, a Args) (obj.Value, error) {
+		s := h.StringValue(a.Get(0))
+		i, j := int(a.Get(1).FixnumValue()), int(a.Get(2).FixnumValue())
+		if i < 0 || j > len(s) || i > j {
+			return obj.Void, fmt.Errorf("scheme: substring: bad range [%d,%d)", i, j)
+		}
+		return h.MakeString(s[i:j]), nil
+	})
+	def("string=?", 2, 2, func(m *Machine, a Args) (obj.Value, error) {
+		return obj.FromBool(h.StringValue(a.Get(0)) == h.StringValue(a.Get(1))), nil
+	})
+	def("symbol->string", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		return h.MakeString(h.SymbolString(a.Get(0))), nil
+	})
+	def("string->symbol", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		return m.Intern(h.StringValue(a.Get(0))), nil
+	})
+	def("number->string", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		return h.MakeString(m.DisplayString(a.Get(0))), nil
+	})
+	def("string->number", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		s := h.StringValue(a.Get(0))
+		if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+			return obj.FromFixnum(n), nil
+		}
+		if f, err := strconv.ParseFloat(s, 64); err == nil {
+			return h.MakeFlonum(f), nil
+		}
+		return obj.False, nil
+	})
+	def("gensym", 0, 0, func(m *Machine, a Args) (obj.Value, error) {
+		return m.Gensym(), nil
+	})
+	def("char->string", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		if !a.Get(0).IsChar() {
+			return obj.Void, m.errf(a.Get(0), "char->string: not a character")
+		}
+		return h.MakeString(string(a.Get(0).CharValue())), nil
+	})
+	def("char-upcase", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		r := a.Get(0).CharValue()
+		if r >= 'a' && r <= 'z' {
+			r -= 32
+		}
+		return obj.FromChar(r), nil
+	})
+	def("char-downcase", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		r := a.Get(0).CharValue()
+		if r >= 'A' && r <= 'Z' {
+			r += 32
+		}
+		return obj.FromChar(r), nil
+	})
+	def("char<?", 2, 2, func(m *Machine, a Args) (obj.Value, error) {
+		return obj.FromBool(a.Get(0).CharValue() < a.Get(1).CharValue()), nil
+	})
+	def("string<?", 2, 2, func(m *Machine, a Args) (obj.Value, error) {
+		return obj.FromBool(h.StringValue(a.Get(0)) < h.StringValue(a.Get(1))), nil
+	})
+	def("string-copy", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		return h.MakeString(h.StringValue(a.Get(0))), nil
+	})
+	def("exact?", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		return obj.FromBool(a.Get(0).IsFixnum()), nil
+	})
+	def("inexact?", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		return obj.FromBool(h.IsKind(a.Get(0), obj.KFlonum)), nil
+	})
+	def("exact->inexact", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		f, err := m.numAsFloat(a.Get(0))
+		if err != nil {
+			return obj.Void, err
+		}
+		return h.MakeFlonum(f), nil
+	})
+	def("inexact->exact", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		if a.Get(0).IsFixnum() {
+			return a.Get(0), nil
+		}
+		f, err := m.numAsFloat(a.Get(0))
+		if err != nil {
+			return obj.Void, err
+		}
+		return obj.FromFixnum(int64(f)), nil
+	})
+	def("expt", 2, 2, func(m *Machine, a Args) (obj.Value, error) {
+		if !a.Get(0).IsFixnum() || !a.Get(1).IsFixnum() || a.Get(1).FixnumValue() < 0 {
+			return obj.Void, fmt.Errorf("scheme: expt: expected non-negative fixnum exponent")
+		}
+		base, exp := a.Get(0).FixnumValue(), a.Get(1).FixnumValue()
+		out := int64(1)
+		for ; exp > 0; exp-- {
+			out *= base
+		}
+		return obj.FromFixnum(out), nil
+	})
+
+	// --- Vectors -------------------------------------------------------------------
+	def("make-vector", 1, 2, func(m *Machine, a Args) (obj.Value, error) {
+		fill := obj.Value(obj.False)
+		if a.Len() == 2 {
+			fill = a.Get(1)
+		}
+		n := a.Get(0).FixnumValue()
+		if n < 0 {
+			return obj.Void, fmt.Errorf("scheme: make-vector: negative length")
+		}
+		return h.MakeVector(int(n), fill), nil
+	})
+	def("vector", 0, -1, func(m *Machine, a Args) (obj.Value, error) {
+		vS := m.slot(h.MakeVector(a.Len(), obj.False))
+		for i := 0; i < a.Len(); i++ {
+			h.VectorSet(m.get(vS), i, a.Get(i))
+		}
+		v := m.get(vS)
+		m.stack = m.stack[:len(m.stack)-1]
+		return v, nil
+	})
+	def("vector-ref", 2, 2, func(m *Machine, a Args) (obj.Value, error) {
+		i := int(a.Get(1).FixnumValue())
+		if !h.IsKind(a.Get(0), obj.KVector) || i < 0 || i >= h.VectorLength(a.Get(0)) {
+			return obj.Void, m.errf(a.Get(0), "vector-ref: bad vector or index %d", i)
+		}
+		return h.VectorRef(a.Get(0), i), nil
+	})
+	def("vector-set!", 3, 3, func(m *Machine, a Args) (obj.Value, error) {
+		i := int(a.Get(1).FixnumValue())
+		if !h.IsKind(a.Get(0), obj.KVector) || i < 0 || i >= h.VectorLength(a.Get(0)) {
+			return obj.Void, m.errf(a.Get(0), "vector-set!: bad vector or index %d", i)
+		}
+		h.VectorSet(a.Get(0), i, a.Get(2))
+		return obj.Void, nil
+	})
+	def("vector-length", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		return obj.FromFixnum(int64(h.VectorLength(a.Get(0)))), nil
+	})
+	def("vector-fill!", 2, 2, func(m *Machine, a Args) (obj.Value, error) {
+		for i, n := 0, h.VectorLength(a.Get(0)); i < n; i++ {
+			h.VectorSet(a.Get(0), i, a.Get(1))
+		}
+		return obj.Void, nil
+	})
+	def("vector->list", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		outS := m.slot(obj.Nil)
+		for i := h.VectorLength(a.Get(0)) - 1; i >= 0; i-- {
+			m.set(outS, h.Cons(h.VectorRef(a.Get(0), i), m.get(outS)))
+		}
+		v := m.get(outS)
+		m.stack = m.stack[:len(m.stack)-1]
+		return v, nil
+	})
+	def("list->vector", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		n := h.ListLength(a.Get(0))
+		if n < 0 {
+			return obj.Void, m.errf(a.Get(0), "list->vector: not a proper list")
+		}
+		vS := m.slot(h.MakeVector(n, obj.False))
+		p := a.Get(0)
+		for i := 0; i < n; i++ {
+			h.VectorSet(m.get(vS), i, h.Car(p))
+			p = h.Cdr(p)
+		}
+		v := m.get(vS)
+		m.stack = m.stack[:len(m.stack)-1]
+		return v, nil
+	})
+
+	// --- Boxes ---------------------------------------------------------------------
+	def("box", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		return h.MakeBox(a.Get(0)), nil
+	})
+	def("unbox", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		return h.Unbox(a.Get(0)), nil
+	})
+	def("set-box!", 2, 2, func(m *Machine, a Args) (obj.Value, error) {
+		h.SetBox(a.Get(0), a.Get(1))
+		return obj.Void, nil
+	})
+
+	// --- Control ---------------------------------------------------------------------
+	def("apply", 2, -1, func(m *Machine, a Args) (obj.Value, error) {
+		// (apply f a b ... rest-list)
+		var args []obj.Value
+		for i := 1; i < a.Len()-1; i++ {
+			args = append(args, a.Get(i))
+		}
+		last := a.Get(a.Len() - 1)
+		for p := last; p.IsPair(); p = h.Cdr(p) {
+			args = append(args, h.Car(p))
+		}
+		return m.Apply(a.Get(0), args)
+	})
+	def("error", 1, -1, func(m *Machine, a Args) (obj.Value, error) {
+		msg := m.DisplayString(a.Get(0))
+		for i := 1; i < a.Len(); i++ {
+			msg += " " + m.WriteString(a.Get(i))
+		}
+		return obj.Void, fmt.Errorf("scheme: error: %s", msg)
+	})
+	def("void", 0, -1, func(m *Machine, a Args) (obj.Value, error) {
+		return obj.Void, nil
+	})
+	def("exit", 0, 1, func(m *Machine, a Args) (obj.Value, error) {
+		code := 0
+		if a.Len() == 1 && a.Get(0).IsFixnum() {
+			code = int(a.Get(0).FixnumValue())
+		}
+		return obj.Void, &ExitError{Code: code}
+	})
+	def("disassemble", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		fn := a.Get(0)
+		if !m.isCompiledClosure(fn) {
+			return obj.Void, m.errf(fn, "disassemble: not a compiled procedure")
+		}
+		idx := int(h.RecordRef(fn, 0).FixnumValue())
+		return h.MakeString(m.Disassemble(m.codes[idx])), nil
+	})
+	def("call-with-current-continuation", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		return m.callCC(a.Get(0))
+	})
+	def("call/cc", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		return m.callCC(a.Get(0))
+	})
+	def("dynamic-wind", 3, 3, func(m *Machine, a Args) (obj.Value, error) {
+		return m.dynamicWind(a.Get(0), a.Get(1), a.Get(2))
+	})
+
+	// --- Output --------------------------------------------------------------------------
+	def("display", 1, 2, func(m *Machine, a Args) (obj.Value, error) {
+		return m.outputPrim(a, false)
+	})
+	def("write", 1, 2, func(m *Machine, a Args) (obj.Value, error) {
+		return m.outputPrim(a, true)
+	})
+	def("newline", 0, 1, func(m *Machine, a Args) (obj.Value, error) {
+		if a.Len() == 1 {
+			return obj.Void, m.PM.WriteChar(a.Get(0), '\n')
+		}
+		fmt.Fprintln(m.Out)
+		return obj.Void, nil
+	})
+
+	// --- Ports (the paper's motivating subsystem) ----------------------------------------
+	def("open-input-file", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		return m.PM.OpenInput(h.StringValue(a.Get(0)))
+	})
+	def("open-output-file", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		return m.PM.OpenOutput(h.StringValue(a.Get(0)))
+	})
+	def("close-input-port", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		return obj.Void, m.PM.Close(a.Get(0))
+	})
+	def("close-output-port", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		return obj.Void, m.PM.Close(a.Get(0))
+	})
+	def("flush-output-port", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		return obj.Void, m.PM.Flush(a.Get(0))
+	})
+	def("read-char", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		return m.PM.ReadChar(a.Get(0))
+	})
+	def("write-char", 2, 2, func(m *Machine, a Args) (obj.Value, error) {
+		return obj.Void, m.PM.WriteChar(a.Get(1), byte(a.Get(0).CharValue()))
+	})
+	def("port?", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		return obj.FromBool(h.IsKind(a.Get(0), obj.KPort)), nil
+	})
+	def("input-port?", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		return obj.FromBool(h.IsKind(a.Get(0), obj.KPort) && m.PM.IsInput(a.Get(0))), nil
+	})
+	def("output-port?", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		return obj.FromBool(h.IsKind(a.Get(0), obj.KPort) && m.PM.IsOutput(a.Get(0))), nil
+	})
+	def("port-open?", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		return obj.FromBool(m.PM.IsOpen(a.Get(0))), nil
+	})
+	def("file-exists?", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		return obj.FromBool(m.PM.FS().Exists(h.StringValue(a.Get(0)))), nil
+	})
+	def("file-contents", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		b, ok := m.PM.FS().ReadFile(h.StringValue(a.Get(0)))
+		if !ok {
+			return obj.False, nil
+		}
+		return h.MakeString(string(b)), nil
+	})
+	def("make-file", 2, 2, func(m *Machine, a Args) (obj.Value, error) {
+		m.PM.FS().WriteFile(h.StringValue(a.Get(0)), []byte(h.StringValue(a.Get(1))))
+		return obj.Void, nil
+	})
+	def("open-input-string", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		return m.PM.OpenInputString(h.StringValue(a.Get(0)))
+	})
+	def("open-output-string", 0, 0, func(m *Machine, a Args) (obj.Value, error) {
+		return m.PM.OpenOutputString()
+	})
+	def("get-output-string", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		s, err := m.PM.OutputString(a.Get(0))
+		if err != nil {
+			return obj.Void, err
+		}
+		return h.MakeString(s), nil
+	})
+	def("string-port?", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		return obj.FromBool(h.IsKind(a.Get(0), obj.KPort) && m.PM.IsStringPort(a.Get(0))), nil
+	})
+	def("read-line", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		var line []byte
+		for {
+			c, err := m.PM.ReadChar(a.Get(0))
+			if err != nil {
+				return obj.Void, err
+			}
+			if c == obj.EOF {
+				if len(line) == 0 {
+					return obj.EOF, nil
+				}
+				break
+			}
+			if c.CharValue() == '\n' {
+				break
+			}
+			line = append(line, byte(c.CharValue()))
+		}
+		return h.MakeString(string(line)), nil
+	})
+
+	// --- Weak pairs and the guardian substrate (§3, §4) -----------------------------------
+	def("weak-cons", 2, 2, func(m *Machine, a Args) (obj.Value, error) {
+		return h.WeakCons(a.Get(0), a.Get(1)), nil
+	})
+	def("install-guardian", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		// The low-level interface of §4: the argument is a pair of the
+		// object and the guardian's tconc.
+		p := a.Get(0)
+		if !p.IsPair() || !h.Cdr(p).IsPair() {
+			return obj.Void, m.errf(p, "install-guardian: expected (obj . tconc)")
+		}
+		h.InstallGuardian(h.Car(p), h.Cdr(p))
+		return obj.Void, nil
+	})
+	def("install-guardian-rep", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		// §5's generalization: the argument is (obj rep . tconc).
+		p := a.Get(0)
+		if !p.IsPair() || !h.Cdr(p).IsPair() || !h.Cdr(h.Cdr(p)).IsPair() {
+			return obj.Void, m.errf(p, "install-guardian-rep: expected (obj rep . tconc)")
+		}
+		h.InstallGuardianRep(h.Car(p), h.Car(h.Cdr(p)), h.Cdr(h.Cdr(p)))
+		return obj.Void, nil
+	})
+
+	// --- Collector control -----------------------------------------------------------------
+	def("collect", 0, 1, func(m *Machine, a Args) (obj.Value, error) {
+		if a.Len() == 1 {
+			h.Collect(int(a.Get(0).FixnumValue()))
+		} else {
+			h.CollectAuto()
+		}
+		return obj.Void, nil
+	})
+	def("collect-request-handler", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		if !h.IsProcedure(a.Get(0)) {
+			return obj.Void, m.errf(a.Get(0), "collect-request-handler: not a procedure")
+		}
+		hs := m.Intern("%collect-request-handler")
+		h.SetSymbolValue(hs, a.Get(0))
+		h.SetCollectRequestHandler(func(hp *heap.Heap) {
+			fn := hp.SymbolValue(m.Intern("%collect-request-handler"))
+			if _, err := m.Apply(fn, nil); err != nil {
+				fmt.Fprintf(m.Out, "collect-request-handler error: %v\n", err)
+			}
+		})
+		return obj.Void, nil
+	})
+	def("generation", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		return obj.FromFixnum(int64(h.Generation(a.Get(0)))), nil
+	})
+	def("collections", 0, 0, func(m *Machine, a Args) (obj.Value, error) {
+		return obj.FromFixnum(int64(h.Stats.Collections)), nil
+	})
+	def("bytes-allocated", 0, 0, func(m *Machine, a Args) (obj.Value, error) {
+		return obj.FromFixnum(int64(h.Stats.WordsAllocated * 8)), nil
+	})
+	// --- Records (procedural interface) ------------------------------------
+	def("make-record", 2, 2, func(m *Machine, a Args) (obj.Value, error) {
+		nf := a.Get(1).FixnumValue()
+		if nf < 0 {
+			return obj.Void, fmt.Errorf("scheme: make-record: negative field count")
+		}
+		return h.MakeRecord(a.Get(0), int(nf)), nil
+	})
+	def("record?", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		return obj.FromBool(h.IsKind(a.Get(0), obj.KRecord)), nil
+	})
+	def("record-rtd", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		if !h.IsKind(a.Get(0), obj.KRecord) {
+			return obj.Void, m.errf(a.Get(0), "record-rtd: not a record")
+		}
+		return h.RecordRTD(a.Get(0)), nil
+	})
+	def("record-length", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		if !h.IsKind(a.Get(0), obj.KRecord) {
+			return obj.Void, m.errf(a.Get(0), "record-length: not a record")
+		}
+		return obj.FromFixnum(int64(h.RecordLength(a.Get(0)))), nil
+	})
+	def("record-ref", 2, 2, func(m *Machine, a Args) (obj.Value, error) {
+		r, i := a.Get(0), int(a.Get(1).FixnumValue())
+		if !h.IsKind(r, obj.KRecord) || i < 0 || i >= h.RecordLength(r) {
+			return obj.Void, m.errf(r, "record-ref: bad record or index %d", i)
+		}
+		return h.RecordRef(r, i), nil
+	})
+	def("record-set!", 3, 3, func(m *Machine, a Args) (obj.Value, error) {
+		r, i := a.Get(0), int(a.Get(1).FixnumValue())
+		if !h.IsKind(r, obj.KRecord) || i < 0 || i >= h.RecordLength(r) {
+			return obj.Void, m.errf(r, "record-set!: bad record or index %d", i)
+		}
+		h.RecordSet(r, i, a.Get(2))
+		return obj.Void, nil
+	})
+
+	def("symbol-pruning", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
+		// Friedman-Wise oblist pruning (§2): with pruning on, interned
+		// symbols with no global binding, property list, or heap
+		// references are uninterned at each collection.
+		m.EnableSymbolPruning(a.Get(0).IsTruthy())
+		return obj.Void, nil
+	})
+	def("interned-count", 0, 0, func(m *Machine, a Args) (obj.Value, error) {
+		return obj.FromFixnum(int64(m.InternedSymbols())), nil
+	})
+}
+
+func (m *Machine) outputPrim(a Args, write bool) (obj.Value, error) {
+	var s string
+	if write {
+		s = m.WriteString(a.Get(0))
+	} else {
+		s = m.DisplayString(a.Get(0))
+	}
+	if a.Len() == 2 {
+		return obj.Void, m.PM.WriteString(a.Get(1), s)
+	}
+	fmt.Fprint(m.Out, s)
+	return obj.Void, nil
+}
+
+func (m *Machine) numAsFloat(v obj.Value) (float64, error) {
+	if v.IsFixnum() {
+		return float64(v.FixnumValue()), nil
+	}
+	if m.H.IsKind(v, obj.KFlonum) {
+		return m.H.FlonumValue(v), nil
+	}
+	return 0, m.errf(v, "expected a number")
+}
+
+func (m *Machine) anyFlonum(a Args) bool {
+	for i := 0; i < a.Len(); i++ {
+		if m.H.IsKind(a.Get(i), obj.KFlonum) {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *Machine) arithPrim(id int64, fi func(x, y int64) int64, ff func(x, y float64) float64) func(*Machine, Args) (obj.Value, error) {
+	return func(m *Machine, a Args) (obj.Value, error) {
+		if m.anyFlonum(a) {
+			acc := float64(id)
+			first := true
+			for i := 0; i < a.Len(); i++ {
+				x, err := m.numAsFloat(a.Get(i))
+				if err != nil {
+					return obj.Void, err
+				}
+				if first && a.Len() > 0 {
+					acc = ff(acc, x)
+					first = false
+				} else {
+					acc = ff(acc, x)
+				}
+			}
+			return m.H.MakeFlonum(acc), nil
+		}
+		acc := id
+		for i := 0; i < a.Len(); i++ {
+			if !a.Get(i).IsFixnum() {
+				return obj.Void, m.errf(a.Get(i), "expected a number")
+			}
+			acc = fi(acc, a.Get(i).FixnumValue())
+		}
+		return obj.FromFixnum(acc), nil
+	}
+}
+
+func (m *Machine) arithSubPrim(fi func(x, y int64) int64, ff func(x, y float64) float64, id int64) func(*Machine, Args) (obj.Value, error) {
+	return func(m *Machine, a Args) (obj.Value, error) {
+		if m.anyFlonum(a) {
+			x, err := m.numAsFloat(a.Get(0))
+			if err != nil {
+				return obj.Void, err
+			}
+			if a.Len() == 1 {
+				return m.H.MakeFlonum(ff(float64(id), x)), nil
+			}
+			for i := 1; i < a.Len(); i++ {
+				y, err := m.numAsFloat(a.Get(i))
+				if err != nil {
+					return obj.Void, err
+				}
+				x = ff(x, y)
+			}
+			return m.H.MakeFlonum(x), nil
+		}
+		if !a.Get(0).IsFixnum() {
+			return obj.Void, m.errf(a.Get(0), "expected a number")
+		}
+		x := a.Get(0).FixnumValue()
+		if a.Len() == 1 {
+			return obj.FromFixnum(fi(id, x)), nil
+		}
+		for i := 1; i < a.Len(); i++ {
+			if !a.Get(i).IsFixnum() {
+				return obj.Void, m.errf(a.Get(i), "expected a number")
+			}
+			x = fi(x, a.Get(i).FixnumValue())
+		}
+		return obj.FromFixnum(x), nil
+	}
+}
+
+func (m *Machine) cmpPrim(cmp func(x, y float64) bool) func(*Machine, Args) (obj.Value, error) {
+	return func(m *Machine, a Args) (obj.Value, error) {
+		for i := 0; i+1 < a.Len(); i++ {
+			x, err := m.numAsFloat(a.Get(i))
+			if err != nil {
+				return obj.Void, err
+			}
+			y, err := m.numAsFloat(a.Get(i + 1))
+			if err != nil {
+				return obj.Void, err
+			}
+			if !cmp(x, y) {
+				return obj.False, nil
+			}
+		}
+		return obj.True, nil
+	}
+}
+
+func (m *Machine) minmaxPrim(better func(x, y float64) bool) func(*Machine, Args) (obj.Value, error) {
+	return func(m *Machine, a Args) (obj.Value, error) {
+		best := 0
+		bx, err := m.numAsFloat(a.Get(0))
+		if err != nil {
+			return obj.Void, err
+		}
+		for i := 1; i < a.Len(); i++ {
+			x, err := m.numAsFloat(a.Get(i))
+			if err != nil {
+				return obj.Void, err
+			}
+			if better(x, bx) {
+				best, bx = i, x
+			}
+		}
+		return a.Get(best), nil
+	}
+}
+
+func (m *Machine) intBinPrim(name string, fn func(x, y int64) (int64, error)) func(*Machine, Args) (obj.Value, error) {
+	return func(m *Machine, a Args) (obj.Value, error) {
+		if !a.Get(0).IsFixnum() || !a.Get(1).IsFixnum() {
+			return obj.Void, fmt.Errorf("scheme: %s: expected fixnums", name)
+		}
+		r, err := fn(a.Get(0).FixnumValue(), a.Get(1).FixnumValue())
+		if err != nil {
+			return obj.Void, err
+		}
+		return obj.FromFixnum(r), nil
+	}
+}
+
+// equalValues implements equal? with a recursion budget.
+func (m *Machine) equalValues(a, b obj.Value, budget int) bool {
+	if budget <= 0 {
+		return a == b
+	}
+	h := m.H
+	if h.Eqv(a, b) {
+		return true
+	}
+	switch {
+	case a.IsPair() && b.IsPair():
+		return m.equalValues(h.Car(a), h.Car(b), budget-1) &&
+			m.equalValues(h.Cdr(a), h.Cdr(b), budget-1)
+	case h.IsKind(a, obj.KString) && h.IsKind(b, obj.KString):
+		return h.StringValue(a) == h.StringValue(b)
+	case h.IsKind(a, obj.KVector) && h.IsKind(b, obj.KVector):
+		n := h.VectorLength(a)
+		if n != h.VectorLength(b) {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if !m.equalValues(h.VectorRef(a, i), h.VectorRef(b, i), budget-1) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

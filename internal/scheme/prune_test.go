@@ -1,0 +1,122 @@
+package scheme_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/heap"
+	"repro/internal/scheme"
+)
+
+// These tests cover the Friedman-Wise weak symbol table (§2: "Chez
+// Scheme also supports the elimination of unnecessary oblist entries").
+
+func TestSymbolPruningReclaimsTempSymbols(t *testing.T) {
+	m := newMachine(t)
+	m.EnableSymbolPruning(true)
+	base := m.InternedSymbols()
+	// Intern a batch of symbols referenced by nothing.
+	for i := 0; i < 500; i++ {
+		m.MustEval(fmt.Sprintf("(string->symbol %q)", fmt.Sprintf("temp-%d", i)))
+	}
+	if got := m.InternedSymbols(); got < base+500 {
+		t.Fatalf("interned %d, want >= %d", got, base+500)
+	}
+	m.MustEval("(collect 3)")
+	if got := m.InternedSymbols(); got > base+5 {
+		t.Fatalf("pruning left %d symbols, want about %d", got, base)
+	}
+}
+
+func TestSymbolPruningKeepsGlobals(t *testing.T) {
+	m := newMachine(t)
+	m.EnableSymbolPruning(true)
+	m.MustEval("(define keeper-with-value 42)")
+	m.MustEval("(collect 3)")
+	expectEval(t, m, "keeper-with-value", "42")
+}
+
+func TestSymbolPruningKeepsHeapReferencedSymbols(t *testing.T) {
+	m := newMachine(t)
+	m.EnableSymbolPruning(true)
+	// box-sym is referenced from a global's value, not by its own
+	// global cell.
+	m.MustEval(`(define holder (list (string->symbol "held-sym")))`)
+	m.MustEval("(collect 3)")
+	// Identity must be preserved: interning the same name returns the
+	// held symbol.
+	expectEval(t, m, `(eq? (car holder) (string->symbol "held-sym"))`, "#t")
+}
+
+func TestSymbolPruningIdentityAfterReintern(t *testing.T) {
+	m := newMachine(t)
+	m.EnableSymbolPruning(true)
+	m.MustEval(`(string->symbol "transient")`)
+	m.MustEval("(collect 3)")
+	// The symbol was pruned; re-interning creates a fresh one, and all
+	// uses of the fresh one agree.
+	expectEval(t, m, `(eq? (string->symbol "transient") (string->symbol "transient"))`, "#t")
+}
+
+func TestSymbolPruningPermanentSymbolsSafe(t *testing.T) {
+	m := newMachine(t)
+	m.EnableSymbolPruning(true)
+	for i := 0; i < 5; i++ {
+		m.MustEval("(collect 3)")
+	}
+	// Special forms, primitives, and prelude still work.
+	expectEval(t, m, "(let ([x 1]) (if (pair? (cons x x)) 'ok 'bad))", "ok")
+	expectEval(t, m, "(length (map car '((1) (2))))", "2")
+	// Guardians from the prelude still work.
+	expectEval(t, m, `
+		(begin
+		  (define G (make-guardian))
+		  (G (cons 'a 'b))
+		  (collect 3)
+		  (car (G)))`, "a")
+}
+
+func TestSymbolPruningViaSchemePrim(t *testing.T) {
+	m := newMachine(t)
+	m.MustEval("(symbol-pruning #t)")
+	before := m.MustEval("(interned-count)").FixnumValue()
+	m.MustEval(`(string->symbol "throwaway-1") (string->symbol "throwaway-2")`)
+	m.MustEval("(collect 3)")
+	after := m.MustEval("(interned-count)").FixnumValue()
+	if after > before {
+		t.Fatalf("pruning prim ineffective: %d -> %d", before, after)
+	}
+	m.MustEval("(symbol-pruning #f)")
+	m.MustEval(`(string->symbol "sticky")`)
+	m.MustEval("(collect 3)")
+	expectEval(t, m, `(eq? (string->symbol "sticky") (string->symbol "sticky"))`, "#t")
+}
+
+func TestSymbolPruningGensymChurnBounded(t *testing.T) {
+	h := heap.New(heap.Config{Generations: 4, TriggerWords: 8192, Radix: 4, UseDirtySet: true})
+	m := scheme.New(h, nil)
+	m.EnableSymbolPruning(true)
+	base := m.InternedSymbols()
+	m.MustEval(`
+		(define (churn n)
+		  (if (zero? n) 'done (begin (gensym) (churn (- n 1)))))
+		(churn 5000)
+		(collect 3)`)
+	if got := m.InternedSymbols(); got > base+100 {
+		t.Fatalf("gensym churn leaked symbols: %d (base %d)", got, base)
+	}
+	if errs := h.Verify(); len(errs) > 0 {
+		t.Fatalf("heap unsound after pruning churn: %v", errs[0])
+	}
+}
+
+func TestSymbolPlistKeepsSymbolAlive(t *testing.T) {
+	m := newMachine(t)
+	m.EnableSymbolPruning(true)
+	sym := m.Intern("plist-sym")
+	m.H.SetSymbolPlist(sym, m.H.List(m.Intern("k")))
+	m.MustEval("(collect 3)")
+	if got := m.Intern("plist-sym"); m.H.ListLength(m.H.SymbolPlist(got)) != 1 {
+		t.Fatal("symbol with plist was pruned")
+	}
+}

@@ -1,0 +1,48 @@
+package scheme_test
+
+import "testing"
+
+func TestRecordPrimitives(t *testing.T) {
+	m := newMachine(t)
+	expectEval(t, m, `(record? (make-record 'point 2))`, "#t")
+	expectEval(t, m, `(record? (cons 1 2))`, "#f")
+	expectEval(t, m, `(record-rtd (make-record 'point 2))`, "point")
+	expectEval(t, m, `(record-length (make-record 'point 3))`, "3")
+	expectEval(t, m, `
+		(begin
+		  (define p (make-record 'point 2))
+		  (record-set! p 0 3)
+		  (record-set! p 1 4)
+		  (list (record-ref p 0) (record-ref p 1)))`, "(3 4)")
+	// Records survive collections.
+	expectEval(t, m, `
+		(begin
+		  (collect 2)
+		  (list (record-ref p 0) (record-ref p 1) (record-rtd p)))`, "(3 4 point)")
+	// Errors.
+	for _, src := range []string{
+		"(record-ref (make-record 'r 1) 5)",
+		"(record-set! (make-record 'r 1) -1 0)",
+		"(record-ref 42 0)",
+		"(make-record 'r -1)",
+	} {
+		if _, err := m.EvalString(src); err == nil {
+			t.Errorf("%q: expected error", src)
+		}
+	}
+}
+
+func TestRecordsWithGuardians(t *testing.T) {
+	// A record registered with a guardian comes back with fields
+	// intact — records are how extres models resource headers.
+	m := newMachine(t)
+	expectEval(t, m, `
+		(begin
+		  (define G (make-guardian))
+		  (define r (make-record 'resource 1))
+		  (record-set! r 0 12345)
+		  (G r)
+		  (set! r #f)
+		  (collect 1)
+		  (record-ref (G) 0))`, "12345")
+}

@@ -1,0 +1,44 @@
+package scheme_test
+
+import "testing"
+
+func TestStringPortsFromScheme(t *testing.T) {
+	m := newMachine(t)
+	expectEval(t, m, `
+		(let ([p (open-output-string)])
+		  (display "abc" p)
+		  (write 42 p)
+		  (get-output-string p))`, `"abc42"`)
+	expectEval(t, m, `
+		(let ([p (open-input-string "hi")])
+		  (list (read-char p) (read-char p) (eof-object? (read-char p))))`,
+		`(#\h #\i #t)`)
+	expectEval(t, m, `(string-port? (open-output-string))`, "#t")
+	expectEval(t, m, `(port? (open-output-string))`, "#t")
+	expectEval(t, m, `
+		(begin (make-file "regular" "x")
+		       (string-port? (open-input-file "regular")))`, "#f")
+	if _, err := m.EvalString(`(get-output-string (open-input-string "x"))`); err == nil {
+		t.Fatal("get-output-string on input port should error")
+	}
+}
+
+func TestStringPortWriteLargerThanBuffer(t *testing.T) {
+	m := newMachine(t)
+	expectEval(t, m, `
+		(let ([p (open-output-string)])
+		  (do ([i 0 (+ i 1)]) ((= i 1000))
+		    (write-char #\z p))
+		  (string-length (get-output-string p)))`, "1000")
+}
+
+func TestStringPortSurvivesCollectionScheme(t *testing.T) {
+	m := newMachine(t)
+	expectEval(t, m, `
+		(begin
+		  (define sp (open-output-string))
+		  (display "first " sp)
+		  (collect 2)
+		  (display "second" sp)
+		  (get-output-string sp))`, `"first second"`)
+}

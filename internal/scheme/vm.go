@@ -1,0 +1,315 @@
+package scheme
+
+import (
+	"fmt"
+
+	"repro/internal/obj"
+)
+
+// The stack VM executing compiled Code. Its value stack is the
+// machine's shadow stack and its call frames' environments are visited
+// as roots, so collections may happen at VM safe points (calls and
+// backward jumps) with every live value accounted for. The two
+// engines interoperate freely: compiled code can call interpreted
+// closures, primitives, and continuations, and vice versa.
+
+// vmFrame is one activation of compiled code.
+type vmFrame struct {
+	code *Code
+	pc   int
+	env  obj.Value // chain of frame vectors: [parent, slot0, ...]
+	base int       // value-stack floor for this activation
+}
+
+// compiledRTD returns the record type descriptor marking compiled
+// closures: records with fields [codeIdx, env, name].
+func (m *Machine) compiledRTD() obj.Value { return m.Intern("%compiled-closure") }
+
+func (m *Machine) isCompiledClosure(v obj.Value) bool {
+	return m.H.IsKind(v, obj.KRecord) && m.H.RecordRTD(v) == m.compiledRTD()
+}
+
+func (m *Machine) makeCompiledClosure(codeIdx int, env obj.Value) obj.Value {
+	base := len(m.stack)
+	envS := m.slot(env)
+	rec := m.H.MakeRecord(m.compiledRTD(), 3)
+	m.H.RecordSet(rec, 0, obj.FromFixnum(int64(codeIdx)))
+	m.H.RecordSet(rec, 1, m.get(envS))
+	m.H.RecordSet(rec, 2, obj.False)
+	m.stack = m.stack[:base]
+	return rec
+}
+
+// selectClause picks the code clause matching n arguments.
+func selectClause(code *Code, n int) *Code {
+	try := func(c *Code) *Code {
+		if n >= c.NReq && (c.Rest || n == c.NReq) {
+			return c
+		}
+		return nil
+	}
+	if code.Clauses == nil {
+		return try(code)
+	}
+	for _, c := range code.Clauses {
+		if got := try(c); got != nil {
+			return got
+		}
+	}
+	return nil
+}
+
+// buildFrame allocates the environment frame vector for a call:
+// [parent, arg0, ..., rest?, defineSlots...]. Arguments are read from
+// the machine stack at argsBase. Unfilled slots (internal defines)
+// start Unbound so use-before-initialization is caught.
+func (m *Machine) buildFrame(clause *Code, parent obj.Value, argsBase, n int) obj.Value {
+	h := m.H
+	base := len(m.stack)
+	parentS := m.slot(parent)
+	fv := h.MakeVector(1+clause.NSlots, obj.Unbound)
+	fvS := m.slot(fv)
+	h.VectorSet(m.get(fvS), 0, m.get(parentS))
+	for i := 0; i < clause.NReq; i++ {
+		h.VectorSet(m.get(fvS), 1+i, m.stack[argsBase+i])
+	}
+	if clause.Rest {
+		restList := m.slot(obj.Nil)
+		for i := n - 1; i >= clause.NReq; i-- {
+			m.set(restList, h.Cons(m.stack[argsBase+i], m.get(restList)))
+		}
+		h.VectorSet(m.get(fvS), 1+clause.NReq, m.get(restList))
+	}
+	out := m.get(fvS)
+	m.stack = m.stack[:base]
+	return out
+}
+
+// RunCode executes a compiled top-level Code and returns its value.
+func (m *Machine) RunCode(code *Code) (obj.Value, error) {
+	return m.execute(code, obj.Nil)
+}
+
+func (m *Machine) execute(code *Code, env obj.Value) (result obj.Value, err error) {
+	h := m.H
+	frameFloor := len(m.vmFrames)
+	stackFloor := len(m.stack)
+	done := false
+	defer func() {
+		if !done { // error return or unwinding panic (continuation escape)
+			m.vmFrames = m.vmFrames[:frameFloor]
+			if len(m.stack) > stackFloor {
+				m.stack = m.stack[:stackFloor]
+			}
+		}
+	}()
+	m.vmFrames = append(m.vmFrames, vmFrame{code: code, env: env, base: len(m.stack)})
+
+	fail := func(format string, args ...any) (obj.Value, error) {
+		return obj.Void, fmt.Errorf("vm: "+format, args...)
+	}
+
+	for {
+		f := &m.vmFrames[len(m.vmFrames)-1]
+		if f.pc >= len(f.code.Instrs) {
+			return fail("fell off end of %s", f.code.Name)
+		}
+		in := f.code.Instrs[f.pc]
+		f.pc++
+		switch in.Op {
+		case OpConst:
+			m.stack = append(m.stack, f.code.Consts[in.A])
+		case OpVoid:
+			m.stack = append(m.stack, obj.Void)
+		case OpLocal:
+			fr := f.env
+			for d := 0; d < in.A; d++ {
+				fr = h.VectorRef(fr, 0)
+			}
+			v := h.VectorRef(fr, 1+in.B)
+			if v == obj.Unbound {
+				return fail("variable used before initialization in %s", f.code.Name)
+			}
+			m.stack = append(m.stack, v)
+		case OpSetLocal:
+			v := m.stack[len(m.stack)-1]
+			m.stack = m.stack[:len(m.stack)-1]
+			fr := f.env
+			for d := 0; d < in.A; d++ {
+				fr = h.VectorRef(fr, 0)
+			}
+			h.VectorSet(fr, 1+in.B, v)
+			m.stack = append(m.stack, obj.Void)
+		case OpGlobal:
+			sym := f.code.Consts[in.A]
+			v := h.SymbolValue(sym)
+			if v == obj.Unbound {
+				return fail("unbound variable %s", h.SymbolString(sym))
+			}
+			m.stack = append(m.stack, v)
+		case OpSetGlobal:
+			sym := f.code.Consts[in.A]
+			v := m.stack[len(m.stack)-1]
+			m.stack = m.stack[:len(m.stack)-1]
+			if h.SymbolValue(sym) == obj.Unbound {
+				return fail("set! of unbound variable %s", h.SymbolString(sym))
+			}
+			h.SetSymbolValue(sym, v)
+			m.stack = append(m.stack, obj.Void)
+		case OpDefGlobal:
+			sym := f.code.Consts[in.A]
+			v := m.stack[len(m.stack)-1]
+			m.stack = m.stack[:len(m.stack)-1]
+			if m.isCompiledClosure(v) && h.RecordRef(v, 2) == obj.False {
+				h.RecordSet(v, 2, sym)
+			}
+			h.SetSymbolValue(sym, v)
+			m.stack = append(m.stack, obj.Void)
+		case OpClosure:
+			m.stack = append(m.stack, m.makeCompiledClosure(in.A, f.env))
+		case OpJump:
+			if in.A < f.pc {
+				m.safepoint() // backward jump: loop safe point
+				if err := m.burn(); err != nil {
+					return obj.Void, err
+				}
+			}
+			f.pc = in.A
+		case OpJumpIfFalse:
+			v := m.stack[len(m.stack)-1]
+			m.stack = m.stack[:len(m.stack)-1]
+			if v == obj.False {
+				f.pc = in.A
+			}
+		case OpPop:
+			m.stack = m.stack[:len(m.stack)-1]
+		case OpReturn:
+			res := m.stack[len(m.stack)-1]
+			m.stack = m.stack[:f.base]
+			m.vmFrames = m.vmFrames[:len(m.vmFrames)-1]
+			if len(m.vmFrames) == frameFloor {
+				done = true
+				m.vmFrames = m.vmFrames[:frameFloor]
+				return res, nil
+			}
+			m.stack = append(m.stack, res)
+		case OpCall, OpTailCall:
+			m.safepoint()
+			if err := m.burn(); err != nil {
+				return obj.Void, err
+			}
+			n := in.A
+			fnIdx := len(m.stack) - n - 1
+			fn := m.stack[fnIdx]
+			if m.isCompiledClosure(fn) {
+				codeIdx := int(h.RecordRef(fn, 0).FixnumValue())
+				callee := m.codes[codeIdx]
+				clause := selectClause(callee, n)
+				if clause == nil {
+					return fail("no matching clause for %d arguments in %s",
+						n, m.closureName(fn))
+				}
+				newEnv := m.buildFrame(clause, h.RecordRef(m.stack[fnIdx], 1), fnIdx+1, n)
+				if in.Op == OpTailCall {
+					m.stack = m.stack[:f.base]
+					f.code, f.pc, f.env = clause, 0, newEnv
+				} else {
+					m.stack = m.stack[:fnIdx]
+					m.vmFrames = append(m.vmFrames, vmFrame{
+						code: clause, env: newEnv, base: len(m.stack)})
+				}
+				continue
+			}
+			// Primitive, interpreted closure, or continuation.
+			var res obj.Value
+			var cerr error
+			if kind, _ := h.KindOf(fn); kind == obj.KPrimitive {
+				res, cerr = m.callPrim(fn, Args{m: m, base: fnIdx + 1, n: n})
+			} else if m.isContinuation(fn) {
+				val := obj.Value(obj.Void)
+				if n >= 1 {
+					val = m.stack[fnIdx+1]
+				}
+				res, cerr = m.invokeContinuation(fn, val) // panics if live
+			} else if kind == obj.KClosure {
+				res, cerr = m.Apply(fn, m.stack[fnIdx+1:fnIdx+1+n])
+			} else {
+				cerr = fmt.Errorf("vm: attempt to apply non-procedure: %s", m.WriteString(fn))
+			}
+			if cerr != nil {
+				return obj.Void, cerr
+			}
+			if in.Op == OpTailCall {
+				m.stack = m.stack[:f.base]
+				m.vmFrames = m.vmFrames[:len(m.vmFrames)-1]
+				if len(m.vmFrames) == frameFloor {
+					done = true
+					return res, nil
+				}
+				m.stack = append(m.stack, res)
+			} else {
+				m.stack = m.stack[:fnIdx]
+				m.stack = append(m.stack, res)
+			}
+		default:
+			return fail("bad opcode %v", in.Op)
+		}
+	}
+}
+
+func (m *Machine) closureName(fn obj.Value) string {
+	if name := m.H.RecordRef(fn, 2); m.isSymbol(name) {
+		return m.H.SymbolString(name)
+	}
+	return "anonymous procedure"
+}
+
+// applyCompiled invokes a compiled closure on arguments sitting on
+// the machine stack (used by the interpreter and Apply for
+// cross-engine calls).
+func (m *Machine) applyCompiled(fn obj.Value, argsBase, n int) (obj.Value, error) {
+	h := m.H
+	codeIdx := int(h.RecordRef(fn, 0).FixnumValue())
+	callee := m.codes[codeIdx]
+	clause := selectClause(callee, n)
+	if clause == nil {
+		return obj.Void, fmt.Errorf("scheme: no matching clause for %d arguments in %s",
+			n, m.closureName(fn))
+	}
+	env := m.buildFrame(clause, h.RecordRef(fn, 1), argsBase, n)
+	return m.execute(clause, env)
+}
+
+// EvalStringCompiled reads src and runs every form through the
+// bytecode compiler and VM, returning the last value — the compiled
+// counterpart of EvalString.
+func (m *Machine) EvalStringCompiled(src string) (v obj.Value, err error) {
+	stackBase, frameBase := len(m.stack), len(m.vmFrames)
+	defer func() {
+		if r := recover(); r != nil {
+			m.stack = m.stack[:stackBase]
+			m.vmFrames = m.vmFrames[:frameBase]
+			v, err = obj.Void, fmt.Errorf("scheme: %v", r)
+		}
+	}()
+	forms, err := m.ReadAll(src)
+	if err != nil {
+		return obj.Void, err
+	}
+	base := len(m.stack)
+	defer func() { m.stack = m.stack[:base] }()
+	m.stack = append(m.stack, forms...)
+	resS := m.slot(obj.Void)
+	for i := range forms {
+		code, err := m.CompileTop(m.stack[base+i])
+		if err != nil {
+			return obj.Void, err
+		}
+		r, err := m.RunCode(code)
+		if err != nil {
+			return obj.Void, err
+		}
+		m.set(resS, r)
+	}
+	return m.get(resS), nil
+}

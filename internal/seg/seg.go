@@ -1,0 +1,166 @@
+// Package seg implements the segmented memory system described in §4
+// of the paper: the heap is structured as a set of fixed-size segments,
+// each belonging to a specific space and generation, with the space and
+// generation of every segment recorded in a segment information table.
+// Segments comprising a space or generation are generally not
+// contiguous; chains of segments are linked through the table.
+package seg
+
+import "fmt"
+
+// Words is the number of 64-bit words per segment. The paper's
+// segments are 4 KB; at 8 bytes per word that is 512 words.
+const Words = 512
+
+// Space identifies the characteristic of the objects a segment holds.
+// Segregating objects by space is what lets the collector treat weak
+// pairs specially (they live in SpaceWeak) and skip sweeping pointers
+// in SpaceData entirely.
+type Space uint8
+
+const (
+	SpacePair Space = iota // ordinary pairs
+	SpaceWeak              // weak pairs: car is a weak pointer
+	SpaceObj               // header-prefixed objects containing Values
+	SpaceData              // strings, bytevectors, flonums: no pointers
+	NumSpaces
+)
+
+var spaceNames = [NumSpaces]string{"pair", "weak", "obj", "data"}
+
+func (s Space) String() string {
+	if int(s) < len(spaceNames) {
+		return spaceNames[s]
+	}
+	return fmt.Sprintf("space(%d)", uint8(s))
+}
+
+// None marks the absence of a segment in chain links.
+const None = -1
+
+// Segment is one entry of the segment information table together with
+// its backing storage.
+type Segment struct {
+	Words []uint64 // backing storage, len == seg.Words
+	Space Space
+	Gen   int
+	InUse bool
+	// Stamp records the collection stamp current when the segment was
+	// (re)allocated. The collector uses it to recognize to-space
+	// segments created during the current collection, both to avoid
+	// re-forwarding objects already copied and to restrict the
+	// weak-pair second pass to freshly copied weak pairs.
+	Stamp uint64
+	// Next links segments belonging to the same (space, generation)
+	// chain, or None.
+	Next int
+	// Cont marks a continuation segment of a large object that spans
+	// several contiguous segments; only the first segment of the run
+	// appears as an object start.
+	Cont bool
+	// Fill is the number of words allocated in this segment. The
+	// collector uses it to iterate objects within a segment and to
+	// compute residency statistics.
+	Fill int
+}
+
+// Table is the segment information table plus the free list of retired
+// segments. The zero value is ready to use.
+type Table struct {
+	segs []Segment
+	free []int
+}
+
+// Alloc returns the index of a fresh segment assigned to the given
+// space and generation, reusing a retired segment when one exists.
+func (t *Table) Alloc(space Space, gen int, stamp uint64) int {
+	var idx int
+	if n := len(t.free); n > 0 {
+		idx = t.free[n-1]
+		t.free = t.free[:n-1]
+	} else {
+		t.segs = append(t.segs, Segment{Words: make([]uint64, Words)})
+		idx = len(t.segs) - 1
+	}
+	s := &t.segs[idx]
+	s.Space = space
+	s.Gen = gen
+	s.InUse = true
+	s.Stamp = stamp
+	s.Next = None
+	s.Cont = false
+	s.Fill = 0
+	return idx
+}
+
+// AllocRun appends k brand-new contiguous segments for a large object
+// and returns the index of the first. Runs never come from the free
+// list because free segments are not guaranteed to be adjacent. The
+// first segment of the run is an ordinary object-start segment; the
+// rest are marked as continuations.
+func (t *Table) AllocRun(space Space, gen int, stamp uint64, k int) int {
+	first := len(t.segs)
+	for i := 0; i < k; i++ {
+		t.segs = append(t.segs, Segment{
+			Words: make([]uint64, Words),
+			Space: space,
+			Gen:   gen,
+			InUse: true,
+			Stamp: stamp,
+			Next:  None,
+			Cont:  i > 0,
+		})
+	}
+	return first
+}
+
+// Free retires segment idx onto the free list. Its words are zeroed so
+// that any dangling pointer into it reads as fixnum 0 rather than a
+// stale heap value, which keeps collector bugs loud.
+func (t *Table) Free(idx int) {
+	s := &t.segs[idx]
+	if !s.InUse {
+		panic(fmt.Sprintf("seg: double free of segment %d", idx))
+	}
+	clear(s.Words)
+	s.InUse = false
+	s.Next = None
+	s.Cont = false
+	s.Fill = 0
+	t.free = append(t.free, idx)
+}
+
+// Seg returns the segment with the given index.
+func (t *Table) Seg(idx int) *Segment { return &t.segs[idx] }
+
+// Len returns the total number of segments ever created.
+func (t *Table) Len() int { return len(t.segs) }
+
+// FreeCount returns the number of retired segments awaiting reuse.
+func (t *Table) FreeCount() int { return len(t.free) }
+
+// InUseCount returns the number of live segments.
+func (t *Table) InUseCount() int { return len(t.segs) - len(t.free) }
+
+// SegIndexOf returns the index of the segment containing the word
+// address addr.
+func SegIndexOf(addr uint64) int { return int(addr / Words) }
+
+// Offset returns addr's offset within its segment.
+func Offset(addr uint64) int { return int(addr % Words) }
+
+// BaseAddr returns the word address of the first word of segment idx.
+func BaseAddr(idx int) uint64 { return uint64(idx) * Words }
+
+// SegOf returns the segment containing the word address addr.
+func (t *Table) SegOf(addr uint64) *Segment { return &t.segs[addr/Words] }
+
+// Word returns the heap word at addr.
+func (t *Table) Word(addr uint64) uint64 {
+	return t.segs[addr/Words].Words[addr%Words]
+}
+
+// SetWord stores w at addr.
+func (t *Table) SetWord(addr uint64, w uint64) {
+	t.segs[addr/Words].Words[addr%Words] = w
+}

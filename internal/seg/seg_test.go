@@ -1,0 +1,100 @@
+package seg
+
+import "testing"
+
+func TestAllocBasics(t *testing.T) {
+	var tab Table
+	idx := tab.Alloc(SpacePair, 0, 1)
+	s := tab.Seg(idx)
+	if !s.InUse || s.Space != SpacePair || s.Gen != 0 || s.Stamp != 1 {
+		t.Fatalf("segment metadata wrong: %+v", s)
+	}
+	if len(s.Words) != Words {
+		t.Fatalf("segment has %d words, want %d", len(s.Words), Words)
+	}
+	if tab.InUseCount() != 1 || tab.FreeCount() != 0 {
+		t.Fatal("counts wrong")
+	}
+}
+
+func TestFreeAndReuse(t *testing.T) {
+	var tab Table
+	a := tab.Alloc(SpacePair, 0, 1)
+	tab.Seg(a).Words[0] = 0xdead
+	tab.Seg(a).Fill = 10
+	tab.Free(a)
+	if tab.Seg(a).InUse {
+		t.Fatal("freed segment still in use")
+	}
+	if tab.Seg(a).Words[0] != 0 {
+		t.Fatal("freed segment not zeroed")
+	}
+	b := tab.Alloc(SpaceObj, 2, 7)
+	if b != a {
+		t.Fatalf("free segment not reused: got %d, want %d", b, a)
+	}
+	s := tab.Seg(b)
+	if s.Space != SpaceObj || s.Gen != 2 || s.Stamp != 7 || s.Fill != 0 || s.Cont {
+		t.Fatalf("reused segment metadata stale: %+v", s)
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	var tab Table
+	a := tab.Alloc(SpacePair, 0, 1)
+	tab.Free(a)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	tab.Free(a)
+}
+
+func TestAllocRunContiguous(t *testing.T) {
+	var tab Table
+	tab.Alloc(SpacePair, 0, 1) // occupy index 0
+	first := tab.AllocRun(SpaceData, 1, 5, 3)
+	for i := 0; i < 3; i++ {
+		s := tab.Seg(first + i)
+		if !s.InUse || s.Space != SpaceData || s.Gen != 1 || s.Stamp != 5 {
+			t.Fatalf("run segment %d metadata wrong: %+v", i, s)
+		}
+		if s.Cont != (i > 0) {
+			t.Fatalf("run segment %d Cont = %v", i, s.Cont)
+		}
+	}
+	// Address arithmetic spans the run.
+	base := BaseAddr(first)
+	tab.SetWord(base+Words+5, 42) // word inside the second segment
+	if tab.Word(base+Words+5) != 42 {
+		t.Fatal("cross-segment addressing broken")
+	}
+}
+
+func TestAddressingHelpers(t *testing.T) {
+	if SegIndexOf(0) != 0 || SegIndexOf(Words-1) != 0 || SegIndexOf(Words) != 1 {
+		t.Fatal("SegIndexOf wrong")
+	}
+	if Offset(Words+3) != 3 {
+		t.Fatal("Offset wrong")
+	}
+	if BaseAddr(2) != 2*Words {
+		t.Fatal("BaseAddr wrong")
+	}
+	var tab Table
+	idx := tab.Alloc(SpaceWeak, 0, 1)
+	addr := BaseAddr(idx) + 9
+	tab.SetWord(addr, 77)
+	if tab.Word(addr) != 77 || tab.SegOf(addr) != tab.Seg(idx) {
+		t.Fatal("word accessors wrong")
+	}
+}
+
+func TestSpaceNames(t *testing.T) {
+	for s := Space(0); s < NumSpaces; s++ {
+		if s.String() == "" {
+			t.Errorf("space %d has empty name", s)
+		}
+	}
+}

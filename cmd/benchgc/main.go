@@ -7,6 +7,12 @@
 //	benchgc            # run every experiment
 //	benchgc -e e4      # run one experiment by id
 //	benchgc -list      # list experiment ids
+//	benchgc -trace     # run the trace workload; one JSON line per collection
+//	benchgc -phases    # run the trace workload; per-phase pause summary
+//	benchgc -trace -phases -gcs 100   # both, over 100 collections
+//
+// See docs/ALGORITHM.md ("Reading benchgc -trace output") for the
+// trace record schema.
 package main
 
 import (
@@ -19,11 +25,26 @@ import (
 
 func main() {
 	var (
-		one  = flag.String("e", "", "run a single experiment by id (e1..e10, a1..a4)")
-		list = flag.Bool("list", false, "list experiments and exit")
-		csv  = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		one    = flag.String("e", "", "run a single experiment by id (e1..e10, a1..a4)")
+		list   = flag.Bool("list", false, "list experiments and exit")
+		csv    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		trace  = flag.Bool("trace", false, "run the GC trace workload and emit one JSON line per collection")
+		phases = flag.Bool("phases", false, "run the GC trace workload and print a per-phase pause summary")
+		gcs    = flag.Int("gcs", 50, "number of collections for -trace/-phases")
 	)
 	flag.Parse()
+
+	if *trace || *phases {
+		h, err := runTraceWorkload(os.Stdout, *gcs, *trace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgc: %v\n", err)
+			os.Exit(1)
+		}
+		if *phases {
+			printPhaseSummary(os.Stdout, h)
+		}
+		return
+	}
 	render := func(t experiments.Table) {
 		if *csv {
 			t.RenderCSV(os.Stdout)

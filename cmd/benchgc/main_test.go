@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/heap"
+)
+
+// TestTraceEmitsValidJSONLines is the acceptance check for benchgc
+// -trace: one valid JSON line per collection, each of which
+// round-trips through encoding/json without loss.
+func TestTraceEmitsValidJSONLines(t *testing.T) {
+	var buf bytes.Buffer
+	const gcs = 25
+	h, err := runTraceWorkload(&buf, gcs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Stats.Collections != gcs {
+		t.Fatalf("workload ran %d collections, want %d", h.Stats.Collections, gcs)
+	}
+	sc := bufio.NewScanner(&buf)
+	var lines int
+	var prevSeq uint64
+	for sc.Scan() {
+		line := sc.Bytes()
+		lines++
+		var ev heap.TraceEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", lines, err, line)
+		}
+		// Round-trip: marshal the decoded event and decode again; the
+		// two decodings must agree field for field.
+		re, err := json.Marshal(&ev)
+		if err != nil {
+			t.Fatalf("line %d does not re-marshal: %v", lines, err)
+		}
+		var ev2 heap.TraceEvent
+		if err := json.Unmarshal(re, &ev2); err != nil {
+			t.Fatalf("line %d round-trip decode failed: %v", lines, err)
+		}
+		if !reflect.DeepEqual(ev, ev2) {
+			t.Fatalf("line %d did not round-trip:\n %+v\nvs %+v", lines, ev, ev2)
+		}
+		if ev.Seq <= prevSeq {
+			t.Fatalf("line %d: seq %d not increasing (prev %d)", lines, ev.Seq, prevSeq)
+		}
+		prevSeq = ev.Seq
+		if ev.PauseNS <= 0 {
+			t.Fatalf("line %d: non-positive pause", lines)
+		}
+		var phaseSum int64
+		for _, ns := range ev.PhaseNS {
+			phaseSum += ns
+		}
+		if phaseSum <= 0 || phaseSum > ev.PauseNS {
+			t.Fatalf("line %d: phase sum %d vs pause %d", lines, phaseSum, ev.PauseNS)
+		}
+	}
+	if lines != gcs {
+		t.Fatalf("emitted %d JSON lines, want one per collection (%d)", lines, gcs)
+	}
+	// The workload must exercise the phases the paper talks about.
+	if h.Stats.GuardianEntriesSalvaged == 0 || h.Stats.GuardianEntriesHeld == 0 {
+		t.Fatal("trace workload exercised no guardian salvage/hold")
+	}
+	if h.Stats.WeakPairsScanned == 0 {
+		t.Fatal("trace workload exercised no weak pairs")
+	}
+}
+
+func TestPhaseSummaryRendersAllPhases(t *testing.T) {
+	var sink bytes.Buffer
+	h, err := runTraceWorkload(&sink, 5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.Len() != 0 {
+		t.Fatal("workload emitted JSON with emitJSON=false")
+	}
+	var buf bytes.Buffer
+	printPhaseSummary(&buf, h)
+	out := buf.String()
+	for _, name := range heap.PhaseNames() {
+		if !strings.Contains(out, name) {
+			t.Fatalf("phase summary missing %q:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(out, "collections: 5") {
+		t.Fatalf("phase summary missing collection count:\n%s", out)
+	}
+}

@@ -7,6 +7,8 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/heap"
 	"repro/internal/obj"
 )
@@ -26,9 +28,24 @@ func NewTconc(h *heap.Heap) obj.Value {
 	return h.Cons(dummy, dummy)
 }
 
+// checkTconc validates the tconc structure the queue protocols rely
+// on — a header pair whose car and cdr are both pairs — mirroring the
+// collector's own tconc validation in InstallGuardianRep. Without it
+// a misuse panics deep inside package heap with a bare "car: not a
+// pair" carrying no hint that a malformed tconc was the cause.
+func checkTconc(h *heap.Heap, op string, tc obj.Value) {
+	if !tc.IsPair() {
+		panic(fmt.Sprintf("core: %s: not a tconc (not a pair): %v", op, tc))
+	}
+	if !h.Car(tc).IsPair() || !h.Cdr(tc).IsPair() {
+		panic(fmt.Sprintf("core: %s: malformed tconc (header fields must be pairs): %v", op, tc))
+	}
+}
+
 // TconcEmpty reports whether the tconc holds no elements: the mutator
 // is permitted to compare the header's car and cdr fields.
 func TconcEmpty(h *heap.Heap, tc obj.Value) bool {
+	checkTconc(h, "tconc-empty?", tc)
 	return h.Car(tc) == h.Cdr(tc)
 }
 
@@ -40,6 +57,7 @@ func TconcEmpty(h *heap.Heap, tc obj.Value) bool {
 // objects it points to; keeping the pointers would cause unnecessary
 // storage retention (§4).
 func TconcGet(h *heap.Heap, tc obj.Value) (obj.Value, bool) {
+	checkTconc(h, "tconc-get", tc)
 	if TconcEmpty(h, tc) {
 		return obj.False, false
 	}
@@ -56,6 +74,7 @@ func TconcGet(h *heap.Heap, tc obj.Value) (obj.Value, bool) {
 // header's cdr — the only field the consumer compares against — is
 // updated.
 func TconcPut(h *heap.Heap, tc, v obj.Value) {
+	checkTconc(h, "tconc-put", tc)
 	last := h.Cdr(tc)
 	newLast := h.Cons(obj.False, obj.False)
 	h.SetCar(last, v)
@@ -66,6 +85,7 @@ func TconcPut(h *heap.Heap, tc, v obj.Value) {
 // TconcLength counts the queued elements (for tests and statistics; it
 // is not part of the paper's protocol).
 func TconcLength(h *heap.Heap, tc obj.Value) int {
+	checkTconc(h, "tconc-length", tc)
 	n := 0
 	for p := h.Car(tc); p != h.Cdr(tc); p = h.Cdr(p) {
 		n++

@@ -1,0 +1,76 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/obj"
+)
+
+// mustPanic runs fn and asserts it panics with a message mentioning
+// both the operation and the word "tconc", so a misuse points at the
+// malformed queue rather than at a bare car/cdr failure inside heap.
+func mustPanic(t *testing.T, op string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("%s: expected panic on malformed tconc", op)
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("%s: panic value is %T, want string", op, r)
+		}
+		if !strings.Contains(msg, "tconc") || !strings.Contains(msg, op) {
+			t.Fatalf("%s: unhelpful panic message %q", op, msg)
+		}
+	}()
+	fn()
+}
+
+func TestTconcGuardsNonPair(t *testing.T) {
+	h := heap.NewDefault()
+	bad := obj.FromFixnum(42)
+	mustPanic(t, "tconc-get", func() { core.TconcGet(h, bad) })
+	mustPanic(t, "tconc-put", func() { core.TconcPut(h, bad, obj.Nil) })
+	mustPanic(t, "tconc-empty?", func() { core.TconcEmpty(h, bad) })
+	mustPanic(t, "tconc-length", func() { core.TconcLength(h, bad) })
+}
+
+func TestTconcGuardsMalformedHeader(t *testing.T) {
+	h := heap.NewDefault()
+	// A pair, but its fields are not pairs — not a tconc.
+	bad := h.Cons(obj.FromFixnum(1), obj.FromFixnum(2))
+	mustPanic(t, "tconc-get", func() { core.TconcGet(h, bad) })
+	mustPanic(t, "tconc-put", func() { core.TconcPut(h, bad, obj.Nil) })
+
+	// Half-malformed: car is a pair, cdr is not.
+	half := h.Cons(h.Cons(obj.False, obj.False), obj.False)
+	mustPanic(t, "tconc-get", func() { core.TconcGet(h, half) })
+	mustPanic(t, "tconc-put", func() { core.TconcPut(h, half, obj.Nil) })
+}
+
+func TestTconcWellFormedStillWorks(t *testing.T) {
+	h := heap.NewDefault()
+	tc := h.NewRoot(core.NewTconc(h))
+	if !core.TconcEmpty(h, tc.Get()) {
+		t.Fatal("fresh tconc not empty")
+	}
+	for i := 0; i < 10; i++ {
+		core.TconcPut(h, tc.Get(), obj.FromFixnum(int64(i)))
+	}
+	if got := core.TconcLength(h, tc.Get()); got != 10 {
+		t.Fatalf("length = %d, want 10", got)
+	}
+	for i := 0; i < 10; i++ {
+		v, ok := core.TconcGet(h, tc.Get())
+		if !ok || v.FixnumValue() != int64(i) {
+			t.Fatalf("get %d = %v %v", i, v, ok)
+		}
+	}
+	if _, ok := core.TconcGet(h, tc.Get()); ok {
+		t.Fatal("empty tconc returned an element")
+	}
+}

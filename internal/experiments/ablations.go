@@ -17,7 +17,7 @@ func A1() Table {
 		ID:         "A1",
 		Title:      "dirty set vs scanning all older generations",
 		PaperClaim: "overhead proportional to the work already done by the collector (abstract)",
-		Header:     []string{"old heap (pairs)", "config", "gen0 pause", "old cells visited/gc"},
+		Header:     []string{"old heap (pairs)", "config", "gen0 pause", "old-scan phase ns/gc", "old cells visited/gc"},
 	}
 	for _, N := range []int{10000, 100000} {
 		for _, useDirty := range []bool{true, false} {
@@ -49,6 +49,7 @@ func A1() Table {
 			t.Rows = append(t.Rows, []string{
 				ni(N), name,
 				ns(float64(elapsed.Nanoseconds()) / rounds),
+				ns(float64(h.Stats.PhaseTotals[heap.PhaseOldScan].Nanoseconds()) / rounds),
 				n(h.Stats.DirtyCellsScanned / rounds),
 			})
 		}
@@ -65,7 +66,7 @@ func A2() Table {
 		ID:         "A2",
 		Title:      "weak pass on fresh pairs vs all weak segments",
 		PaperClaim: "a second pass through the weak-pair space is made after collection (§4)",
-		Header:     []string{"tenured weak pairs", "config", "gen0 pause", "weak pairs visited/gc"},
+		Header:     []string{"tenured weak pairs", "config", "gen0 pause", "weak phase ns/gc", "weak pairs visited/gc"},
 	}
 	for _, N := range []int{10000, 100000} {
 		for _, scanAll := range []bool{false, true} {
@@ -97,6 +98,7 @@ func A2() Table {
 			t.Rows = append(t.Rows, []string{
 				ni(N), name,
 				ns(float64(elapsed.Nanoseconds()) / rounds),
+				ns(float64(h.Stats.PhaseTotals[heap.PhaseWeak].Nanoseconds()) / rounds),
 				n(h.Stats.WeakPairsScanned / rounds),
 			})
 		}

@@ -47,21 +47,20 @@ func (h *Heap) Collect(g int) {
 	}
 	h.gcTarget = target
 	st := &h.Stats
-	st.Collections++
-	if g < len(st.CollectionsByGen) {
-		st.CollectionsByGen[g]++
-	}
+	st.countCollection(g)
+	snap := h.Stats // per-collection deltas for the trace event
+	h.phaseNS = [NumPhases]int64{}
 
 	// Detach from-space: the segment chains of every collected
 	// generation. When the oldest generation collects into itself, its
 	// survivors land in fresh segments stamped with the current
 	// collection, so the forwarding check can tell to-space from
 	// from-space.
-	var from []int
+	from := h.fromScratch[:0]
 	for sp := 0; sp < int(seg.NumSpaces); sp++ {
 		for gen := 0; gen <= g; gen++ {
 			from = append(from, h.chains[sp][gen]...)
-			h.chains[sp][gen] = nil
+			h.chains[sp][gen] = h.chains[sp][gen][:0]
 			h.cur[sp][gen] = cursor{seg: seg.None}
 		}
 		if target <= g {
@@ -74,6 +73,7 @@ func (h *Heap) Collect(g int) {
 	h.sweepQ = h.sweepQ[:0]
 	h.newWeak = h.newWeak[:0]
 	h.pendWeak = h.pendWeak[:0]
+	t := h.phaseMark(PhaseSetup, start)
 
 	// Roots: explicit root slots, then registered providers.
 	for i, live := range h.rootsLive {
@@ -81,10 +81,10 @@ func (h *Heap) Collect(g int) {
 			h.roots[i] = h.forward(h.roots[i])
 		}
 	}
-	visit := func(pv *obj.Value) { *pv = h.forward(*pv) }
 	for _, p := range h.providers {
-		p.v.VisitRoots(visit)
+		p.v.VisitRoots(h.rootVisit)
 	}
+	t = h.phaseMark(PhaseRoots, t)
 
 	// Old-to-young pointers: dirty cells, or a conservative scan of
 	// all older generations when the dirty set is disabled.
@@ -93,10 +93,21 @@ func (h *Heap) Collect(g int) {
 	} else {
 		h.scanAllOld(g)
 	}
+	t = h.phaseMark(PhaseOldScan, t)
 
-	h.kleeneSweep()
+	h.kleeneSweep() // accrues PhaseSweep itself
+
+	// The guardian phase's nested kleene-sweeps accrue to PhaseSweep;
+	// subtracting them leaves the protected-list bookkeeping alone in
+	// the guardian column.
+	sweepBase := h.phaseNS[PhaseSweep]
+	tg := time.Now()
 	h.guardianPhase(g, target)
+	h.phaseNS[PhaseGuardian] += time.Since(tg).Nanoseconds() - (h.phaseNS[PhaseSweep] - sweepBase)
+
+	t = time.Now()
 	h.weakPass(g)
+	t = h.phaseMark(PhaseWeak, t)
 
 	// Post-collect hooks run while forwarding words are still readable
 	// (from-space not yet freed), so hooks can ask whether a value
@@ -105,15 +116,33 @@ func (h *Heap) Collect(g int) {
 	for _, fn := range h.postCollect {
 		fn(h)
 	}
+	t = h.phaseMark(PhaseHooks, t)
 
 	for _, si := range from {
 		h.tab.Free(si)
 		st.SegmentsFreed++
 	}
+	h.fromScratch = from[:0]
+	h.phaseMark(PhaseFree, t)
+
 	h.gen0Words = 0
 	h.needCollect = false
 	st.LastPause = time.Since(start)
 	st.TotalPause += st.LastPause
+	for i := range h.phaseNS {
+		d := time.Duration(h.phaseNS[i])
+		st.LastPhases[i] = d
+		st.PhaseTotals[i] += d
+	}
+	h.recordTrace(g, target, &snap)
+}
+
+// phaseMark accrues the time elapsed since t0 to phase p and returns
+// the new phase start time.
+func (h *Heap) phaseMark(p Phase, t0 time.Time) time.Time {
+	now := time.Now()
+	h.phaseNS[p] += now.Sub(t0).Nanoseconds()
+	return now
 }
 
 // forward copies v's referent into the target generation if it lives
@@ -206,29 +235,43 @@ func (h *Heap) fwdAddrOf(v obj.Value) obj.Value {
 }
 
 // kleeneSweep iteratively sweeps copied objects until there are no
-// newly copied objects to sweep (§4).
+// newly copied objects to sweep (§4). Each wave of the sweep queue —
+// the objects copied since the previous wave — counts as one pass, so
+// Stats.SweepPasses reports the paper's "iterated" sweep depth
+// faithfully: a call that finds the queue empty records no pass, and
+// the re-sweeps triggered inside the guardian phase's salvage loop
+// are counted like any other. Time spent here accrues to PhaseSweep
+// regardless of the caller.
 func (h *Heap) kleeneSweep() {
-	h.Stats.SweepPasses++
+	t0 := time.Now()
 	for len(h.sweepQ) > 0 {
-		it := h.sweepQ[len(h.sweepQ)-1]
-		h.sweepQ = h.sweepQ[:len(h.sweepQ)-1]
-		switch it.kind {
-		case sweepPair:
-			h.setWord(it.addr, uint64(h.forward(h.valueAt(it.addr))))
-			h.setWord(it.addr+1, uint64(h.forward(h.valueAt(it.addr+1))))
-			h.Stats.CellsSwept += 2
-		case sweepWeakPair:
-			h.setWord(it.addr+1, uint64(h.forward(h.valueAt(it.addr+1))))
-			h.Stats.CellsSwept++
-		case sweepObj:
-			w := h.word(it.addr)
-			n := obj.PayloadWords(obj.HeaderKind(w), obj.HeaderLength(w))
-			for i := uint64(1); i <= uint64(n); i++ {
-				h.setWord(it.addr+i, uint64(h.forward(h.valueAt(it.addr+i))))
+		h.Stats.SweepPasses++
+		// Swap in the spare buffer so objects copied while sweeping
+		// this wave form the next one; both buffers are retained on
+		// the heap, so steady-state sweeping does not allocate.
+		batch := h.sweepQ
+		h.sweepQ = h.sweepSpare[:0]
+		for _, it := range batch {
+			switch it.kind {
+			case sweepPair:
+				h.setWord(it.addr, uint64(h.forward(h.valueAt(it.addr))))
+				h.setWord(it.addr+1, uint64(h.forward(h.valueAt(it.addr+1))))
+				h.Stats.CellsSwept += 2
+			case sweepWeakPair:
+				h.setWord(it.addr+1, uint64(h.forward(h.valueAt(it.addr+1))))
+				h.Stats.CellsSwept++
+			case sweepObj:
+				w := h.word(it.addr)
+				n := obj.PayloadWords(obj.HeaderKind(w), obj.HeaderLength(w))
+				for i := uint64(1); i <= uint64(n); i++ {
+					h.setWord(it.addr+i, uint64(h.forward(h.valueAt(it.addr+i))))
+				}
+				h.Stats.CellsSwept += uint64(n)
 			}
-			h.Stats.CellsSwept += uint64(n)
 		}
+		h.sweepSpare = batch[:0]
 	}
+	h.phaseNS[PhaseSweep] += time.Since(t0).Nanoseconds()
 }
 
 // scanDirty processes the remembered set: cells in generations older
@@ -241,14 +284,14 @@ func (h *Heap) scanDirty(g int) {
 	if len(h.dirty) == 0 {
 		return
 	}
-	type cell struct {
-		addr uint64
-		weak bool
-	}
-	scratch := make([]cell, 0, len(h.dirty))
+	// The snapshot buffer lives on the Heap and is reused across
+	// collections, so steady-state collections do not allocate here
+	// (asserted by TestCollectSteadyStateAllocs).
+	scratch := h.dirtyScratch[:0]
 	for addr, weak := range h.dirty {
-		scratch = append(scratch, cell{addr, weak})
+		scratch = append(scratch, dirtyCell{addr, weak})
 	}
+	h.dirtyScratch = scratch[:0]
 	for _, c := range scratch {
 		s := h.tab.SegOf(c.addr)
 		if !s.InUse || s.Gen <= g {

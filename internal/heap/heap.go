@@ -107,6 +107,13 @@ type sweepItem struct {
 	kind sweepKind
 }
 
+// dirtyCell is one snapshot entry of the remembered set taken by
+// scanDirty (the map itself is mutated while scanning).
+type dirtyCell struct {
+	addr uint64
+	weak bool
+}
+
 // Heap is a simulated Scheme heap with a generation-based collector.
 // It is not safe for concurrent use; the paper's collector likewise
 // stops the mutator.
@@ -121,6 +128,7 @@ type Heap struct {
 	roots       []obj.Value
 	rootsLive   []bool
 	rootsFree   []int
+	rootVisit   func(*obj.Value) // persistent visitor: keeps Collect allocation-free
 	providers   []*providerEntry
 	protected   [][]ProtEntry
 	dirty       map[uint64]bool // cell address -> is weak car cell
@@ -132,13 +140,24 @@ type Heap struct {
 	gcGen          int
 	gcTarget       int
 	sweepQ         []sweepItem
+	sweepSpare     []sweepItem // second sweep buffer; ping-pongs with sweepQ per pass
 	newWeak        []uint64
 	pendWeak       []uint64
+	dirtyScratch   []dirtyCell // reusable remembered-set snapshot (scanDirty)
+	fromScratch    []int       // reusable from-space segment list (Collect)
 	gen0Words      int
 	needCollect    bool
 	autoCount      uint64
 	allocForbidden bool
 	inHandler      bool
+
+	// Observability (see trace.go): per-collection phase timing
+	// scratch, the optional trace ring, and the optional callback.
+	phaseNS   [NumPhases]int64
+	traceBuf  []TraceEvent
+	traceLen  int
+	traceNext int
+	traceFn   func(TraceEvent)
 
 	Stats Stats
 }
@@ -160,6 +179,7 @@ func New(cfg Config) *Heap {
 		dirty: make(map[uint64]bool),
 		stamp: 1,
 	}
+	h.rootVisit = func(pv *obj.Value) { *pv = h.forward(*pv) }
 	for sp := 0; sp < int(seg.NumSpaces); sp++ {
 		h.cur[sp] = make([]cursor, cfg.Generations)
 		for g := range h.cur[sp] {

@@ -20,6 +20,18 @@ func (h *Heap) check(cond bool, format string, args ...any) {
 	}
 }
 
+// badPair reports a non-pair argument to a pair accessor. It is kept
+// out of line (and out of the accessors' bodies) so that the fast
+// path of Car/Cdr/SetCar/SetCdr performs no variadic boxing: h.check
+// builds its []any argument even when the condition holds, which put
+// an allocation on the write barrier — the mutator's hottest path.
+// TestCollectSteadyStateAllocs guards the allocation-free property.
+//
+//go:noinline
+func (h *Heap) badPair(op string, v obj.Value) {
+	panic(fmt.Sprintf("heap: %s: not a pair: %v", op, v))
+}
+
 // --- Pairs -----------------------------------------------------------
 
 // Cons allocates an ordinary pair in generation 0.
@@ -49,26 +61,34 @@ func (h *Heap) IsWeakPair(v obj.Value) bool {
 
 // Car returns the car of a pair (ordinary or weak).
 func (h *Heap) Car(p obj.Value) obj.Value {
-	h.check(p.IsPair(), "car: not a pair: %v", p)
+	if !p.IsPair() {
+		h.badPair("car", p)
+	}
 	return h.valueAt(p.Addr())
 }
 
 // Cdr returns the cdr of a pair.
 func (h *Heap) Cdr(p obj.Value) obj.Value {
-	h.check(p.IsPair(), "cdr: not a pair: %v", p)
+	if !p.IsPair() {
+		h.badPair("cdr", p)
+	}
 	return h.valueAt(p.Addr() + 1)
 }
 
 // SetCar stores v in the car of a pair, with the write barrier. For a
 // weak pair the cell remains a weak pointer.
 func (h *Heap) SetCar(p, v obj.Value) {
-	h.check(p.IsPair(), "set-car!: not a pair: %v", p)
+	if !p.IsPair() {
+		h.badPair("set-car!", p)
+	}
 	h.writeCell(p.Addr(), v, h.tab.SegOf(p.Addr()).Space == seg.SpaceWeak)
 }
 
 // SetCdr stores v in the cdr of a pair, with the write barrier.
 func (h *Heap) SetCdr(p, v obj.Value) {
-	h.check(p.IsPair(), "set-cdr!: not a pair: %v", p)
+	if !p.IsPair() {
+		h.badPair("set-cdr!", p)
+	}
 	h.writeCell(p.Addr()+1, v, false)
 }
 

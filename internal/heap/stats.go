@@ -11,19 +11,29 @@ import (
 // independently of wall-clock noise: E1 checks that
 // GuardianEntriesScanned stays flat as old-generation registrations
 // grow, and the ablations compare DirtyCellsScanned and
-// WeakPairsScanned across configurations.
+// WeakPairsScanned across configurations. See docs/ALGORITHM.md for a
+// glossary of every counter.
 type Stats struct {
 	WordsAllocated    uint64
 	SegmentsAllocated uint64
 	SegmentsFreed     uint64
 
-	Collections      uint64
-	CollectionsByGen [16]uint64
+	Collections uint64
+	// CollectionsByGen[g] counts collections whose youngest..g range
+	// was collected. It is sized on demand from the generations the
+	// heap actually collects, so configurations with any number of
+	// generations are counted (it was once a fixed [16]uint64 that
+	// silently dropped increments beyond generation 15).
+	CollectionsByGen []uint64
 	WordsCopied      uint64
 	PairsCopied      uint64
 	ObjectsCopied    uint64
 	CellsSwept       uint64
-	SweepPasses      uint64
+	// SweepPasses counts kleene-sweep passes: one per wave of the
+	// sweep queue, so a chain of k pairs discovered one link at a time
+	// costs k passes, and the re-sweeps run inside the guardian
+	// phase's salvage loop are included (§4's "iterated" sweep).
+	SweepPasses uint64
 
 	BarrierHits       uint64
 	DirtyCellsScanned uint64
@@ -39,10 +49,26 @@ type Stats struct {
 
 	LastPause  time.Duration
 	TotalPause time.Duration
+	// LastPhases and PhaseTotals attribute the pause to the collection
+	// phases, indexed by Phase (see PhaseNames). The entries of
+	// LastPhases sum to LastPause up to timer granularity; PhaseTotals
+	// accumulates across collections like TotalPause.
+	LastPhases  [NumPhases]time.Duration
+	PhaseTotals [NumPhases]time.Duration
 }
 
 // Reset zeroes all counters.
 func (s *Stats) Reset() { *s = Stats{} }
+
+// countCollection records a collection of generations 0..g, growing
+// CollectionsByGen as needed so no increment is ever dropped.
+func (s *Stats) countCollection(g int) {
+	s.Collections++
+	for len(s.CollectionsByGen) <= g {
+		s.CollectionsByGen = append(s.CollectionsByGen, 0)
+	}
+	s.CollectionsByGen[g]++
+}
 
 // String renders the counters in a compact multi-line report.
 func (s *Stats) String() string {
@@ -58,6 +84,10 @@ func (s *Stats) String() string {
 		s.GuardianEntriesSalvaged, s.GuardianEntriesHeld, s.GuardianEntriesDropped)
 	fmt.Fprintf(&b, "weak: %d scanned, %d broken\n",
 		s.WeakPairsScanned, s.WeakPointersBroken)
-	fmt.Fprintf(&b, "pause: last %v, total %v", s.LastPause, s.TotalPause)
+	fmt.Fprintf(&b, "pause: last %v, total %v\n", s.LastPause, s.TotalPause)
+	fmt.Fprintf(&b, "phases (last/total):")
+	for i := Phase(0); i < NumPhases; i++ {
+		fmt.Fprintf(&b, " %s %v/%v", i, s.LastPhases[i], s.PhaseTotals[i])
+	}
 	return b.String()
 }

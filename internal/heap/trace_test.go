@@ -1,0 +1,342 @@
+package heap_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/heap"
+	"repro/internal/obj"
+	"repro/internal/seg"
+)
+
+func fx(n int64) obj.Value { return obj.FromFixnum(n) }
+
+// churn allocates short-lived garbage in generation 0.
+func churn(h *heap.Heap, pairs int) {
+	for i := 0; i < pairs; i++ {
+		h.Cons(fx(int64(i)), obj.Nil)
+	}
+}
+
+func phaseSum(ph [heap.NumPhases]time.Duration) time.Duration {
+	var sum time.Duration
+	for _, d := range ph {
+		sum += d
+	}
+	return sum
+}
+
+// TestPhasesSumToPause is the acceptance check for pause attribution:
+// the per-phase durations of a collection account for the whole pause
+// to within 5%.
+func TestPhasesSumToPause(t *testing.T) {
+	h := heap.NewDefault()
+	// A workload big enough that the pause dwarfs timer granularity:
+	// a long tenured list (copy work), weak pairs (weak pass), dirty
+	// cells (old scan), and a guardian (guardian phase).
+	lst := h.NewRoot(obj.Nil)
+	for i := 0; i < 50000; i++ {
+		p := h.Cons(fx(int64(i)), obj.Nil)
+		lst.Set(h.Cons(p, lst.Get()))
+		if i%10 == 0 {
+			lst.Set(h.Cons(h.WeakCons(p, obj.Nil), lst.Get()))
+		}
+	}
+	tc := h.NewRoot(h.Cons(h.Cons(obj.False, obj.False), obj.False))
+	h.SetCdr(tc.Get(), h.Car(tc.Get()))
+	for i := 0; i < 100; i++ {
+		h.InstallGuardian(h.Cons(fx(int64(i)), obj.Nil), tc.Get())
+	}
+	h.AddPostCollectHook(func(*heap.Heap) {})
+
+	for round := 0; round < 5; round++ {
+		g := round % h.MaxGeneration()
+		// Fresh live data every round so each collection does real
+		// copy work and the pause dwarfs timer granularity.
+		for i := 0; i < 10000; i++ {
+			lst.Set(h.Cons(h.Cons(fx(int64(i)), obj.Nil), lst.Get()))
+		}
+		h.SetCar(lst.Get(), h.Cons(fx(-1), obj.Nil)) // keep the dirty set busy
+		h.Collect(g)
+		pause := h.Stats.LastPause
+		sum := phaseSum(h.Stats.LastPhases)
+		if pause <= 0 {
+			t.Fatalf("round %d: no pause recorded", round)
+		}
+		diff := pause - sum
+		if diff < 0 {
+			diff = -diff
+		}
+		if float64(diff) > 0.05*float64(pause) {
+			t.Fatalf("round %d: phases sum to %v but pause is %v (%.1f%% apart)",
+				round, sum, pause, 100*float64(diff)/float64(pause))
+		}
+	}
+	// Totals accumulate like TotalPause.
+	if got := phaseSum(h.Stats.PhaseTotals); got > h.Stats.TotalPause {
+		t.Fatalf("phase totals %v exceed total pause %v", got, h.Stats.TotalPause)
+	}
+}
+
+// TestPhaseAttribution checks that work lands in the right column:
+// a conservative-scan configuration accrues old-scan time, copy-heavy
+// collections accrue sweep time, and every collection records phases.
+func TestPhaseAttribution(t *testing.T) {
+	cfg := heap.DefaultConfig()
+	cfg.UseDirtySet = false
+	h := heap.New(cfg)
+	lst := h.NewRoot(obj.Nil)
+	for i := 0; i < 20000; i++ {
+		lst.Set(h.Cons(fx(int64(i)), lst.Get()))
+	}
+	h.Collect(h.MaxGeneration())
+	h.Collect(h.MaxGeneration())
+	h.Stats.Reset()
+	churn(h, 1000)
+	h.Collect(0)
+	if h.Stats.LastPhases[heap.PhaseOldScan] <= 0 {
+		t.Fatal("conservative old scan recorded no old-scan time")
+	}
+	if h.Stats.LastPhases[heap.PhaseSweep] <= 0 {
+		t.Fatal("no sweep time recorded")
+	}
+}
+
+// TestTraceRing checks ring capacity, ordering, and event contents.
+func TestTraceRing(t *testing.T) {
+	h := heap.NewDefault()
+	h.EnableTrace(4)
+	lst := h.NewRoot(obj.Nil)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 100; j++ {
+			lst.Set(h.Cons(fx(int64(j)), lst.Get()))
+		}
+		h.Collect(0)
+	}
+	evs := h.TraceEvents()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(3+i) {
+			t.Fatalf("event %d has seq %d, want %d (oldest-first)", i, ev.Seq, 3+i)
+		}
+		if ev.Gen != 0 || ev.Target != 1 {
+			t.Fatalf("event %d: gen %d target %d, want 0/1", i, ev.Gen, ev.Target)
+		}
+		if ev.PauseNS <= 0 {
+			t.Fatalf("event %d: no pause", i)
+		}
+		if ev.WordsCopied == 0 {
+			t.Fatalf("event %d: no copy work recorded", i)
+		}
+		var sum int64
+		for _, ns := range ev.PhaseNS {
+			sum += ns
+		}
+		if sum <= 0 || sum > ev.PauseNS {
+			t.Fatalf("event %d: phase sum %d vs pause %d", i, sum, ev.PauseNS)
+		}
+	}
+	// Phase durations are exposed by name too.
+	pd := evs[0].PhaseDurations()
+	if len(pd) != int(heap.NumPhases) {
+		t.Fatalf("PhaseDurations has %d entries, want %d", len(pd), heap.NumPhases)
+	}
+	if _, ok := pd["guardian"]; !ok {
+		t.Fatal("PhaseDurations missing guardian phase")
+	}
+	h.EnableTrace(0)
+	if h.TraceEnabled() || h.TraceEvents() != nil {
+		t.Fatal("EnableTrace(0) did not disable the ring")
+	}
+}
+
+// TestTraceFunc checks the per-collection callback and its counter
+// deltas (the guardian figures must be this collection's, not
+// cumulative).
+func TestTraceFunc(t *testing.T) {
+	h := heap.NewDefault()
+	tc := h.NewRoot(h.Cons(h.Cons(obj.False, obj.False), obj.False))
+	h.SetCdr(tc.Get(), h.Car(tc.Get()))
+	var events []heap.TraceEvent
+	h.SetTraceFunc(func(ev heap.TraceEvent) { events = append(events, ev) })
+
+	h.InstallGuardian(h.Cons(fx(1), obj.Nil), tc.Get()) // dropped: salvaged
+	h.Collect(0)
+	h.InstallGuardian(h.Cons(fx(2), obj.Nil), tc.Get())
+	h.Collect(0)
+	if len(events) != 2 {
+		t.Fatalf("callback ran %d times, want 2", len(events))
+	}
+	for i, ev := range events {
+		if ev.GuardianSalvaged != 1 {
+			t.Fatalf("event %d: salvaged %d, want per-collection delta 1", i, ev.GuardianSalvaged)
+		}
+	}
+	h.SetTraceFunc(nil)
+	h.Collect(0)
+	if len(events) != 2 {
+		t.Fatal("callback ran after removal")
+	}
+}
+
+// TestSweepPassCounting asserts the per-wave semantics: a chain of k
+// pairs reached from a single root is discovered one link per pass,
+// so a collection of it records exactly k sweep passes; an empty
+// collection records none.
+func TestSweepPassCounting(t *testing.T) {
+	h := heap.NewDefault()
+	h.Collect(0)
+	if got := h.Stats.SweepPasses; got != 0 {
+		t.Fatalf("empty collection recorded %d sweep passes, want 0", got)
+	}
+
+	const k = 5
+	lst := obj.Nil
+	for i := 0; i < k; i++ {
+		lst = h.Cons(fx(int64(i)), lst)
+	}
+	r := h.NewRoot(lst)
+	h.Stats.Reset()
+	h.Collect(0)
+	if got := h.Stats.SweepPasses; got != k {
+		t.Fatalf("chain of %d pairs: %d sweep passes, want %d", k, got, k)
+	}
+	r.Release()
+}
+
+// TestSweepPassesCountGuardianResweeps asserts the guardian phase's
+// re-sweeps are visible in SweepPasses. The baseline heap (root → a
+// two-pair tconc) needs 2 passes; salvaging a dropped guarded pair
+// copies it during the guardian phase, whose re-sweep adds a third.
+func TestSweepPassesCountGuardianResweeps(t *testing.T) {
+	build := func(register bool) uint64 {
+		h := heap.NewDefault()
+		dummy := h.Cons(obj.False, obj.False)
+		tc := h.NewRoot(h.Cons(dummy, dummy))
+		if register {
+			h.InstallGuardian(h.Cons(fx(1), fx(2)), tc.Get())
+		}
+		h.Collect(0)
+		return h.Stats.SweepPasses
+	}
+	without := build(false)
+	with := build(true)
+	if without != 2 {
+		t.Fatalf("baseline heap: %d passes, want 2", without)
+	}
+	if with != 3 {
+		t.Fatalf("guardian salvage: %d passes, want 3 (re-sweep visible)", with)
+	}
+}
+
+// TestCollectionsByGenGrows collects with more than 16 generations —
+// the old fixed-size array silently dropped these increments.
+func TestCollectionsByGenGrows(t *testing.T) {
+	cfg := heap.DefaultConfig()
+	cfg.Generations = 24
+	h := heap.New(cfg)
+	h.Cons(fx(1), obj.Nil)
+	h.Collect(18)
+	h.Collect(18)
+	h.Collect(23)
+	st := &h.Stats
+	if len(st.CollectionsByGen) != 24 {
+		t.Fatalf("CollectionsByGen sized %d, want 24", len(st.CollectionsByGen))
+	}
+	if st.CollectionsByGen[18] != 2 || st.CollectionsByGen[23] != 1 {
+		t.Fatalf("per-gen counts wrong: gen18=%d gen23=%d",
+			st.CollectionsByGen[18], st.CollectionsByGen[23])
+	}
+	if st.Collections != 3 {
+		t.Fatalf("Collections = %d, want 3", st.Collections)
+	}
+}
+
+// TestCollectSteadyStateAllocs asserts that steady-state collections
+// perform no Go-level allocation with tracing disabled: the dirty-set
+// snapshot, from-space list, and sweep buffers are all reused.
+func TestCollectSteadyStateAllocs(t *testing.T) {
+	h := heap.NewDefault()
+	lst := h.NewRoot(obj.Nil)
+	for i := 0; i < 5000; i++ {
+		lst.Set(h.Cons(fx(int64(i)), lst.Get()))
+	}
+	h.Collect(h.MaxGeneration())
+	h.Collect(h.MaxGeneration())
+	// Old-generation mutations keep scanDirty busy every round.
+	steady := func() {
+		h.SetCar(lst.Get(), h.Cons(fx(-1), obj.Nil))
+		churn(h, 1000)
+		h.Collect(0)
+	}
+	for i := 0; i < 3; i++ {
+		steady() // warm buffer capacities
+	}
+	if avg := testing.AllocsPerRun(20, steady); avg > 0 {
+		t.Fatalf("steady-state collection allocates %.1f objects/run, want 0", avg)
+	}
+}
+
+// TestCensus checks the residency breakdown against known contents.
+func TestCensus(t *testing.T) {
+	h := heap.NewDefault()
+	lst := h.NewRoot(obj.Nil)
+	const pairs = 100
+	for i := 0; i < pairs; i++ {
+		lst.Set(h.Cons(fx(int64(i)), lst.Get()))
+	}
+	v := h.NewRoot(h.MakeVector(8, fx(0)))
+	s := h.NewRoot(h.MakeString("hello census"))
+	w := h.NewRoot(h.WeakCons(lst.Get(), obj.Nil))
+
+	c := h.Census()
+	if got := c.Total().Words; got != h.LiveWords() {
+		t.Fatalf("census words %d != LiveWords %d", got, h.LiveWords())
+	}
+	if got := c.Space(seg.SpacePair).Objects; got != pairs {
+		t.Fatalf("pair census %d objects, want %d", got, pairs)
+	}
+	if got := c.Space(seg.SpaceWeak).Objects; got != 1 {
+		t.Fatalf("weak census %d objects, want 1", got)
+	}
+	if got := c.Space(seg.SpaceObj).Objects; got != 1 {
+		t.Fatalf("obj census %d objects, want 1 (the vector)", got)
+	}
+	if got := c.Space(seg.SpaceData).Objects; got != 1 {
+		t.Fatalf("data census %d objects, want 1 (the string)", got)
+	}
+	// Everything is in generation 0 before a collection...
+	if got := c.Gen(0).Words; got != h.LiveWords() {
+		t.Fatalf("gen0 census %d words, want all %d", got, h.LiveWords())
+	}
+	// ...and in generation 1 after one.
+	h.Collect(0)
+	c = h.Census()
+	if got := c.Gen(0).Words; got != 0 {
+		t.Fatalf("gen0 still holds %d words after collection", got)
+	}
+	if got := c.Gen(1).Objects; got == 0 {
+		t.Fatal("gen1 census empty after collection")
+	}
+	if !strings.Contains(c.String(), "total:") {
+		t.Fatal("census String missing total line")
+	}
+	_, _, _ = v, s, w
+}
+
+// TestStatsStringRendersPhases keeps the report in sync with the new
+// counters.
+func TestStatsStringRendersPhases(t *testing.T) {
+	h := heap.NewDefault()
+	h.Cons(fx(1), obj.Nil)
+	h.Collect(0)
+	out := h.Stats.String()
+	for _, want := range []string{"phases", "guardian", "sweep", "old-scan"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Stats.String missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -723,6 +723,55 @@ func (m *Machine) installPrims() {
 	def("bytes-allocated", 0, 0, func(m *Machine, a Args) (obj.Value, error) {
 		return obj.FromFixnum(int64(h.Stats.WordsAllocated * 8)), nil
 	})
+	def("gc-phase-stats", 0, 0, func(m *Machine, a Args) (obj.Value, error) {
+		// A list of (phase-symbol last-ns total-ns), one entry per
+		// collection phase, in phase order.
+		out := obj.Nil
+		for i := heap.NumPhases - 1; i >= 0; i-- {
+			entry := h.Cons(m.Intern(heap.Phase(i).String()),
+				h.Cons(obj.FromFixnum(h.Stats.LastPhases[i].Nanoseconds()),
+					h.Cons(obj.FromFixnum(h.Stats.PhaseTotals[i].Nanoseconds()), obj.Nil)))
+			out = h.Cons(entry, out)
+		}
+		return out, nil
+	})
+	def("gc-trace", 0, 1, func(m *Machine, a Args) (obj.Value, error) {
+		// (gc-trace n) enables the trace ring with capacity n (0
+		// disables); (gc-trace) returns the buffered collection records,
+		// oldest first, each an association list.
+		if a.Len() == 1 {
+			n := a.Get(0)
+			if !n.IsFixnum() || n.FixnumValue() < 0 {
+				return obj.Void, m.errf(n, "gc-trace: capacity must be a non-negative fixnum")
+			}
+			h.EnableTrace(int(n.FixnumValue()))
+			return obj.Void, nil
+		}
+		events := h.TraceEvents()
+		acons := func(tail obj.Value, name string, v int64) obj.Value {
+			return h.Cons(h.Cons(m.Intern(name), obj.FromFixnum(v)), tail)
+		}
+		out := obj.Nil
+		for i := len(events) - 1; i >= 0; i-- {
+			ev := &events[i]
+			rec := obj.Nil
+			for p := heap.NumPhases - 1; p >= 0; p-- {
+				rec = acons(rec, heap.Phase(p).String()+"-ns", ev.PhaseNS[p])
+			}
+			rec = acons(rec, "weak-broken", int64(ev.WeakBroken))
+			rec = acons(rec, "guardian-dropped", int64(ev.GuardianDropped))
+			rec = acons(rec, "guardian-held", int64(ev.GuardianHeld))
+			rec = acons(rec, "guardian-salvaged", int64(ev.GuardianSalvaged))
+			rec = acons(rec, "sweep-passes", int64(ev.SweepPasses))
+			rec = acons(rec, "words-copied", int64(ev.WordsCopied))
+			rec = acons(rec, "pause-ns", ev.PauseNS)
+			rec = acons(rec, "target", int64(ev.Target))
+			rec = acons(rec, "gen", int64(ev.Gen))
+			rec = acons(rec, "seq", int64(ev.Seq))
+			out = h.Cons(rec, out)
+		}
+		return out, nil
+	})
 	// --- Records (procedural interface) ------------------------------------
 	def("make-record", 2, 2, func(m *Machine, a Args) (obj.Value, error) {
 		nf := a.Get(1).FixnumValue()

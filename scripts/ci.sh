@@ -1,0 +1,30 @@
+#!/bin/sh
+# Repository CI gate: formatting, static checks, build, race-enabled
+# tests, and a benchgc smoke run. Run from anywhere; operates on the
+# repo root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "== benchgc smoke"
+go run ./cmd/benchgc -trace -phases -gcs 5 >/dev/null
+go run ./cmd/benchgc -e e1 >/dev/null
+
+echo "CI OK"

@@ -10,6 +10,8 @@
 //	benchgc -trace     # run the trace workload; one JSON line per collection
 //	benchgc -phases    # run the trace workload; per-phase pause summary
 //	benchgc -trace -phases -gcs 100   # both, over 100 collections
+//	benchgc -trace -workers 4         # same workload, parallel collector
+//	benchgc -parallel-bench           # pause/sweep percentiles per worker count -> BENCH_parallel.json
 //
 // See docs/ALGORITHM.md ("Reading benchgc -trace output") for the
 // trace record schema.
@@ -25,17 +27,28 @@ import (
 
 func main() {
 	var (
-		one    = flag.String("e", "", "run a single experiment by id (e1..e10, a1..a4)")
-		list   = flag.Bool("list", false, "list experiments and exit")
-		csv    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		trace  = flag.Bool("trace", false, "run the GC trace workload and emit one JSON line per collection")
-		phases = flag.Bool("phases", false, "run the GC trace workload and print a per-phase pause summary")
-		gcs    = flag.Int("gcs", 50, "number of collections for -trace/-phases")
+		one      = flag.String("e", "", "run a single experiment by id (e1..e10, a1..a4)")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		trace    = flag.Bool("trace", false, "run the GC trace workload and emit one JSON line per collection")
+		phases   = flag.Bool("phases", false, "run the GC trace workload and print a per-phase pause summary")
+		gcs      = flag.Int("gcs", 50, "number of collections for -trace/-phases/-parallel-bench")
+		workers  = flag.Int("workers", 1, "collector workers for the -trace/-phases workload (1 = sequential)")
+		parBench = flag.Bool("parallel-bench", false,
+			"run the parallel collection baseline across worker counts and write a JSON report")
+		benchOut = flag.String("bench-out", "BENCH_parallel.json", "output path for -parallel-bench")
 	)
 	flag.Parse()
 
+	if *parBench {
+		if err := runParallelBench(os.Stdout, *benchOut, *gcs); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgc: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *trace || *phases {
-		h, err := runTraceWorkload(os.Stdout, *gcs, *trace)
+		h, err := runTraceWorkload(os.Stdout, *gcs, *workers, *trace)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchgc: %v\n", err)
 			os.Exit(1)

@@ -17,7 +17,7 @@ import (
 func TestTraceEmitsValidJSONLines(t *testing.T) {
 	var buf bytes.Buffer
 	const gcs = 25
-	h, err := runTraceWorkload(&buf, gcs, true)
+	h, err := runTraceWorkload(&buf, gcs, 1, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +76,7 @@ func TestTraceEmitsValidJSONLines(t *testing.T) {
 
 func TestPhaseSummaryRendersAllPhases(t *testing.T) {
 	var sink bytes.Buffer
-	h, err := runTraceWorkload(&sink, 5, false)
+	h, err := runTraceWorkload(&sink, 5, 1, false)
 	if err != nil {
 		t.Fatal(err)
 	}

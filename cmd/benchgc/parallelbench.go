@@ -1,0 +1,166 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+
+	"repro/internal/heap"
+	"repro/internal/obj"
+)
+
+// benchgc -parallel-bench: the baseline for the parallel collection
+// mode's bench trajectory. For each worker count it builds the same
+// multi-megabyte live heap, runs a fixed number of full collections
+// with mutator churn in between, and records pause and sweep-phase
+// percentiles. The report is written as JSON (BENCH_parallel.json by
+// default) so successive PRs can compare against a stored baseline.
+//
+// Workers=1 is the sequential collector and serves as the reference:
+// its percentiles must stay flat as the parallel code evolves. Speedup
+// at higher counts requires actual cores — on a single-CPU host the
+// workers serialize and the overhead of CAS forwarding and work
+// stealing shows up as a slowdown instead; GOMAXPROCS is recorded in
+// the report so readers can tell which regime produced it.
+
+type benchQuantiles struct {
+	P50  int64 `json:"p50_ns"`
+	P90  int64 `json:"p90_ns"`
+	Max  int64 `json:"max_ns"`
+	Mean int64 `json:"mean_ns"`
+}
+
+type benchWorkerResult struct {
+	Workers     int            `json:"workers"`
+	Collections int            `json:"collections"`
+	Pause       benchQuantiles `json:"pause"`
+	Sweep       benchQuantiles `json:"sweep"`
+	OldScan     benchQuantiles `json:"old_scan"`
+	WordsCopied uint64         `json:"words_copied_per_gc"`
+}
+
+type benchReport struct {
+	Description string              `json:"description"`
+	GoMaxProcs  int                 `json:"gomaxprocs"`
+	LivePairs   int                 `json:"live_pairs"`
+	LiveVectors int                 `json:"live_vectors"`
+	Results     []benchWorkerResult `json:"results"`
+}
+
+func quantilesOf(ns []int64) benchQuantiles {
+	if len(ns) == 0 {
+		return benchQuantiles{}
+	}
+	sorted := append([]int64(nil), ns...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum int64
+	for _, v := range sorted {
+		sum += v
+	}
+	at := func(q float64) int64 {
+		i := int(q * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return benchQuantiles{
+		P50:  at(0.50),
+		P90:  at(0.90),
+		Max:  sorted[len(sorted)-1],
+		Mean: sum / int64(len(sorted)),
+	}
+}
+
+// benchOneWorkerCount builds the live heap and runs gcs measured full
+// collections at the given worker count.
+func benchOneWorkerCount(workers, gcs, pairs, vectors int) benchWorkerResult {
+	cfg := heap.DefaultConfig()
+	cfg.TriggerWords = 1 << 30 // collections are explicit
+	cfg.Workers = workers
+	h := heap.New(cfg)
+
+	var list obj.Value = obj.Nil
+	for i := 0; i < pairs; i++ {
+		list = h.Cons(obj.FromFixnum(int64(i)), list)
+		if i%8 == 0 {
+			list = h.Cons(h.WeakCons(list, obj.Nil), list)
+		}
+	}
+	for i := 0; i < vectors; i++ {
+		v := h.MakeVector(64, obj.Nil)
+		h.VectorSet(v, 0, list)
+		list = h.Cons(v, list)
+	}
+	r := h.NewRoot(list)
+	defer r.Release()
+
+	var pause, sweep, oldScan []int64
+	var words uint64
+	h.SetTraceFunc(func(ev heap.TraceEvent) {
+		pause = append(pause, ev.PauseNS)
+		sweep = append(sweep, ev.PhaseNS[heap.PhaseSweep])
+		oldScan = append(oldScan, ev.PhaseNS[heap.PhaseOldScan])
+		words += ev.WordsCopied
+	})
+	h.Collect(h.MaxGeneration()) // warm-up: settle survivors
+	pause, sweep, oldScan, words = nil, nil, nil, 0
+	for i := 0; i < gcs; i++ {
+		for j := 0; j < 2000; j++ { // churn between collections
+			h.Cons(obj.FromFixnum(int64(j)), obj.Nil)
+		}
+		h.Collect(h.MaxGeneration())
+	}
+	h.MustVerify()
+	res := benchWorkerResult{
+		Workers:     workers,
+		Collections: gcs,
+		Pause:       quantilesOf(pause),
+		Sweep:       quantilesOf(sweep),
+		OldScan:     quantilesOf(oldScan),
+	}
+	if gcs > 0 {
+		res.WordsCopied = words / uint64(gcs)
+	}
+	return res
+}
+
+// runParallelBench runs the worker-count sweep and writes the JSON
+// report to path, echoing a human-readable summary to out.
+func runParallelBench(out io.Writer, path string, gcs int) error {
+	if gcs <= 0 {
+		gcs = 15
+	}
+	const pairs, vectors = 150_000, 1_000
+	rep := benchReport{
+		Description: "full-collection pause/sweep percentiles per collector worker count " +
+			"on an identical multi-megabyte live heap",
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		LivePairs:   pairs,
+		LiveVectors: vectors,
+	}
+	fmt.Fprintf(out, "parallel collection baseline: %d collections per worker count, GOMAXPROCS=%d\n",
+		gcs, rep.GoMaxProcs)
+	fmt.Fprintf(out, "%8s  %12s  %12s  %12s\n", "workers", "pause p50", "pause p90", "sweep p50")
+	for _, w := range []int{1, 2, 4, 8} {
+		res := benchOneWorkerCount(w, gcs, pairs, vectors)
+		rep.Results = append(rep.Results, res)
+		fmt.Fprintf(out, "%8d  %10.3fms  %10.3fms  %10.3fms\n", w,
+			float64(res.Pause.P50)/1e6, float64(res.Pause.P90)/1e6, float64(res.Sweep.P50)/1e6)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s\n", path)
+	return nil
+}

@@ -13,12 +13,14 @@ import (
 // runTraceWorkload drives a representative workload — a tenured list,
 // guardians with both held and salvaged registrations, weak pairs,
 // old-generation mutations, and generation-0 churn — for exactly the
-// requested number of collections under the radix policy. When
-// emitJSON is set, every collection's TraceEvent is written to out as
-// one JSON line (JSON Lines, oldest first). The heap is returned so
-// the caller can render phase summaries from its Stats.
-func runTraceWorkload(out io.Writer, collections int, emitJSON bool) (*heap.Heap, error) {
+// requested number of collections under the radix policy. workers
+// selects the collector worker count (1 = sequential). When emitJSON
+// is set, every collection's TraceEvent is written to out as one JSON
+// line (JSON Lines, oldest first). The heap is returned so the caller
+// can render phase summaries from its Stats.
+func runTraceWorkload(out io.Writer, collections, workers int, emitJSON bool) (*heap.Heap, error) {
 	h := heap.NewDefault()
+	h.SetWorkers(workers)
 	var emitErr error
 	if emitJSON {
 		enc := json.NewEncoder(out)

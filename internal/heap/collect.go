@@ -42,14 +42,20 @@ func (h *Heap) Collect(g int) {
 	if target > h.MaxGeneration() {
 		target = h.MaxGeneration()
 	}
-	if target < 0 {
-		target = 0
+	if target < g {
+		// Demotion: survivors of a collection of 0..g cannot land in a
+		// generation younger than g — from-space is exactly 0..g, so a
+		// younger target would immediately be from-space again and the
+		// cursor-reset logic below would free live copies. Clamp to the
+		// in-place policy instead (documented on Config.TargetGen).
+		target = g
 	}
 	h.gcTarget = target
 	st := &h.Stats
 	st.countCollection(g)
 	snap := h.Stats // per-collection deltas for the trace event
 	h.phaseNS = [NumPhases]int64{}
+	st.LastWorkerSweep = st.LastWorkerSweep[:0] // repopulated by parallel mode
 
 	// Detach from-space: the segment chains of every collected
 	// generation. When the oldest generation collects into itself, its
@@ -75,27 +81,35 @@ func (h *Heap) Collect(g int) {
 	h.pendWeak = h.pendWeak[:0]
 	t := h.phaseMark(PhaseSetup, start)
 
-	// Roots: explicit root slots, then registered providers.
-	for i, live := range h.rootsLive {
-		if live {
-			h.roots[i] = h.forward(h.roots[i])
-		}
-	}
-	for _, p := range h.providers {
-		p.v.VisitRoots(h.rootVisit)
-	}
-	t = h.phaseMark(PhaseRoots, t)
-
-	// Old-to-young pointers: dirty cells, or a conservative scan of
-	// all older generations when the dirty set is disabled.
-	if h.cfg.UseDirtySet {
-		h.scanDirty(g)
+	if h.cfg.Workers > 1 {
+		// Parallel mode (see parallel.go): the roots, old-scan, and
+		// sweep phases fan out over cfg.Workers workers; everything
+		// after (guardian, weak, hooks, free) is shared sequential
+		// code, exactly as in the paper.
+		t = h.collectParallel(g, t)
 	} else {
-		h.scanAllOld(g)
-	}
-	t = h.phaseMark(PhaseOldScan, t)
+		// Roots: explicit root slots, then registered providers.
+		for i, live := range h.rootsLive {
+			if live {
+				h.roots[i] = h.forward(h.roots[i])
+			}
+		}
+		for _, p := range h.providers {
+			p.v.VisitRoots(h.rootVisit)
+		}
+		t = h.phaseMark(PhaseRoots, t)
 
-	h.kleeneSweep() // accrues PhaseSweep itself
+		// Old-to-young pointers: dirty cells, or a conservative scan
+		// of all older generations when the dirty set is disabled.
+		if h.cfg.UseDirtySet {
+			h.scanDirty(g)
+		} else {
+			h.scanAllOld(g)
+		}
+		t = h.phaseMark(PhaseOldScan, t)
+
+		h.kleeneSweep() // accrues PhaseSweep itself
+	}
 
 	// The guardian phase's nested kleene-sweeps accrue to PhaseSweep;
 	// subtracting them leaves the protected-list bookkeeping alone in
@@ -553,12 +567,20 @@ func (h *Heap) weakPass(g int) {
 		}
 		return
 	}
+	// Both freshly copied weak pairs and deferred dirty weak cells can
+	// end up with a car still pointing at a strictly younger generation
+	// — a copied pair's car does whenever the promotion policy sends
+	// the pair past its referent's generation (eager tenure, §4's
+	// programmer-controlled strategies). Such cells must (re-)enter the
+	// dirty set or later minor collections would never revisit them and
+	// the car would silently dangle (Verify invariant 4).
 	for _, addr := range h.newWeak {
-		h.weakFix(addr)
+		if h.weakFix(addr) && h.cfg.UseDirtySet {
+			h.dirty[addr] = true
+		}
 	}
 	for _, addr := range h.pendWeak {
-		stillYoung := h.weakFix(addr)
-		if stillYoung && h.cfg.UseDirtySet {
+		if h.weakFix(addr) && h.cfg.UseDirtySet {
 			h.dirty[addr] = true
 		}
 	}

@@ -60,11 +60,25 @@ type Config struct {
 	// TargetGen, when non-nil, chooses the target generation for a
 	// collection of generations 0..g — §4: "the promotion and tenure
 	// strategies supported by the collector are under programmer
-	// control". The returned generation is clamped to [0, maxGen].
-	// nil uses the paper's simple strategy: survivors of a collection
-	// of generation g go to g+1, with the oldest generation collecting
-	// into itself.
+	// control". The returned generation is clamped to [g, maxGen]:
+	// demotion (target < g) is not a meaningful promotion policy for a
+	// copying collector whose from-space is exactly generations 0..g,
+	// so an undershooting policy behaves like the in-place policy
+	// target == g (survivors stay in the youngest collected
+	// generation). nil uses the paper's simple strategy: survivors of
+	// a collection of generation g go to g+1, with the oldest
+	// generation collecting into itself.
 	TargetGen func(g, maxGen int) int
+	// Workers is the number of collector workers used for the
+	// forwarding phases of a collection (roots, old-space scan, and
+	// the Cheney sweep). 0 or 1 selects the exact sequential algorithm
+	// of the paper; 2..MaxWorkers fan those phases out over worker
+	// goroutines with per-worker to-space allocation buffers and
+	// CAS-installed forwarding words (see parallel.go and
+	// docs/ALGORITHM.md). The guardian and weak phases always run
+	// sequentially to preserve the paper's ordering guarantees. Values
+	// outside [1, MaxWorkers] are clamped.
+	Workers int
 }
 
 // DefaultConfig returns the configuration used throughout the examples
@@ -151,6 +165,11 @@ type Heap struct {
 	allocForbidden bool
 	inHandler      bool
 
+	// Parallel collection state (see parallel.go), built lazily the
+	// first time a collection runs with cfg.Workers > 1 and reused
+	// across collections.
+	par *parGC
+
 	// Observability (see trace.go): per-collection phase timing
 	// scratch, the optional trace ring, and the optional callback.
 	phaseNS   [NumPhases]int64
@@ -173,6 +192,7 @@ func New(cfg Config) *Heap {
 	if cfg.Radix < 2 {
 		cfg.Radix = 4
 	}
+	cfg.Workers = clampWorkers(cfg.Workers)
 	h := &Heap{
 		tab:   &seg.Table{},
 		cfg:   cfg,
@@ -204,6 +224,29 @@ func (h *Heap) MaxGeneration() int { return h.cfg.Generations - 1 }
 // collection, so callers (such as eq hash tables) can detect that a
 // collection has happened since they last hashed addresses.
 func (h *Heap) Stamp() uint64 { return h.stamp }
+
+// Workers returns the number of collector workers used by parallel
+// collections (1 means the sequential collector).
+func (h *Heap) Workers() int { return h.cfg.Workers }
+
+// SetWorkers changes the number of collector workers for subsequent
+// collections. It may be called at any time outside a collection; the
+// heap contents are unaffected (worker count only changes how the
+// forwarding phases are scheduled). n is clamped to [1, MaxWorkers].
+func (h *Heap) SetWorkers(n int) {
+	h.check(!h.inCollect, "SetWorkers called during a collection")
+	h.cfg.Workers = clampWorkers(n)
+}
+
+func clampWorkers(n int) int {
+	if n < 1 {
+		return 1
+	}
+	if n > MaxWorkers {
+		return MaxWorkers
+	}
+	return n
+}
 
 // maxObjectWords caps single-object size (128 K words = 1 MB) to catch
 // runaway allocations early.

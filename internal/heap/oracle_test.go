@@ -25,10 +25,12 @@ type oracleHeap struct {
 	tconc *heap.Root
 }
 
-func newOracleHeap(useDirty bool) *oracleHeap {
+func newOracleHeap(mut func(*heap.Config)) *oracleHeap {
 	cfg := heap.DefaultConfig()
 	cfg.TriggerWords = 1 << 30 // collections are explicit ops only
-	cfg.UseDirtySet = useDirty
+	if mut != nil {
+		mut(&cfg)
+	}
 	h := heap.New(cfg)
 	dummy := h.Cons(obj.False, obj.False)
 	tc := h.Cons(dummy, dummy)
@@ -145,99 +147,138 @@ func (o *oracleHeap) randomValue(rng *rand.Rand) obj.Value {
 	}
 }
 
+// oracleStep applies one random op to o and reports whether it was a
+// collection. Each call receives a freshly seeded rng, so two heaps
+// stepped with the same sub-seed consume identical random streams as
+// long as they stay isomorphic.
+func oracleStep(o *oracleHeap, rng *rand.Rand) bool {
+	h := o.h
+	switch op := rng.Intn(100); {
+	case op < 35: // cons
+		o.roots = append(o.roots, h.NewRoot(h.Cons(o.randomValue(rng), o.randomValue(rng))))
+	case op < 45: // weak cons
+		o.roots = append(o.roots, h.NewRoot(h.WeakCons(o.randomValue(rng), o.randomValue(rng))))
+	case op < 50: // vector
+		v := h.MakeVector(1+rng.Intn(6), obj.Nil)
+		for i := 0; i < h.VectorLength(v); i++ {
+			h.VectorSet(v, i, o.randomValue(rng))
+		}
+		o.roots = append(o.roots, h.NewRoot(v))
+	case op < 53: // string
+		o.roots = append(o.roots, h.NewRoot(h.MakeString(fmt.Sprintf("s%d", rng.Intn(100)))))
+	case op < 68: // mutate a random pair root
+		if len(o.roots) > 0 {
+			v := o.roots[rng.Intn(len(o.roots))].Get()
+			if v.IsPair() && !h.IsWeakPair(v) {
+				nv := o.randomValue(rng)
+				if rng.Intn(2) == 0 {
+					h.SetCar(v, nv)
+				} else {
+					h.SetCdr(v, nv)
+				}
+			} else {
+				rng.Intn(2) // keep streams aligned
+				o.randomValue(rng)
+			}
+		}
+	case op < 78: // drop a root
+		if len(o.roots) > 4 {
+			i := rng.Intn(len(o.roots))
+			o.roots[i].Release()
+			o.roots[i] = o.roots[len(o.roots)-1]
+			o.roots = o.roots[:len(o.roots)-1]
+		}
+	case op < 85: // register a rooted object with the guardian
+		if len(o.roots) > 0 {
+			v := o.roots[rng.Intn(len(o.roots))].Get()
+			if v.IsPointer() {
+				h.InstallGuardian(v, o.tconc.Get())
+			}
+		}
+	case op < 90: // register a dropped object (salvage fodder)
+		h.InstallGuardian(h.Cons(obj.FromFixnum(int64(rng.Intn(50))), obj.Nil), o.tconc.Get())
+	default: // collect a random generation range
+		h.Collect(rng.Intn(h.MaxGeneration() + 1))
+		return true
+	}
+	return false
+}
+
+// runOracleLockstep drives heaps a and b through the same seeded
+// workload, verifying both heaps and requiring isomorphism (and
+// identical guardian/weak outcomes) after every collection.
+func runOracleLockstep(t *testing.T, seed int64, steps int, a, b *oracleHeap, aName, bName string) {
+	t.Helper()
+	collections := 0
+	master := rand.New(rand.NewSource(seed))
+	for i := 0; i < steps; i++ {
+		sub := master.Int63()
+		ca := oracleStep(a, rand.New(rand.NewSource(sub)))
+		cb := oracleStep(b, rand.New(rand.NewSource(sub)))
+		if ca != cb {
+			t.Fatalf("step %d: heaps took different ops", i)
+		}
+		if ca {
+			collections++
+			if errs := a.h.Verify(); len(errs) > 0 {
+				t.Fatalf("step %d: %s heap unsound: %v", i, aName, errs[0])
+			}
+			if errs := b.h.Verify(); len(errs) > 0 {
+				t.Fatalf("step %d: %s heap unsound: %v", i, bName, errs[0])
+			}
+			if err := a.compare(b); err != nil {
+				t.Fatalf("step %d (after collection): %v", i, err)
+			}
+		}
+	}
+	if collections < steps/30 {
+		t.Fatalf("workload only collected %d times; oracle too weak", collections)
+	}
+	// Final full comparison, including draining the guardians.
+	a.h.Collect(a.h.MaxGeneration())
+	b.h.Collect(b.h.MaxGeneration())
+	if err := a.compare(b); err != nil {
+		t.Fatalf("final: %v", err)
+	}
+}
+
 func TestDirtySetOracle(t *testing.T) {
 	for _, seed := range []int64{1, 7, 20260805} {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			a := newOracleHeap(true)
-			b := newOracleHeap(false)
-			collections := 0
-			// step applies one random op and reports whether it was a
-			// collection. Each call receives a freshly seeded rng, so
-			// both heaps consume identical random sub-streams as long
-			// as they stay isomorphic.
-			step := func(o *oracleHeap, rng *rand.Rand) bool {
-				h := o.h
-				switch op := rng.Intn(100); {
-				case op < 35: // cons
-					o.roots = append(o.roots, h.NewRoot(h.Cons(o.randomValue(rng), o.randomValue(rng))))
-				case op < 45: // weak cons
-					o.roots = append(o.roots, h.NewRoot(h.WeakCons(o.randomValue(rng), o.randomValue(rng))))
-				case op < 50: // vector
-					v := h.MakeVector(1+rng.Intn(6), obj.Nil)
-					for i := 0; i < h.VectorLength(v); i++ {
-						h.VectorSet(v, i, o.randomValue(rng))
-					}
-					o.roots = append(o.roots, h.NewRoot(v))
-				case op < 53: // string
-					o.roots = append(o.roots, h.NewRoot(h.MakeString(fmt.Sprintf("s%d", rng.Intn(100)))))
-				case op < 68: // mutate a random pair root
-					if len(o.roots) > 0 {
-						v := o.roots[rng.Intn(len(o.roots))].Get()
-						if v.IsPair() && !h.IsWeakPair(v) {
-							nv := o.randomValue(rng)
-							if rng.Intn(2) == 0 {
-								h.SetCar(v, nv)
-							} else {
-								h.SetCdr(v, nv)
-							}
-						} else {
-							rng.Intn(2) // keep streams aligned
-							o.randomValue(rng)
-						}
-					}
-				case op < 78: // drop a root
-					if len(o.roots) > 4 {
-						i := rng.Intn(len(o.roots))
-						o.roots[i].Release()
-						o.roots[i] = o.roots[len(o.roots)-1]
-						o.roots = o.roots[:len(o.roots)-1]
-					}
-				case op < 85: // register a rooted object with the guardian
-					if len(o.roots) > 0 {
-						v := o.roots[rng.Intn(len(o.roots))].Get()
-						if v.IsPointer() {
-							h.InstallGuardian(v, o.tconc.Get())
-						}
-					}
-				case op < 90: // register a dropped object (salvage fodder)
-					h.InstallGuardian(h.Cons(obj.FromFixnum(int64(rng.Intn(50))), obj.Nil), o.tconc.Get())
-				default: // collect a random generation range
-					h.Collect(rng.Intn(h.MaxGeneration() + 1))
-					return true
-				}
-				return false
-			}
-			master := rand.New(rand.NewSource(seed))
-			const steps = 3000
-			for i := 0; i < steps; i++ {
-				sub := master.Int63()
-				ca := step(a, rand.New(rand.NewSource(sub)))
-				cb := step(b, rand.New(rand.NewSource(sub)))
-				if ca != cb {
-					t.Fatalf("step %d: heaps took different ops", i)
-				}
-				if ca {
-					collections++
-					if errs := a.h.Verify(); len(errs) > 0 {
-						t.Fatalf("step %d: dirty-set heap unsound: %v", i, errs[0])
-					}
-					if errs := b.h.Verify(); len(errs) > 0 {
-						t.Fatalf("step %d: scan-all-old heap unsound: %v", i, errs[0])
-					}
-					if err := a.compare(b); err != nil {
-						t.Fatalf("step %d (after collection): %v", i, err)
-					}
-				}
-			}
-			if collections < 100 {
-				t.Fatalf("workload only collected %d times; oracle too weak", collections)
-			}
-			// Final full comparison, including draining the guardians.
-			a.h.Collect(a.h.MaxGeneration())
-			b.h.Collect(b.h.MaxGeneration())
-			if err := a.compare(b); err != nil {
-				t.Fatalf("final: %v", err)
-			}
+			a := newOracleHeap(nil)
+			b := newOracleHeap(func(cfg *heap.Config) { cfg.UseDirtySet = false })
+			runOracleLockstep(t, seed, 3000, a, b, "dirty-set", "scan-all-old")
 		})
 	}
+}
+
+// TestParallelOracle is the tentpole correctness gate for the parallel
+// collection mode: a sequential heap and a Workers=N heap are stepped
+// in lockstep, and after every collection the two must be isomorphic
+// with identical guardian tconc contents and weak/guardian outcome
+// counters. Copy order (and therefore addresses) differ between the
+// two — structEqual demands a bijection, not address equality. Run
+// under -race this also exercises the CAS forwarding protocol and the
+// work-stealing sweep for data races.
+func TestParallelOracle(t *testing.T) {
+	for _, workers := range []int{2, 8} {
+		for _, seed := range []int64{1, 20260805} {
+			t.Run(fmt.Sprintf("workers=%d/seed=%d", workers, seed), func(t *testing.T) {
+				a := newOracleHeap(nil)
+				b := newOracleHeap(func(cfg *heap.Config) { cfg.Workers = workers })
+				runOracleLockstep(t, seed, 2000, a, b, "sequential", "parallel")
+			})
+		}
+	}
+	// The conservative old-generation scan has its own parallel path
+	// (scanOldPhase); cross-check it against the sequential dirty-set
+	// collector so both axes differ at once.
+	t.Run("scan-all-old-parallel", func(t *testing.T) {
+		a := newOracleHeap(nil)
+		b := newOracleHeap(func(cfg *heap.Config) {
+			cfg.UseDirtySet = false
+			cfg.Workers = 4
+		})
+		runOracleLockstep(t, 7, 2000, a, b, "sequential", "parallel-scan-all")
+	})
 }

@@ -1,0 +1,606 @@
+package heap
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obj"
+	"repro/internal/seg"
+)
+
+// This file implements the opt-in parallel collection mode
+// (Config.Workers > 1). The three forwarding phases of a collection —
+// roots, old-space scan, and the Cheney kleene-sweep — fan out over N
+// worker goroutines; the guardian and weak phases that follow stay
+// sequential, preserving the paper's ordering (guardians before the
+// weak second pass). The design, and the argument for why the result
+// is isomorphic to the sequential collector's, is laid out in
+// docs/ALGORITHM.md; the lockstep oracle in oracle_test.go checks it
+// after every collection.
+//
+// The concurrency protocol in brief:
+//
+//   - Each worker owns a private to-space allocation buffer: one open
+//     segment per space, bump-allocated without locks. Taking a fresh
+//     segment (and large-object runs) goes through parGC.allocMu.
+//     Segment structs are stable pointers (package seg's chunked
+//     table), so one worker growing the table never invalidates
+//     another worker's reads.
+//   - Forwarding words are installed with compare-and-swap. A worker
+//     reads from-space word 0 atomically, copies the object using that
+//     loaded value (words 1..n are immutable during the parallel
+//     phases and may be read plainly), and CASes MakeFwd(na) over the
+//     loaded word. The loser rolls its bump allocation back and
+//     follows the winner's forwarding address, so every object is
+//     copied exactly once and the copy is published with
+//     acquire/release semantics: whoever reads the forwarding word
+//     sees the fully initialized copy and its segment metadata.
+//   - Copied objects that need sweeping go onto the copying worker's
+//     queue; idle workers steal from the head of other workers'
+//     queues (owner pops the tail). Termination uses a global count
+//     of pushed-but-unprocessed items: it is incremented before an
+//     item becomes visible and decremented only after the item and
+//     all pushes it performed are done, so pending == 0 proves the
+//     sweep has reached its fixpoint.
+type parGC struct {
+	allocMu sync.Mutex   // serializes seg.Table mutation + chain appends
+	workers []*parWorker // all workers ever created, id order
+	active  []*parWorker // workers participating in this collection
+	pending atomic.Int64 // sweep items pushed but not yet processed
+	abort   atomic.Bool  // a worker panicked; spinners must exit
+
+	strongScratch []uint64 // reusable strong-dirty-cell snapshot
+	candScratch   []int    // reusable scanAllOld candidate-segment list
+}
+
+// parStats are the per-worker deltas of the Stats counters touched by
+// the forwarding phases, merged into Heap.Stats after the workers join
+// so the shared counters are never written concurrently.
+type parStats struct {
+	wordsAllocated    uint64
+	segmentsAllocated uint64
+	wordsCopied       uint64
+	pairsCopied       uint64
+	objectsCopied     uint64
+	cellsSwept        uint64
+	dirtyCellsScanned uint64
+}
+
+type parWorker struct {
+	id int
+	h  *Heap
+
+	// Private to-space allocation buffer: the open segment per space,
+	// always in the collection's target generation.
+	cur [seg.NumSpaces]cursor
+
+	qmu   sync.Mutex // guards queue; owner pops tail, thieves pop head
+	queue []sweepItem
+
+	newWeak   []uint64 // weak pairs this worker copied
+	pendWeak  []uint64 // weak cars this worker deferred (scanAllOld)
+	dropDirty []uint64 // dirty entries to delete after the join
+
+	stats   parStats
+	sweepNS int64
+
+	visit func(*obj.Value) // persistent visitor closure for providers
+}
+
+// MaxWorkers bounds Config.Workers. Sixteen covers every machine this
+// collector is likely to meet while keeping per-heap worker state
+// small.
+const MaxWorkers = 16
+
+// ensurePar lazily builds (and per-collection resets) the parallel
+// collection state. Workers are created once and reused; changing
+// Config.Workers between collections just changes how many take part.
+func (h *Heap) ensurePar() *parGC {
+	if h.par == nil {
+		h.par = &parGC{}
+	}
+	p := h.par
+	for len(p.workers) < h.cfg.Workers {
+		pw := &parWorker{id: len(p.workers), h: h}
+		pw.visit = func(pv *obj.Value) { *pv = pw.forward(*pv) }
+		p.workers = append(p.workers, pw)
+	}
+	p.active = p.workers[:h.cfg.Workers]
+	p.pending.Store(0)
+	p.abort.Store(false)
+	for _, pw := range p.active {
+		for sp := range pw.cur {
+			pw.cur[sp] = cursor{seg: seg.None}
+		}
+		pw.queue = pw.queue[:0]
+		pw.newWeak = pw.newWeak[:0]
+		pw.pendWeak = pw.pendWeak[:0]
+		pw.dropDirty = pw.dropDirty[:0]
+		pw.stats = parStats{}
+		pw.sweepNS = 0
+	}
+	return p
+}
+
+// collectParallel runs the roots, old-scan, and sweep phases of a
+// collection of generations 0..g over cfg.Workers workers. It is
+// called from Collect with the same phase-clock value the sequential
+// path would use and returns the clock after marking PhaseSweep;
+// everything before (setup) and after (guardian, weak, hooks, free)
+// is the shared sequential code.
+func (h *Heap) collectParallel(g int, t time.Time) time.Time {
+	p := h.ensurePar()
+
+	h.runPar(func(pw *parWorker) { pw.rootsPhase() })
+	t = h.phaseMark(PhaseRoots, t)
+
+	if h.cfg.UseDirtySet {
+		strong := h.prepDirtyPar(g)
+		h.runPar(func(pw *parWorker) { pw.dirtyPhase(strong) })
+		for _, pw := range p.active {
+			for _, addr := range pw.dropDirty {
+				delete(h.dirty, addr)
+			}
+		}
+	} else {
+		cands := h.oldSegCandidates(g)
+		h.runPar(func(pw *parWorker) { pw.scanOldPhase(cands) })
+	}
+	t = h.phaseMark(PhaseOldScan, t)
+
+	// The whole parallel drain counts as one kleene-sweep pass: waves
+	// lose their meaning when workers race through the transitive
+	// closure, so SweepPasses reports sequential sweep depth only.
+	if p.pending.Load() > 0 {
+		h.Stats.SweepPasses++
+	}
+	h.runPar(func(pw *parWorker) { pw.sweepPhase() })
+	t = h.phaseMark(PhaseSweep, t)
+
+	h.mergeWorkers(p)
+	return t
+}
+
+// runPar runs fn on every active worker and waits for all of them.
+// A worker panic sets the abort flag (so sweep spinners exit instead
+// of waiting for a pending count that will never reach zero) and is
+// re-raised on the coordinator after the join.
+func (h *Heap) runPar(fn func(*parWorker)) {
+	p := h.par
+	var wg sync.WaitGroup
+	panics := make([]any, len(p.active))
+	for i, pw := range p.active {
+		wg.Add(1)
+		go func(i int, pw *parWorker) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[i] = r
+					p.abort.Store(true)
+				}
+			}()
+			fn(pw)
+		}(i, pw)
+	}
+	wg.Wait()
+	for _, r := range panics {
+		if r != nil {
+			panic(r)
+		}
+	}
+}
+
+// mergeWorkers folds the per-worker state back into the heap after the
+// parallel phases have joined: stats deltas, the weak-pair lists the
+// sequential guardian/weak phases consume, and the per-worker sweep
+// timings surfaced in Stats.LastWorkerSweep.
+func (h *Heap) mergeWorkers(p *parGC) {
+	st := &h.Stats
+	st.LastWorkerSweep = st.LastWorkerSweep[:0]
+	for _, pw := range p.active {
+		st.WordsAllocated += pw.stats.wordsAllocated
+		st.SegmentsAllocated += pw.stats.segmentsAllocated
+		st.WordsCopied += pw.stats.wordsCopied
+		st.PairsCopied += pw.stats.pairsCopied
+		st.ObjectsCopied += pw.stats.objectsCopied
+		st.CellsSwept += pw.stats.cellsSwept
+		st.DirtyCellsScanned += pw.stats.dirtyCellsScanned
+		h.newWeak = append(h.newWeak, pw.newWeak...)
+		h.pendWeak = append(h.pendWeak, pw.pendWeak...)
+		st.LastWorkerSweep = append(st.LastWorkerSweep, time.Duration(pw.sweepNS))
+	}
+}
+
+// rootsPhase forwards this worker's share of the explicit root slots
+// and root providers. Slots are strided by worker id; each provider is
+// visited by exactly one worker (providers own disjoint root storage).
+func (pw *parWorker) rootsPhase() {
+	h, w := pw.h, len(pw.h.par.active)
+	for i := pw.id; i < len(h.roots); i += w {
+		if h.rootsLive[i] {
+			h.roots[i] = pw.forward(h.roots[i])
+		}
+	}
+	for j := pw.id; j < len(h.providers); j += w {
+		h.providers[j].v.VisitRoots(pw.visit)
+	}
+}
+
+// prepDirtyPar is the sequential pre-pass over the remembered set: it
+// snapshots the map, drops stale and collected entries, defers weak
+// car cells to the weak pass, and returns the strong cells for the
+// workers to forward. Run before the workers start because the dirty
+// map is not safe for concurrent mutation.
+func (h *Heap) prepDirtyPar(g int) []uint64 {
+	scratch := h.dirtyScratch[:0]
+	for addr, weak := range h.dirty {
+		scratch = append(scratch, dirtyCell{addr, weak})
+	}
+	h.dirtyScratch = scratch[:0]
+	strong := h.par.strongScratch[:0]
+	for _, c := range scratch {
+		s := h.tab.SegOf(c.addr)
+		if !s.InUse || s.Gen <= g {
+			delete(h.dirty, c.addr)
+			continue
+		}
+		h.Stats.DirtyCellsScanned++
+		if c.weak {
+			delete(h.dirty, c.addr)
+			h.pendWeak = append(h.pendWeak, c.addr)
+			continue
+		}
+		strong = append(strong, c.addr)
+	}
+	h.par.strongScratch = strong
+	return strong
+}
+
+// dirtyPhase forwards this worker's share of the strong dirty cells in
+// place, recording entries that no longer point to a younger
+// generation for deletion after the join (the map itself is only
+// touched sequentially).
+func (pw *parWorker) dirtyPhase(strong []uint64) {
+	h, w := pw.h, len(pw.h.par.active)
+	for k := pw.id; k < len(strong); k += w {
+		addr := strong[k]
+		nv := pw.forward(h.valueAt(addr))
+		h.setWord(addr, uint64(nv))
+		if !nv.IsPointer() || h.tab.SegOf(nv.Addr()).Gen >= h.tab.SegOf(addr).Gen {
+			pw.dropDirty = append(pw.dropDirty, addr)
+		}
+	}
+}
+
+// oldSegCandidates snapshots the segments scanAllOld would visit.
+// Taken sequentially before the workers start so nobody iterates the
+// table while to-space allocation grows it; segments created during
+// the phases carry the current stamp and would be skipped anyway.
+func (h *Heap) oldSegCandidates(g int) []int {
+	cands := h.par.candScratch[:0]
+	for idx := 0; idx < h.tab.Len(); idx++ {
+		s := h.tab.Seg(idx)
+		if !s.InUse || s.Cont || s.Gen <= g || s.Stamp == h.stamp {
+			continue
+		}
+		cands = append(cands, idx)
+	}
+	h.par.candScratch = cands
+	return cands
+}
+
+// scanOldPhase is the parallel body of scanAllOld: each candidate
+// segment is scanned by exactly one worker, so in-place forwarding
+// writes never collide.
+func (pw *parWorker) scanOldPhase(cands []int) {
+	h, w := pw.h, len(pw.h.par.active)
+	for k := pw.id; k < len(cands); k += w {
+		idx := cands[k]
+		s := h.tab.Seg(idx)
+		base := seg.BaseAddr(idx)
+		switch s.Space {
+		case seg.SpacePair:
+			for off := 0; off+1 < s.Fill; off += 2 {
+				a := base + uint64(off)
+				h.setWord(a, uint64(pw.forward(h.valueAt(a))))
+				h.setWord(a+1, uint64(pw.forward(h.valueAt(a+1))))
+				pw.stats.dirtyCellsScanned += 2
+			}
+		case seg.SpaceWeak:
+			for off := 0; off+1 < s.Fill; off += 2 {
+				a := base + uint64(off)
+				pw.pendWeak = append(pw.pendWeak, a)
+				h.setWord(a+1, uint64(pw.forward(h.valueAt(a+1))))
+				pw.stats.dirtyCellsScanned += 2
+			}
+		case seg.SpaceObj:
+			off := 0
+			for off < s.Fill {
+				hw := h.word(base + uint64(off))
+				h.check(obj.IsHeader(hw), "scanOldPhase: missing header in segment %d", idx)
+				n := obj.PayloadWords(obj.HeaderKind(hw), obj.HeaderLength(hw))
+				for i := 1; i <= n; i++ {
+					a := base + uint64(off+i)
+					h.setWord(a, uint64(pw.forward(h.valueAt(a))))
+					pw.stats.dirtyCellsScanned++
+				}
+				off += 1 + n
+			}
+		case seg.SpaceData:
+			// No pointers.
+		}
+	}
+}
+
+// forward is the parallel counterpart of Heap.forward: identical
+// semantics, but the forwarding word is installed with CAS so two
+// workers racing on one object copy it exactly once. The CAS loser
+// rolls back its speculative copy and follows the winner.
+func (pw *parWorker) forward(v obj.Value) obj.Value {
+	h := pw.h
+	if !v.IsPointer() {
+		return v
+	}
+	addr := v.Addr()
+	s := h.tab.SegOf(addr)
+	if s.Stamp == h.stamp || s.Gen > h.gcGen {
+		return v
+	}
+	wp := h.tab.WordPtr(addr)
+	w0 := atomic.LoadUint64(wp)
+	if obj.IsFwd(w0) {
+		return v.WithAddr(obj.FwdAddr(w0))
+	}
+	if v.IsPair() {
+		space := s.Space
+		na := pw.alloc(space, 2)
+		// Copy word 0 from the atomically loaded value — re-reading it
+		// plainly would race with another worker's CAS. Word 1 is
+		// immutable during the parallel phases.
+		h.setWord(na, w0)
+		h.setWord(na+1, h.word(addr+1))
+		if !atomic.CompareAndSwapUint64(wp, w0, obj.MakeFwd(na)) {
+			pw.unalloc(space, 2)
+			return pw.followFwd(v, wp)
+		}
+		pw.stats.pairsCopied++
+		pw.stats.wordsCopied += 2
+		if space == seg.SpaceWeak {
+			pw.push(sweepItem{na, sweepWeakPair})
+			pw.newWeak = append(pw.newWeak, na)
+		} else {
+			pw.push(sweepItem{na, sweepPair})
+		}
+		return v.WithAddr(na)
+	}
+	h.check(obj.IsHeader(w0), "forward: object without header at %d", addr)
+	kind := obj.HeaderKind(w0)
+	n := obj.PayloadWords(kind, obj.HeaderLength(w0))
+	space := seg.SpaceObj
+	if !kind.HasPointers() {
+		space = seg.SpaceData
+	}
+	total := 1 + n
+	var na uint64
+	var runFirst, runLen int
+	if total > seg.Words {
+		na, runFirst, runLen = pw.allocRun(space, total)
+	} else {
+		na = pw.alloc(space, total)
+	}
+	h.setWord(na, w0)
+	for i := uint64(1); i <= uint64(n); i++ {
+		h.setWord(na+i, h.word(addr+i))
+	}
+	if !atomic.CompareAndSwapUint64(wp, w0, obj.MakeFwd(na)) {
+		if runLen > 0 {
+			pw.freeRun(runFirst, runLen, total)
+		} else {
+			pw.unalloc(space, total)
+		}
+		return pw.followFwd(v, wp)
+	}
+	if runLen > 0 {
+		pw.publishRun(space, runFirst, runLen)
+	}
+	pw.stats.objectsCopied++
+	pw.stats.wordsCopied += uint64(total)
+	if kind.HasPointers() {
+		pw.push(sweepItem{na, sweepObj})
+	}
+	return v.WithAddr(na)
+}
+
+// followFwd resolves v through the forwarding word another worker won
+// the race to install.
+func (pw *parWorker) followFwd(v obj.Value, wp *uint64) obj.Value {
+	w := atomic.LoadUint64(wp)
+	pw.h.check(obj.IsFwd(w), "parallel forward: lost CAS to a non-forwarding word")
+	return v.WithAddr(obj.FwdAddr(w))
+}
+
+// alloc bump-allocates n (<= seg.Words) words from this worker's
+// private buffer for the given space, taking a fresh target-generation
+// segment under the allocation mutex when the open one is full.
+func (pw *parWorker) alloc(space seg.Space, n int) uint64 {
+	h := pw.h
+	pw.stats.wordsAllocated += uint64(n)
+	c := &pw.cur[space]
+	if c.seg == seg.None || c.off+n > seg.Words {
+		c.seg, c.off = pw.newSeg(space), 0
+		pw.stats.segmentsAllocated++
+	}
+	addr := seg.BaseAddr(c.seg) + uint64(c.off)
+	c.off += n
+	h.tab.Seg(c.seg).Fill = c.off
+	return addr
+}
+
+// unalloc rolls back this worker's most recent alloc of n words after
+// a lost forwarding CAS. Safe because forward performs no other
+// allocation between alloc and the CAS.
+func (pw *parWorker) unalloc(space seg.Space, n int) {
+	c := &pw.cur[space]
+	c.off -= n
+	pw.h.tab.Seg(c.seg).Fill = c.off
+	pw.stats.wordsAllocated -= uint64(n)
+}
+
+// newSeg takes a fresh segment in the target generation. The table and
+// the segment chains are shared, so mutation is serialized.
+func (pw *parWorker) newSeg(space seg.Space) int {
+	h := pw.h
+	h.par.allocMu.Lock()
+	defer h.par.allocMu.Unlock()
+	if h.cfg.MaxSegments > 0 && h.tab.InUseCount()+1 > h.cfg.MaxSegments {
+		panic(fmt.Sprintf("heap: out of memory: %d-segment limit reached (parallel copy)",
+			h.cfg.MaxSegments))
+	}
+	idx := h.tab.Alloc(space, h.gcTarget, h.stamp)
+	h.chains[space][h.gcTarget] = append(h.chains[space][h.gcTarget], idx)
+	return idx
+}
+
+// allocRun allocates a large-object run of contiguous segments. Unlike
+// the sequential path the run is NOT linked into the segment chains
+// yet: the copy is still speculative until the forwarding CAS wins, so
+// publishRun/freeRun finish or undo the allocation afterwards.
+func (pw *parWorker) allocRun(space seg.Space, total int) (addr uint64, first, k int) {
+	h := pw.h
+	k = (total + seg.Words - 1) / seg.Words
+	h.par.allocMu.Lock()
+	if h.cfg.MaxSegments > 0 && h.tab.InUseCount()+k > h.cfg.MaxSegments {
+		h.par.allocMu.Unlock()
+		panic(fmt.Sprintf("heap: out of memory: %d-segment limit reached (%d words requested)",
+			h.cfg.MaxSegments, total))
+	}
+	first = h.tab.AllocRun(space, h.gcTarget, h.stamp, k)
+	h.par.allocMu.Unlock()
+	rem := total
+	for i := 0; i < k; i++ {
+		s := h.tab.Seg(first + i)
+		s.Fill = min(rem, seg.Words)
+		rem -= s.Fill
+	}
+	pw.stats.wordsAllocated += uint64(total)
+	pw.stats.segmentsAllocated += uint64(k)
+	return seg.BaseAddr(first), first, k
+}
+
+// publishRun links a large-object run into the target generation's
+// chains after its forwarding CAS won.
+func (pw *parWorker) publishRun(space seg.Space, first, k int) {
+	h := pw.h
+	h.par.allocMu.Lock()
+	defer h.par.allocMu.Unlock()
+	for i := 0; i < k; i++ {
+		h.chains[space][h.gcTarget] = append(h.chains[space][h.gcTarget], first+i)
+	}
+}
+
+// freeRun retires a speculative large-object run after its forwarding
+// CAS lost: the segments were never published, so they go straight
+// back to the free list.
+func (pw *parWorker) freeRun(first, k, total int) {
+	h := pw.h
+	h.par.allocMu.Lock()
+	defer h.par.allocMu.Unlock()
+	for i := 0; i < k; i++ {
+		h.tab.Free(first + i)
+	}
+	pw.stats.wordsAllocated -= uint64(total)
+	pw.stats.segmentsAllocated -= uint64(k)
+}
+
+// push makes a sweep item visible to the work-stealing drain. The
+// pending count is incremented before the item is published so the
+// count can never understate the outstanding work (a spinner observing
+// pending == 0 proves the fixpoint).
+func (pw *parWorker) push(it sweepItem) {
+	pw.h.par.pending.Add(1)
+	pw.qmu.Lock()
+	pw.queue = append(pw.queue, it)
+	pw.qmu.Unlock()
+}
+
+// popTail pops this worker's own newest item (LIFO keeps the working
+// set hot and leaves the queue head for thieves).
+func (pw *parWorker) popTail() (sweepItem, bool) {
+	pw.qmu.Lock()
+	defer pw.qmu.Unlock()
+	n := len(pw.queue)
+	if n == 0 {
+		return sweepItem{}, false
+	}
+	it := pw.queue[n-1]
+	pw.queue = pw.queue[:n-1]
+	return it, true
+}
+
+// steal takes the oldest item from some other worker's queue.
+func (pw *parWorker) steal() (sweepItem, bool) {
+	act := pw.h.par.active
+	for k := 1; k < len(act); k++ {
+		vic := act[(pw.id+k)%len(act)]
+		vic.qmu.Lock()
+		if len(vic.queue) > 0 {
+			it := vic.queue[0]
+			vic.queue = vic.queue[1:]
+			vic.qmu.Unlock()
+			return it, true
+		}
+		vic.qmu.Unlock()
+	}
+	return sweepItem{}, false
+}
+
+// sweepPhase drains the work-stealing queues to the Cheney fixpoint:
+// pop own work, steal when empty, spin (yielding) while other workers
+// may still push, stop when nothing is pending anywhere.
+func (pw *parWorker) sweepPhase() {
+	t0 := time.Now()
+	p := pw.h.par
+	for {
+		if p.abort.Load() {
+			break
+		}
+		it, ok := pw.popTail()
+		if !ok {
+			it, ok = pw.steal()
+		}
+		if !ok {
+			if p.pending.Load() == 0 {
+				break
+			}
+			runtime.Gosched()
+			continue
+		}
+		pw.process(it)
+		p.pending.Add(-1)
+	}
+	pw.sweepNS = time.Since(t0).Nanoseconds()
+}
+
+// process sweeps one copied object, mirroring kleeneSweep's cases.
+func (pw *parWorker) process(it sweepItem) {
+	h := pw.h
+	switch it.kind {
+	case sweepPair:
+		h.setWord(it.addr, uint64(pw.forward(h.valueAt(it.addr))))
+		h.setWord(it.addr+1, uint64(pw.forward(h.valueAt(it.addr+1))))
+		pw.stats.cellsSwept += 2
+	case sweepWeakPair:
+		h.setWord(it.addr+1, uint64(pw.forward(h.valueAt(it.addr+1))))
+		pw.stats.cellsSwept++
+	case sweepObj:
+		w := h.word(it.addr)
+		n := obj.PayloadWords(obj.HeaderKind(w), obj.HeaderLength(w))
+		for i := uint64(1); i <= uint64(n); i++ {
+			h.setWord(it.addr+i, uint64(pw.forward(h.valueAt(it.addr+i))))
+		}
+		pw.stats.cellsSwept += uint64(n)
+	}
+}

@@ -1,0 +1,168 @@
+package heap_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/heap"
+	"repro/internal/obj"
+)
+
+// Parallel-mode tests: the full randomized stress workload at several
+// worker counts (run under -race in CI), worker plumbing, and the
+// benchmark comparing worker counts on a multi-megabyte live heap.
+
+func TestStressParallelWorkers(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			cfg := heap.DefaultConfig()
+			cfg.TriggerWords = 1 << 20
+			cfg.Workers = workers
+			// runStress verifies the whole heap after every collection.
+			for seed := int64(1); seed <= 3; seed++ {
+				runStress(t, cfg, seed, 400)
+			}
+		})
+	}
+}
+
+func TestSetWorkersBetweenCollections(t *testing.T) {
+	h := heap.NewDefault()
+	if h.Workers() != 1 {
+		t.Fatalf("default workers = %d, want 1", h.Workers())
+	}
+	r := h.NewRoot(h.Cons(obj.FromFixnum(11), h.MakeString("x")))
+	h.Collect(0) // sequential
+	h.SetWorkers(4)
+	if h.Workers() != 4 {
+		t.Fatalf("SetWorkers(4) -> %d", h.Workers())
+	}
+	h.Collect(h.MaxGeneration()) // parallel over the same heap
+	if h.Car(r.Get()).FixnumValue() != 11 {
+		t.Fatal("value lost switching to parallel mode")
+	}
+	h.SetWorkers(1)
+	h.Collect(0) // and back to sequential
+	h.MustVerify()
+	// Out-of-range values clamp rather than misconfigure the collector.
+	h.SetWorkers(0)
+	if h.Workers() != 1 {
+		t.Fatalf("SetWorkers(0) -> %d, want 1", h.Workers())
+	}
+	h.SetWorkers(1000)
+	if h.Workers() != heap.MaxWorkers {
+		t.Fatalf("SetWorkers(1000) -> %d, want %d", h.Workers(), heap.MaxWorkers)
+	}
+}
+
+func TestParallelWorkerSweepStats(t *testing.T) {
+	cfg := heap.DefaultConfig()
+	cfg.TriggerWords = 1 << 20
+	cfg.Workers = 3
+	h := heap.New(cfg)
+	h.EnableTrace(4)
+	var list obj.Value = obj.Nil
+	for i := 0; i < 5000; i++ {
+		list = h.Cons(obj.FromFixnum(int64(i)), list)
+	}
+	r := h.NewRoot(list)
+	defer r.Release()
+	h.Collect(0)
+	if got := len(h.Stats.LastWorkerSweep); got != 3 {
+		t.Fatalf("LastWorkerSweep has %d entries, want 3", got)
+	}
+	evs := h.TraceEvents()
+	if len(evs) != 1 {
+		t.Fatalf("trace events: %d, want 1", len(evs))
+	}
+	ev := evs[len(evs)-1]
+	if ev.Workers != 3 {
+		t.Fatalf("TraceEvent.Workers = %d, want 3", ev.Workers)
+	}
+	if len(ev.WorkerSweepNS) != 3 {
+		t.Fatalf("TraceEvent.WorkerSweepNS has %d entries, want 3", len(ev.WorkerSweepNS))
+	}
+	// Sequential collections leave the per-worker fields empty.
+	h.SetWorkers(1)
+	h.Collect(0)
+	if len(h.Stats.LastWorkerSweep) != 0 {
+		t.Fatal("LastWorkerSweep not cleared by a sequential collection")
+	}
+	evs = h.TraceEvents()
+	last := evs[len(evs)-1]
+	if last.Workers != 1 || last.WorkerSweepNS != nil {
+		t.Fatalf("sequential trace event carries worker fields: %+v", last)
+	}
+}
+
+// TestParallelLargeObjects pushes multi-segment objects through the
+// parallel copier: the CAS race on a large object must publish its
+// whole segment run exactly once (and retire the loser's run).
+func TestParallelLargeObjects(t *testing.T) {
+	cfg := heap.DefaultConfig()
+	cfg.TriggerWords = 1 << 20
+	cfg.Workers = 8
+	h := heap.New(cfg)
+	var roots []*heap.Root
+	for i := 0; i < 6; i++ {
+		v := h.MakeVector(700+i, obj.FromFixnum(int64(i))) // 2-segment runs
+		// Many extra references to the same vector so several workers
+		// race to forward it.
+		for j := 0; j < 8; j++ {
+			roots = append(roots, h.NewRoot(h.Cons(v, obj.Nil)))
+		}
+		roots = append(roots, h.NewRoot(v))
+	}
+	for c := 0; c < 3; c++ {
+		h.Collect(h.MaxGeneration())
+		h.MustVerify()
+	}
+	for i := 0; i < 6; i++ {
+		v := roots[i*9+8].Get()
+		if h.VectorLength(v) != 700+i {
+			t.Fatalf("vector %d length %d after parallel copies", i, h.VectorLength(v))
+		}
+		if h.VectorRef(v, 0).FixnumValue() != int64(i) {
+			t.Fatalf("vector %d contents corrupted", i)
+		}
+		if h.Car(roots[i*9].Get()) != v {
+			t.Fatalf("vector %d sharing broken across parallel copy", i)
+		}
+	}
+	for _, r := range roots {
+		r.Release()
+	}
+}
+
+// BenchmarkCollectParallel measures a full collection of a
+// multi-megabyte live heap at several worker counts. The Workers=1
+// case is the sequential baseline the paper's measurements assume;
+// speedup at higher counts needs actual cores (GOMAXPROCS).
+func BenchmarkCollectParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := heap.DefaultConfig()
+			cfg.TriggerWords = 1 << 30
+			cfg.Workers = workers
+			h := heap.New(cfg)
+			var list obj.Value = obj.Nil
+			for i := 0; i < 200_000; i++ { // ~3.2 MB of live pairs
+				list = h.Cons(obj.FromFixnum(int64(i)), list)
+			}
+			for i := 0; i < 1000; i++ { // plus some vectors to sweep
+				v := h.MakeVector(64, obj.Nil)
+				h.VectorSet(v, 0, list)
+				list = h.Cons(v, list)
+			}
+			r := h.NewRoot(list)
+			defer r.Release()
+			h.Collect(h.MaxGeneration()) // settle survivors in the old gen
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.Collect(h.MaxGeneration())
+			}
+			b.StopTimer()
+			h.MustVerify()
+		})
+	}
+}

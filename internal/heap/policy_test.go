@@ -90,6 +90,40 @@ func TestPolicyWeakPairsStillSound(t *testing.T) {
 	h.MustVerify()
 }
 
+func TestPolicyDemotionClampedToG(t *testing.T) {
+	// A misbehaving policy that demotes (target < g) is clamped to g:
+	// from-space is exactly generations 0..g, so a younger target would
+	// land survivors straight back in from-space and the cursor-reset
+	// logic would free their segments. The clamp (documented on
+	// Config.TargetGen) makes such a policy behave exactly like the
+	// in-place policy target == g.
+	target := 2
+	h := heap.New(withPolicy(func(g, maxGen int) int { return target }))
+	r := h.NewRoot(h.Cons(obj.FromFixnum(7), h.MakeString("kept")))
+	h.Collect(0) // legitimate promotion straight to generation 2
+	if got := h.Generation(r.Get()); got != 2 {
+		t.Fatalf("setup: generation %d, want 2", got)
+	}
+	target = 0 // now demand demotion during a collection of 0..2
+	h.Collect(2)
+	if got := h.Generation(r.Get()); got != 2 {
+		t.Fatalf("demoting policy not clamped to g: generation %d, want 2", got)
+	}
+	if h.Car(r.Get()).FixnumValue() != 7 || h.StringValue(h.Cdr(r.Get())) != "kept" {
+		t.Fatal("value lost under demoting policy")
+	}
+	h.MustVerify()
+	// Repeated demotion requests keep colliding with the clamp without
+	// corrupting the heap.
+	for i := 0; i < 3; i++ {
+		h.Collect(2)
+		h.MustVerify()
+	}
+	if got := h.Generation(r.Get()); got != 2 {
+		t.Fatalf("generation drifted to %d under repeated demotion", got)
+	}
+}
+
 func TestPolicyOutOfRangeClamped(t *testing.T) {
 	h := heap.New(withPolicy(func(g, maxGen int) int { return 99 }))
 	r := h.NewRoot(h.Cons(obj.FromFixnum(5), obj.Nil))

@@ -55,6 +55,13 @@ type Stats struct {
 	// accumulates across collections like TotalPause.
 	LastPhases  [NumPhases]time.Duration
 	PhaseTotals [NumPhases]time.Duration
+	// LastWorkerSweep holds each worker's time in the last collection's
+	// parallel sweep drain, indexed by worker id. Empty after a
+	// sequential collection (Workers == 1). Because idle workers spin
+	// in the drain until global termination, entries are near-equal by
+	// construction; the interesting signal is how they compare to the
+	// whole-phase LastPhases[PhaseSweep].
+	LastWorkerSweep []time.Duration
 }
 
 // Reset zeroes all counters.

@@ -90,6 +90,12 @@ type TraceEvent struct {
 	WeakScanned       uint64           `json:"weak_scanned"`
 	WeakBroken        uint64           `json:"weak_broken"`
 	SegmentsFreed     uint64           `json:"segments_freed"`
+	// Workers is the collector worker count for this collection
+	// (1 = the sequential algorithm); WorkerSweepNS holds each
+	// worker's time in the parallel sweep drain, indexed by worker
+	// id, and is nil for sequential collections.
+	Workers       int     `json:"workers"`
+	WorkerSweepNS []int64 `json:"worker_sweep_ns,omitempty"`
 }
 
 // PhaseDurations returns the event's phase timings keyed by phase
@@ -174,6 +180,13 @@ func (h *Heap) recordTrace(gen, target int, snap *Stats) {
 		SegmentsFreed:     st.SegmentsFreed - snap.SegmentsFreed,
 	}
 	ev.PhaseNS = h.phaseNS
+	ev.Workers = h.cfg.Workers
+	if n := len(st.LastWorkerSweep); n > 0 {
+		ev.WorkerSweepNS = make([]int64, n)
+		for i, d := range st.LastWorkerSweep {
+			ev.WorkerSweepNS[i] = d.Nanoseconds()
+		}
+	}
 	if h.traceBuf != nil {
 		h.traceBuf[h.traceNext] = ev
 		h.traceNext = (h.traceNext + 1) % len(h.traceBuf)

@@ -26,7 +26,14 @@ import (
 //  5. protected-list entries index generations consistently: an entry
 //     in generation i's list guards an object residing in generation
 //     >= i, and its representative and tconc likewise;
-//  6. root slots hold well-formed values.
+//  6. root slots hold well-formed values;
+//  7. large objects own well-formed segment runs: every continuation
+//     segment exists, is in use and marked Cont, matches the head
+//     segment's space and generation, and the run's fills sum to the
+//     object's extent. Payload words are validated across the whole
+//     run (addresses are linear through contiguous segments), so a
+//     corrupted word in a continuation segment is reported just like
+//     one in the head segment.
 func (h *Heap) Verify() []error {
 	var errs []error
 	report := func(format string, args ...any) {
@@ -83,6 +90,38 @@ func (h *Heap) Verify() []error {
 		}
 	}
 
+	// checkRun validates the segment run of a large object: total words
+	// starting at segment idx. Without this a collector bug that frees
+	// or re-purposes a continuation segment would escape notice — the
+	// zeroed words of a freed segment read back as innocent fixnum 0s,
+	// so the per-word checks alone cannot catch it.
+	checkRun := func(idx, total int) {
+		s := h.tab.Seg(idx)
+		k := (total + seg.Words - 1) / seg.Words
+		words := s.Fill
+		for c := 1; c < k; c++ {
+			ci := idx + c
+			if ci >= h.tab.Len() {
+				report("segment %d: %d-word object runs past the end of the heap", idx, total)
+				return
+			}
+			cs := h.tab.Seg(ci)
+			switch {
+			case !cs.InUse:
+				report("segment %d: continuation segment %d of large object is free", idx, ci)
+			case !cs.Cont:
+				report("segment %d: segment %d inside large-object run not marked Cont", idx, ci)
+			case cs.Space != s.Space || cs.Gen != s.Gen:
+				report("segment %d: continuation segment %d is %v/gen%d, head is %v/gen%d",
+					idx, ci, cs.Space, cs.Gen, s.Space, s.Gen)
+			}
+			words += cs.Fill
+		}
+		if words != total {
+			report("segment %d: large object of %d words but run fills sum to %d", idx, total, words)
+		}
+	}
+
 	for idx := 0; idx < h.tab.Len(); idx++ {
 		s := h.tab.Seg(idx)
 		if !s.InUse || s.Cont {
@@ -117,13 +156,19 @@ func (h *Heap) Verify() []error {
 					report("obj segment %d: data kind %v in pointer space", idx, kind)
 				}
 				n := obj.PayloadWords(kind, obj.HeaderLength(w))
+				if off+1+n > seg.Words {
+					checkRun(idx, off+1+n)
+				}
+				// Payload addresses are linear across a large object's
+				// continuation segments, so this walk validates the full
+				// multi-segment run, not just the head segment's words.
 				for i := 1; i <= n; i++ {
 					a := base + uint64(off+i)
 					checkValue(kind.String(), a, h.valueAt(a), false, true)
 				}
 				off += 1 + n
 				if off > seg.Words {
-					break // large object; continuation segments skipped
+					break // rest of the run was validated above
 				}
 			}
 		case seg.SpaceData:
@@ -138,7 +183,11 @@ func (h *Heap) Verify() []error {
 				if kind.HasPointers() {
 					report("data segment %d: pointer kind %v in data space", idx, kind)
 				}
-				off += 1 + obj.PayloadWords(kind, obj.HeaderLength(w))
+				n := obj.PayloadWords(kind, obj.HeaderLength(w))
+				if off+1+n > seg.Words {
+					checkRun(idx, off+1+n)
+				}
+				off += 1 + n
 				if off > seg.Words {
 					break
 				}

@@ -1,0 +1,88 @@
+package heap_test
+
+import (
+	"testing"
+
+	"repro/internal/heap"
+	"repro/internal/obj"
+)
+
+// Regression test for the weak pass discarding weakFix's stillYoung
+// result for freshly copied weak pairs: a promotion policy can copy a
+// weak pair past the generation of its car's referent, leaving an
+// old-to-young weak pointer that later minor collections must revisit.
+// Before the fix the pair never entered the dirty set, so its car was
+// silently skipped by the next minor collection's weak pass — and left
+// dangling into a freed segment once the referent died.
+func TestPromotedWeakPairEntersDirtySet(t *testing.T) {
+	target := 1
+	cfg := heap.DefaultConfig()
+	cfg.TriggerWords = 1 << 20
+	cfg.TargetGen = func(g, maxGen int) int { return target }
+	h := heap.New(cfg)
+
+	x := h.NewRoot(h.Cons(obj.FromFixnum(42), obj.Nil))
+	h.Collect(0) // x -> generation 1
+	if got := h.Generation(x.Get()); got != 1 {
+		t.Fatalf("setup: x in generation %d, want 1", got)
+	}
+
+	w := h.NewRoot(h.WeakCons(x.Get(), obj.Nil)) // weak pair in generation 0
+	target = h.MaxGeneration()
+	h.Collect(0) // the weak pair is promoted past its referent
+	if got := h.Generation(w.Get()); got != h.MaxGeneration() {
+		t.Fatalf("weak pair in generation %d, want %d", got, h.MaxGeneration())
+	}
+	if h.Car(w.Get()) != x.Get() {
+		t.Fatalf("weak car lost across promotion: %v", h.Car(w.Get()))
+	}
+	// Verify invariant 4: a weak car pointing at a strictly younger
+	// generation must be in the dirty set. Without the fix this fails.
+	if errs := h.Verify(); len(errs) > 0 {
+		t.Fatalf("promoted weak pair violates invariants: %v", errs[0])
+	}
+
+	// Drop the referent and collect its generation (the weak pair's own
+	// generation is NOT collected): the dirty entry is the only way the
+	// weak pass can find the car, which must now be broken.
+	x.Release()
+	target = 2
+	broken := h.Stats.WeakPointersBroken
+	h.Collect(1)
+	if got := h.Car(w.Get()); got != obj.False {
+		t.Fatalf("weak car not broken after referent died: %v", got)
+	}
+	if h.Stats.WeakPointersBroken != broken+1 {
+		t.Fatalf("WeakPointersBroken = %d, want %d", h.Stats.WeakPointersBroken, broken+1)
+	}
+	h.MustVerify()
+}
+
+// The same scenario must hold when the promoted weak pair's referent
+// survives: the dirty entry keeps the car current across later minor
+// collections that move the referent.
+func TestPromotedWeakPairTracksMovingReferent(t *testing.T) {
+	target := 1
+	cfg := heap.DefaultConfig()
+	cfg.TriggerWords = 1 << 20
+	cfg.TargetGen = func(g, maxGen int) int { return target }
+	h := heap.New(cfg)
+
+	x := h.NewRoot(h.Cons(obj.FromFixnum(9), obj.Nil))
+	h.Collect(0) // x -> generation 1
+	w := h.NewRoot(h.WeakCons(x.Get(), obj.Nil))
+	target = h.MaxGeneration()
+	h.Collect(0) // weak pair -> oldest generation, car -> gen 1
+
+	// Collect generation 1 while the referent is still rooted: x moves
+	// to generation 2 and the promoted pair's car must follow it.
+	target = 2
+	h.Collect(1)
+	if h.Car(w.Get()) != x.Get() {
+		t.Fatalf("weak car did not track referent: %v vs %v", h.Car(w.Get()), x.Get())
+	}
+	if got := h.Generation(h.Car(w.Get())); got != 2 {
+		t.Fatalf("referent in generation %d, want 2", got)
+	}
+	h.MustVerify()
+}

@@ -714,6 +714,21 @@ func (m *Machine) installPrims() {
 		})
 		return obj.Void, nil
 	})
+	def("collect-workers", 0, 1, func(m *Machine, a Args) (obj.Value, error) {
+		// (collect-workers) returns the collector worker count;
+		// (collect-workers n) sets it (clamped to [1, MaxWorkers]) for
+		// subsequent collections. 1 is the paper's sequential
+		// algorithm; higher counts run the forwarding phases in
+		// parallel (see docs/ALGORITHM.md).
+		if a.Len() == 1 {
+			n := a.Get(0)
+			if !n.IsFixnum() || n.FixnumValue() < 1 {
+				return obj.Void, m.errf(n, "collect-workers: expected a positive fixnum")
+			}
+			h.SetWorkers(int(n.FixnumValue()))
+		}
+		return obj.FromFixnum(int64(h.Workers())), nil
+	})
 	def("generation", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
 		return obj.FromFixnum(int64(h.Generation(a.Get(0)))), nil
 	})

@@ -6,7 +6,10 @@
 // contiguous; chains of segments are linked through the table.
 package seg
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Words is the number of 64-bit words per segment. The paper's
 // segments are 4 KB; at 8 bytes per word that is 512 words.
@@ -64,11 +67,74 @@ type Segment struct {
 	Fill int
 }
 
+// Segments are stored in fixed-size chunks so that a *Segment returned
+// by Seg, and the backing word arrays, never move when the table grows.
+// The chunk directory is published through an atomic pointer and grown
+// copy-on-write, which makes table *reads* (Seg/SegOf/Word/SetWord)
+// safe to run concurrently with a single grower: the parallel collector
+// has N workers reading and writing heap words while one of them, under
+// the heap's allocation mutex, allocates fresh to-space segments.
+const (
+	chunkBits = 8 // 256 segments (1 MB of heap) per chunk
+	chunkSize = 1 << chunkBits
+	chunkMask = chunkSize - 1
+)
+
+type segChunk [chunkSize]Segment
+
 // Table is the segment information table plus the free list of retired
 // segments. The zero value is ready to use.
+//
+// Concurrency contract: all mutating methods (Alloc, AllocRun, Free)
+// must be serialized by the caller. Read methods (Seg, SegOf, Word,
+// SetWord, Len, ...) may run concurrently with a serialized mutator,
+// provided each reader only touches segments that were published to it
+// (allocated before the reader started, or handed over through a
+// synchronizing operation such as the collector's CAS-installed
+// forwarding words). SetWord "reads" the table and writes one heap
+// word; racing word accesses are the caller's to synchronize.
 type Table struct {
-	segs []Segment
-	free []int
+	chunks atomic.Pointer[[]*segChunk]
+	nseg   int
+	free   []int
+}
+
+// chunkList returns the current chunk directory (nil when empty).
+func (t *Table) chunkList() []*segChunk {
+	if p := t.chunks.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// grow ensures the table has room for segment index t.nseg. The chunk
+// directory is replaced copy-on-write so concurrent readers holding the
+// old directory stay valid.
+func (t *Table) grow() {
+	cl := t.chunkList()
+	if t.nseg>>chunkBits < len(cl) {
+		return
+	}
+	ncl := make([]*segChunk, len(cl)+1)
+	copy(ncl, cl)
+	ncl[len(cl)] = new(segChunk)
+	t.chunks.Store(&ncl)
+}
+
+// initSeg prepares the fresh or recycled segment idx for use.
+func (t *Table) initSeg(idx int, space Space, gen int, stamp uint64, cont bool) *Segment {
+	s := t.Seg(idx)
+	if s.Words == nil {
+		s.Words = make([]uint64, Words)
+	}
+	s.Space = space
+	s.Gen = gen
+	s.InUse = true
+	s.Stamp = stamp
+	s.Next = None
+	s.Cont = cont
+	s.Fill = 0
+	return s
 }
 
 // Alloc returns the index of a fresh segment assigned to the given
@@ -79,17 +145,11 @@ func (t *Table) Alloc(space Space, gen int, stamp uint64) int {
 		idx = t.free[n-1]
 		t.free = t.free[:n-1]
 	} else {
-		t.segs = append(t.segs, Segment{Words: make([]uint64, Words)})
-		idx = len(t.segs) - 1
+		t.grow()
+		idx = t.nseg
+		t.nseg++
 	}
-	s := &t.segs[idx]
-	s.Space = space
-	s.Gen = gen
-	s.InUse = true
-	s.Stamp = stamp
-	s.Next = None
-	s.Cont = false
-	s.Fill = 0
+	t.initSeg(idx, space, gen, stamp, false)
 	return idx
 }
 
@@ -99,17 +159,11 @@ func (t *Table) Alloc(space Space, gen int, stamp uint64) int {
 // first segment of the run is an ordinary object-start segment; the
 // rest are marked as continuations.
 func (t *Table) AllocRun(space Space, gen int, stamp uint64, k int) int {
-	first := len(t.segs)
+	first := t.nseg
 	for i := 0; i < k; i++ {
-		t.segs = append(t.segs, Segment{
-			Words: make([]uint64, Words),
-			Space: space,
-			Gen:   gen,
-			InUse: true,
-			Stamp: stamp,
-			Next:  None,
-			Cont:  i > 0,
-		})
+		t.grow()
+		t.nseg++
+		t.initSeg(first+i, space, gen, stamp, i > 0)
 	}
 	return first
 }
@@ -118,7 +172,7 @@ func (t *Table) AllocRun(space Space, gen int, stamp uint64, k int) int {
 // that any dangling pointer into it reads as fixnum 0 rather than a
 // stale heap value, which keeps collector bugs loud.
 func (t *Table) Free(idx int) {
-	s := &t.segs[idx]
+	s := t.Seg(idx)
 	if !s.InUse {
 		panic(fmt.Sprintf("seg: double free of segment %d", idx))
 	}
@@ -130,17 +184,20 @@ func (t *Table) Free(idx int) {
 	t.free = append(t.free, idx)
 }
 
-// Seg returns the segment with the given index.
-func (t *Table) Seg(idx int) *Segment { return &t.segs[idx] }
+// Seg returns the segment with the given index. The pointer is stable:
+// it remains valid as the table grows.
+func (t *Table) Seg(idx int) *Segment {
+	return &(*t.chunks.Load())[idx>>chunkBits][idx&chunkMask]
+}
 
 // Len returns the total number of segments ever created.
-func (t *Table) Len() int { return len(t.segs) }
+func (t *Table) Len() int { return t.nseg }
 
 // FreeCount returns the number of retired segments awaiting reuse.
 func (t *Table) FreeCount() int { return len(t.free) }
 
 // InUseCount returns the number of live segments.
-func (t *Table) InUseCount() int { return len(t.segs) - len(t.free) }
+func (t *Table) InUseCount() int { return t.nseg - len(t.free) }
 
 // SegIndexOf returns the index of the segment containing the word
 // address addr.
@@ -153,14 +210,21 @@ func Offset(addr uint64) int { return int(addr % Words) }
 func BaseAddr(idx int) uint64 { return uint64(idx) * Words }
 
 // SegOf returns the segment containing the word address addr.
-func (t *Table) SegOf(addr uint64) *Segment { return &t.segs[addr/Words] }
+func (t *Table) SegOf(addr uint64) *Segment { return t.Seg(int(addr / Words)) }
 
 // Word returns the heap word at addr.
 func (t *Table) Word(addr uint64) uint64 {
-	return t.segs[addr/Words].Words[addr%Words]
+	return t.SegOf(addr).Words[addr%Words]
 }
 
 // SetWord stores w at addr.
 func (t *Table) SetWord(addr uint64, w uint64) {
-	t.segs[addr/Words].Words[addr%Words] = w
+	t.SegOf(addr).Words[addr%Words] = w
+}
+
+// WordPtr returns the address of the heap word at addr, for callers
+// that need atomic access to it — the parallel collector installs
+// forwarding words with compare-and-swap through this pointer.
+func (t *Table) WordPtr(addr uint64) *uint64 {
+	return &t.SegOf(addr).Words[addr%Words]
 }

@@ -23,8 +23,20 @@ go build ./...
 echo "== go test -race"
 go test -race ./...
 
+echo "== parallel collector gate (-race)"
+# Redundant with the full -race run above, but kept as an explicit,
+# named gate: the sequential-vs-parallel lockstep oracle and the
+# multi-worker stress tests are the proof that Workers=N is isomorphic
+# to Workers=1.
+go test -race -run 'TestParallelOracle|TestStressParallelWorkers' ./internal/heap/
+
 echo "== benchgc smoke"
 go run ./cmd/benchgc -trace -phases -gcs 5 >/dev/null
+go run ./cmd/benchgc -trace -workers 4 -gcs 5 >/dev/null
 go run ./cmd/benchgc -e e1 >/dev/null
+
+echo "== parallel collection baseline"
+go run ./cmd/benchgc -parallel-bench -gcs 5 -bench-out /tmp/BENCH_parallel_ci.json >/dev/null
+rm -f /tmp/BENCH_parallel_ci.json
 
 echo "CI OK"

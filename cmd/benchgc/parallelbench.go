@@ -38,6 +38,10 @@ type benchWorkerResult struct {
 	Collections int            `json:"collections"`
 	Pause       benchQuantiles `json:"pause"`
 	Sweep       benchQuantiles `json:"sweep"`
+	// DirtyScan covers the remembered-set scan phase (the default
+	// configuration); OldScan the conservative full scan, non-zero
+	// only when the dirty set is disabled.
+	DirtyScan   benchQuantiles `json:"dirty_scan"`
 	OldScan     benchQuantiles `json:"old_scan"`
 	WordsCopied uint64         `json:"words_copied_per_gc"`
 }
@@ -95,16 +99,17 @@ func benchOneWorkerCount(workers, gcs, pairs, vectors int) benchWorkerResult {
 	r := h.NewRoot(list)
 	defer r.Release()
 
-	var pause, sweep, oldScan []int64
+	var pause, sweep, dirtyScan, oldScan []int64
 	var words uint64
 	h.SetTraceFunc(func(ev heap.TraceEvent) {
 		pause = append(pause, ev.PauseNS)
 		sweep = append(sweep, ev.PhaseNS[heap.PhaseSweep])
+		dirtyScan = append(dirtyScan, ev.PhaseNS[heap.PhaseDirtyScan])
 		oldScan = append(oldScan, ev.PhaseNS[heap.PhaseOldScan])
 		words += ev.WordsCopied
 	})
 	h.Collect(h.MaxGeneration()) // warm-up: settle survivors
-	pause, sweep, oldScan, words = nil, nil, nil, 0
+	pause, sweep, dirtyScan, oldScan, words = nil, nil, nil, nil, 0
 	for i := 0; i < gcs; i++ {
 		for j := 0; j < 2000; j++ { // churn between collections
 			h.Cons(obj.FromFixnum(int64(j)), obj.Nil)
@@ -117,6 +122,7 @@ func benchOneWorkerCount(workers, gcs, pairs, vectors int) benchWorkerResult {
 		Collections: gcs,
 		Pause:       quantilesOf(pause),
 		Sweep:       quantilesOf(sweep),
+		DirtyScan:   quantilesOf(dirtyScan),
 		OldScan:     quantilesOf(oldScan),
 	}
 	if gcs > 0 {

@@ -28,6 +28,13 @@ func (c *CensusCell) add(o CensusCell) {
 type Census struct {
 	// BySpaceGen is indexed [space][generation].
 	BySpaceGen [seg.NumSpaces][]CensusCell
+	// RemSetCells is the deduplicated remembered-set size at census
+	// time — the same figure DirtyCount reports, counted per distinct
+	// cell address. RemSetShards breaks it down by shard (summing to
+	// RemSetCells); it is nil in the map-oracle test configuration,
+	// which has no shards.
+	RemSetCells  int
+	RemSetShards []int
 }
 
 // Census walks the segment table and returns the heap's residency
@@ -35,6 +42,8 @@ type Census struct {
 // collection (post-collect hooks included).
 func (h *Heap) Census() Census {
 	var c Census
+	c.RemSetCells = h.DirtyCount()
+	c.RemSetShards = h.RemSetShardSizes()
 	for sp := range c.BySpaceGen {
 		c.BySpaceGen[sp] = make([]CensusCell, h.cfg.Generations)
 	}
@@ -126,5 +135,18 @@ func (c Census) String() string {
 	}
 	t := c.Total()
 	fmt.Fprintf(&b, "total: %d words, %d objects, %d segments", t.Words, t.Objects, t.Segments)
+	if c.RemSetShards != nil {
+		occupied, max := 0, 0
+		for _, n := range c.RemSetShards {
+			if n > 0 {
+				occupied++
+			}
+			if n > max {
+				max = n
+			}
+		}
+		fmt.Fprintf(&b, "\nremset: %d cells in %d/%d shards (largest %d)",
+			c.RemSetCells, occupied, len(c.RemSetShards), max)
+	}
 	return b.String()
 }

@@ -56,6 +56,7 @@ func (h *Heap) Collect(g int) {
 	snap := h.Stats // per-collection deltas for the trace event
 	h.phaseNS = [NumPhases]int64{}
 	st.LastWorkerSweep = st.LastWorkerSweep[:0] // repopulated by parallel mode
+	st.LastShardDirty = [RemShards]uint64{}     // repopulated by the dirty scan
 
 	// Detach from-space: the segment chains of every collected
 	// generation. When the oldest generation collects into itself, its
@@ -99,14 +100,17 @@ func (h *Heap) Collect(g int) {
 		}
 		t = h.phaseMark(PhaseRoots, t)
 
-		// Old-to-young pointers: dirty cells, or a conservative scan
-		// of all older generations when the dirty set is disabled.
+		// Old-to-young pointers: the remembered set's dirty cells, or a
+		// conservative scan of all older generations when the dirty set
+		// is disabled. Each strategy gets its own phase column so the
+		// trace distinguishes remembered-set time from full-scan time.
 		if h.cfg.UseDirtySet {
 			h.scanDirty(g)
+			t = h.phaseMark(PhaseDirtyScan, t)
 		} else {
 			h.scanAllOld(g)
+			t = h.phaseMark(PhaseOldScan, t)
 		}
-		t = h.phaseMark(PhaseOldScan, t)
 
 		h.kleeneSweep() // accrues PhaseSweep itself
 	}
@@ -293,39 +297,21 @@ func (h *Heap) kleeneSweep() {
 // cells are forwarded in place; weak car cells are deferred to the
 // weak-pair pass. Entries whose segments are being collected are
 // dropped (the copies are swept normally), as are entries that no
-// longer point to a younger generation.
+// longer point to a younger generation. The sharded representation is
+// scanned shard by shard with in-place compaction (scanRemShard) and
+// no snapshot, so steady-state collections do not allocate here
+// (asserted by TestCollectSteadyStateAllocs); the map-based test
+// oracle takes its own path in remset_oracle.go.
 func (h *Heap) scanDirty(g int) {
-	if len(h.dirty) == 0 {
+	if h.dirtyMap != nil {
+		h.scanDirtyMap(g)
 		return
 	}
-	// The snapshot buffer lives on the Heap and is reused across
-	// collections, so steady-state collections do not allocate here
-	// (asserted by TestCollectSteadyStateAllocs).
-	scratch := h.dirtyScratch[:0]
-	for addr, weak := range h.dirty {
-		scratch = append(scratch, dirtyCell{addr, weak})
-	}
-	h.dirtyScratch = scratch[:0]
-	for _, c := range scratch {
-		s := h.tab.SegOf(c.addr)
-		if !s.InUse || s.Gen <= g {
-			delete(h.dirty, c.addr)
-			continue
-		}
-		h.Stats.DirtyCellsScanned++
-		if c.weak {
-			// Defer to the weak pass; it re-registers the cell if it
-			// still points to a younger generation afterwards.
-			delete(h.dirty, c.addr)
-			h.pendWeak = append(h.pendWeak, c.addr)
-			continue
-		}
-		v := h.valueAt(c.addr)
-		nv := h.forward(v)
-		h.setWord(c.addr, uint64(nv))
-		if !nv.IsPointer() || h.tab.SegOf(nv.Addr()).Gen >= s.Gen {
-			delete(h.dirty, c.addr)
-		}
+	st := &h.Stats
+	for i := range h.rem.shards {
+		n := h.scanRemShard(&h.rem.shards[i], g, h.fwdFn, &h.pendWeak)
+		st.LastShardDirty[i] = n
+		st.DirtyCellsScanned += n
 	}
 }
 
@@ -561,7 +547,7 @@ func (h *Heap) weakPass(g int) {
 			for off := 0; off+1 < s.Fill; off += 2 {
 				a := base + uint64(off)
 				if h.weakFix(a) && h.cfg.UseDirtySet {
-					h.dirty[a] = true
+					h.dirtyInsert(a, true)
 				}
 			}
 		}
@@ -576,12 +562,12 @@ func (h *Heap) weakPass(g int) {
 	// the car would silently dangle (Verify invariant 4).
 	for _, addr := range h.newWeak {
 		if h.weakFix(addr) && h.cfg.UseDirtySet {
-			h.dirty[addr] = true
+			h.dirtyInsert(addr, true)
 		}
 	}
 	for _, addr := range h.pendWeak {
 		if h.weakFix(addr) && h.cfg.UseDirtySet {
-			h.dirty[addr] = true
+			h.dirtyInsert(addr, true)
 		}
 	}
 }

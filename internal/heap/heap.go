@@ -121,8 +121,9 @@ type sweepItem struct {
 	kind sweepKind
 }
 
-// dirtyCell is one snapshot entry of the remembered set taken by
-// scanDirty (the map itself is mutated while scanning).
+// dirtyCell is one entry of the sharded remembered set (see
+// remset.go): a remembered cell address, with weak marking weak car
+// cells whose referents belong to the weak-pair pass.
 type dirtyCell struct {
 	addr uint64
 	weak bool
@@ -139,13 +140,19 @@ type Heap struct {
 	cur    [seg.NumSpaces][]cursor
 	chains [seg.NumSpaces][][]int
 
-	roots       []obj.Value
-	rootsLive   []bool
-	rootsFree   []int
-	rootVisit   func(*obj.Value) // persistent visitor: keeps Collect allocation-free
-	providers   []*providerEntry
-	protected   [][]ProtEntry
-	dirty       map[uint64]bool // cell address -> is weak car cell
+	roots     []obj.Value
+	rootsLive []bool
+	rootsFree []int
+	rootVisit func(*obj.Value)          // persistent visitor: keeps Collect allocation-free
+	fwdFn     func(obj.Value) obj.Value // persistent forwarder, same purpose
+	providers []*providerEntry
+	protected [][]ProtEntry
+	// rem is the sharded remembered set (remset.go). dirtyMap, normally
+	// nil, is the retired map-based representation kept as a sequential
+	// test oracle: when non-nil it replaces rem entirely (see
+	// remset_oracle.go and the dirtyInsert/dirtyLookup dispatchers).
+	rem         remSet
+	dirtyMap    map[uint64]bool
 	handler     func(*Heap)
 	postCollect []func(*Heap)
 
@@ -157,8 +164,7 @@ type Heap struct {
 	sweepSpare     []sweepItem // second sweep buffer; ping-pongs with sweepQ per pass
 	newWeak        []uint64
 	pendWeak       []uint64
-	dirtyScratch   []dirtyCell // reusable remembered-set snapshot (scanDirty)
-	fromScratch    []int       // reusable from-space segment list (Collect)
+	fromScratch    []int // reusable from-space segment list (Collect)
 	gen0Words      int
 	needCollect    bool
 	autoCount      uint64
@@ -196,10 +202,10 @@ func New(cfg Config) *Heap {
 	h := &Heap{
 		tab:   &seg.Table{},
 		cfg:   cfg,
-		dirty: make(map[uint64]bool),
 		stamp: 1,
 	}
 	h.rootVisit = func(pv *obj.Value) { *pv = h.forward(*pv) }
+	h.fwdFn = h.forward
 	for sp := 0; sp < int(seg.NumSpaces); sp++ {
 		h.cur[sp] = make([]cursor, cfg.Generations)
 		for g := range h.cur[sp] {
@@ -235,7 +241,12 @@ func (h *Heap) Workers() int { return h.cfg.Workers }
 // forwarding phases are scheduled). n is clamped to [1, MaxWorkers].
 func (h *Heap) SetWorkers(n int) {
 	h.check(!h.inCollect, "SetWorkers called during a collection")
-	h.cfg.Workers = clampWorkers(n)
+	n = clampWorkers(n)
+	// The map-based remembered-set oracle has no shards to hand out to
+	// workers and is not safe for concurrent mutation; it exists only
+	// to cross-check the sequential algorithm.
+	h.check(n == 1 || h.dirtyMap == nil, "SetWorkers: map-oracle remembered set is sequential-only")
+	h.cfg.Workers = n
 }
 
 func clampWorkers(n int) int {
@@ -309,20 +320,23 @@ func (h *Heap) word(addr uint64) uint64       { return h.tab.Word(addr) }
 func (h *Heap) setWord(addr, w uint64)        { h.tab.SetWord(addr, w) }
 func (h *Heap) valueAt(addr uint64) obj.Value { return obj.Value(h.tab.Word(addr)) }
 
-// writeCell stores v at addr and maintains the dirty set: any pointer
-// cell written in a generation older than 0 is remembered so that a
-// collection of younger generations can find old-to-young pointers
-// without scanning older generations (the generation-friendly property
-// the paper insists on). isWeakCar marks the cell as a weak car, whose
-// referent must be handled by the weak-pair pass rather than traced.
+// writeCell stores v at addr and maintains the remembered set: any
+// pointer cell written in a generation older than 0 is remembered so
+// that a collection of younger generations can find old-to-young
+// pointers without scanning older generations (the generation-friendly
+// property the paper insists on). Immediates need no remembering — the
+// generational invariants are about pointers — so the barrier filters
+// them before touching the set. isWeakCar marks the cell as a weak
+// car, whose referent must be handled by the weak-pair pass rather
+// than traced.
 func (h *Heap) writeCell(addr uint64, v obj.Value, isWeakCar bool) {
 	h.tab.SetWord(addr, uint64(v))
-	if !h.cfg.UseDirtySet {
+	if !h.cfg.UseDirtySet || !v.IsPointer() {
 		return
 	}
 	s := h.tab.SegOf(addr)
 	if s.Gen > 0 {
-		h.dirty[addr] = isWeakCar
+		h.dirtyInsert(addr, isWeakCar)
 		h.Stats.BarrierHits++
 	}
 }
@@ -339,8 +353,37 @@ func (h *Heap) writeGC(addr uint64, v obj.Value) {
 	cg := h.tab.SegOf(addr).Gen
 	vg := h.tab.SegOf(v.Addr()).Gen
 	if cg > 0 && vg < cg {
-		h.dirty[addr] = false
+		h.dirtyInsert(addr, false)
 	}
+}
+
+// dirtyInsert records addr in whichever remembered-set representation
+// is active: the sharded set, or the map-based test oracle when one is
+// enabled (remset_oracle.go). Both give the same sticky-weak dedup
+// semantics, which is what makes the map-vs-sharded lockstep oracle
+// meaningful.
+func (h *Heap) dirtyInsert(addr uint64, weak bool) {
+	if h.dirtyMap != nil {
+		if cur, ok := h.dirtyMap[addr]; ok {
+			if weak && !cur {
+				h.dirtyMap[addr] = true
+			}
+			return
+		}
+		h.dirtyMap[addr] = weak
+		return
+	}
+	h.rem.insert(addr, weak)
+}
+
+// dirtyLookup reports whether addr is remembered, and whether its
+// entry is marked weak, in whichever representation is active.
+func (h *Heap) dirtyLookup(addr uint64) (weak, ok bool) {
+	if h.dirtyMap != nil {
+		weak, ok = h.dirtyMap[addr]
+		return weak, ok
+	}
+	return h.rem.lookup(addr)
 }
 
 // CollectPending reports whether the generation-0 allocation trigger
@@ -424,8 +467,20 @@ func (h *Heap) LiveWords() uint64 {
 // SegmentsInUse returns the number of live segments.
 func (h *Heap) SegmentsInUse() int { return h.tab.InUseCount() }
 
-// DirtyCount returns the current size of the remembered set.
-func (h *Heap) DirtyCount() int { return len(h.dirty) }
+// DirtyCount returns the deduplicated size of the remembered set: the
+// number of distinct cell addresses currently remembered, however many
+// times each was written. It is valid at any time, including from
+// post-collect hooks, where it reports the retired-and-reinserted set
+// the *next* collection's dirty scan will start from (entries are
+// retired during the dirty-scan phase and weak cells re-enter during
+// the weak pass, which completes before hooks run). The contract is
+// pinned down by TestDirtyCountContract.
+func (h *Heap) DirtyCount() int {
+	if h.dirtyMap != nil {
+		return len(h.dirtyMap)
+	}
+	return h.rem.count()
+}
 
 // SetAllocForbidden toggles a mode in which any allocation panics. It
 // models the restriction that finalization thunks run as part of the

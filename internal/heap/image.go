@@ -141,11 +141,24 @@ func (h *Heap) SaveImage(w io.Writer) error {
 		}
 	}
 
-	// Dirty set.
-	iw.u64(uint64(len(h.dirty)))
-	for addr, weak := range h.dirty {
-		iw.u64(addr)
-		iw.u8(b2u(weak))
+	// Remembered set. The wire format is a flat deduplicated
+	// (address, weak) list regardless of the in-memory representation,
+	// so images written by the map-oracle configuration and by the
+	// sharded set are interchangeable; LoadImage always rebuilds the
+	// sharded form.
+	iw.u64(uint64(h.DirtyCount()))
+	if h.dirtyMap != nil {
+		for addr, weak := range h.dirtyMap {
+			iw.u64(addr)
+			iw.u8(b2u(weak))
+		}
+	} else {
+		for i := range h.rem.shards {
+			for _, c := range h.rem.shards[i].entries {
+				iw.u64(c.addr)
+				iw.u8(b2u(c.weak))
+			}
+		}
 	}
 
 	if iw.err == nil {
@@ -269,7 +282,7 @@ func LoadImage(r io.Reader) (*Heap, []*Root, error) {
 		}
 	}
 
-	// Dirty set.
+	// Remembered set, rebuilt into the sharded representation.
 	nDirty := int(ir.u64())
 	if ir.err != nil || nDirty < 0 || nDirty > 1<<26 {
 		return nil, nil, fmt.Errorf("heap: corrupt image (dirty set)")
@@ -277,7 +290,7 @@ func LoadImage(r io.Reader) (*Heap, []*Root, error) {
 	for k := 0; k < nDirty; k++ {
 		addr := ir.u64()
 		weak := ir.u8() != 0
-		h.dirty[addr] = weak
+		h.dirtyInsert(addr, weak)
 	}
 	if ir.err != nil {
 		return nil, nil, ir.err

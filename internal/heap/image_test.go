@@ -97,6 +97,95 @@ func TestHeapImageDirtySetPreserved(t *testing.T) {
 	}
 }
 
+// TestHeapImageShardedRemsetRoundTrip saves an image mid-mutation with
+// a well-populated sharded remembered set — strong entries spread over
+// several shards plus a weak entry — and checks that the restored heap
+// rebuilds an equivalent sharded set: same deduplicated count, same
+// per-shard sizes, and the same collection behaviour afterwards (young
+// referents survive via the strong entries, the weak car breaks when
+// its referent dies).
+func TestHeapImageShardedRemsetRoundTrip(t *testing.T) {
+	h := heap.NewDefault()
+	const n = 12
+	old := h.NewRoot(func() obj.Value {
+		var l obj.Value = obj.Nil
+		for i := 0; i < n; i++ {
+			l = h.Cons(obj.False, l)
+		}
+		return l
+	}())
+	weak := h.NewRoot(h.WeakCons(obj.Nil, obj.Nil))
+	h.Collect(0)
+	h.Collect(1) // tenure the list spine and the weak pair to gen 2
+
+	// Mid-mutation: dirty every spine car with a distinct young pair,
+	// and point the tenured weak car at a young object that is kept
+	// alive only via one of those strong cells.
+	i := 0
+	for v := old.Get(); v.IsPair(); v = h.Cdr(v) {
+		h.SetCar(v, h.Cons(obj.FromFixnum(int64(i)), obj.Nil))
+		i++
+	}
+	h.SetCar(weak.Get(), h.Car(old.Get())) // weak remembered entry
+	if h.DirtyCount() < n+1 {
+		t.Fatalf("setup: DirtyCount %d, want >= %d", h.DirtyCount(), n+1)
+	}
+	sizes := h.RemSetShardSizes()
+	populated := 0
+	for _, s := range sizes {
+		if s > 0 {
+			populated++
+		}
+	}
+	if populated < 2 {
+		t.Fatalf("setup: remembered cells landed in %d shard(s); want spread", populated)
+	}
+
+	var buf bytes.Buffer
+	if err := h.SaveImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	h2, roots, err := heap.LoadImage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.DirtyCount() != h.DirtyCount() {
+		t.Fatalf("restored DirtyCount %d, want %d", h2.DirtyCount(), h.DirtyCount())
+	}
+	sizes2 := h2.RemSetShardSizes()
+	for si := range sizes {
+		if sizes[si] != sizes2[si] {
+			t.Fatalf("shard %d size changed across round trip: %d vs %d", si, sizes[si], sizes2[si])
+		}
+	}
+	h2.MustVerify()
+
+	// A young collection on the restored heap must keep every young
+	// referent alive through the restored strong entries, and keep the
+	// weak car intact (its referent survives via the strong cell).
+	h2.Collect(0)
+	h2.MustVerify()
+	old2, weak2 := roots[0], roots[1]
+	i = 0
+	for v := old2.Get(); v.IsPair(); v = h2.Cdr(v) {
+		if got := h2.Car(h2.Car(v)).FixnumValue(); got != int64(i) {
+			t.Fatalf("spine car %d: restored referent holds %d", i, got)
+		}
+		i++
+	}
+	if !h2.IsWeakPair(weak2.Get()) || h2.Car(weak2.Get()) != h2.Car(old2.Get()) {
+		t.Fatal("restored weak car no longer points at the shared referent")
+	}
+	// Sever the strong path; the restored weak remembered entry must
+	// now let the collector break the weak car rather than retain it.
+	h2.SetCar(old2.Get(), obj.Nil)
+	h2.Collect(h2.MaxGeneration())
+	h2.MustVerify()
+	if got := h2.Car(weak2.Get()); got != obj.False {
+		t.Fatalf("weak car after referent death: %v, want #f", got)
+	}
+}
+
 func TestHeapImageAllocationContinues(t *testing.T) {
 	h := heap.NewDefault()
 	r := h.NewRoot(h.Cons(obj.FromFixnum(1), obj.Nil))

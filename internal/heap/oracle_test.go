@@ -117,6 +117,15 @@ func (o *oracleHeap) compare(other *oracleHeap) error {
 	if err := structEqual(o.h, other.h, o.tconc.Get(), other.tconc.Get()); err != nil {
 		return fmt.Errorf("guardian tconc: %w", err)
 	}
+	// When both configurations maintain a remembered set, its
+	// deduplicated size must agree too: the remembered cells correspond
+	// under the bijection, and retirement decisions depend only on
+	// generations, which the configurations assign identically.
+	if o.h.Config().UseDirtySet && other.h.Config().UseDirtySet {
+		if o.h.DirtyCount() != other.h.DirtyCount() {
+			return fmt.Errorf("dirty counts differ: %d vs %d", o.h.DirtyCount(), other.h.DirtyCount())
+		}
+	}
 	// Weak and guardian outcome counters are configuration-independent
 	// even though the scanning work differs.
 	sa, sb := &o.h.Stats, &other.h.Stats

@@ -52,8 +52,7 @@ type parGC struct {
 	pending atomic.Int64 // sweep items pushed but not yet processed
 	abort   atomic.Bool  // a worker panicked; spinners must exit
 
-	strongScratch []uint64 // reusable strong-dirty-cell snapshot
-	candScratch   []int    // reusable scanAllOld candidate-segment list
+	candScratch []int // reusable scanAllOld candidate-segment list
 }
 
 // parStats are the per-worker deltas of the Stats counters touched by
@@ -80,14 +79,14 @@ type parWorker struct {
 	qmu   sync.Mutex // guards queue; owner pops tail, thieves pop head
 	queue []sweepItem
 
-	newWeak   []uint64 // weak pairs this worker copied
-	pendWeak  []uint64 // weak cars this worker deferred (scanAllOld)
-	dropDirty []uint64 // dirty entries to delete after the join
+	newWeak  []uint64 // weak pairs this worker copied
+	pendWeak []uint64 // weak cars this worker deferred (dirty/old scan)
 
 	stats   parStats
 	sweepNS int64
 
-	visit func(*obj.Value) // persistent visitor closure for providers
+	visit func(*obj.Value)          // persistent visitor closure for providers
+	fwd   func(obj.Value) obj.Value // persistent forwarder for scanRemShard
 }
 
 // MaxWorkers bounds Config.Workers. Sixteen covers every machine this
@@ -106,6 +105,7 @@ func (h *Heap) ensurePar() *parGC {
 	for len(p.workers) < h.cfg.Workers {
 		pw := &parWorker{id: len(p.workers), h: h}
 		pw.visit = func(pv *obj.Value) { *pv = pw.forward(*pv) }
+		pw.fwd = pw.forward
 		p.workers = append(p.workers, pw)
 	}
 	p.active = p.workers[:h.cfg.Workers]
@@ -118,7 +118,6 @@ func (h *Heap) ensurePar() *parGC {
 		pw.queue = pw.queue[:0]
 		pw.newWeak = pw.newWeak[:0]
 		pw.pendWeak = pw.pendWeak[:0]
-		pw.dropDirty = pw.dropDirty[:0]
 		pw.stats = parStats{}
 		pw.sweepNS = 0
 	}
@@ -138,18 +137,16 @@ func (h *Heap) collectParallel(g int, t time.Time) time.Time {
 	t = h.phaseMark(PhaseRoots, t)
 
 	if h.cfg.UseDirtySet {
-		strong := h.prepDirtyPar(g)
-		h.runPar(func(pw *parWorker) { pw.dirtyPhase(strong) })
-		for _, pw := range p.active {
-			for _, addr := range pw.dropDirty {
-				delete(h.dirty, addr)
-			}
-		}
+		// The sharded remembered set needs no sequential snapshot
+		// pre-pass: each worker owns a disjoint subset of shards for
+		// the whole phase and scans them with in-place compaction.
+		h.runPar(func(pw *parWorker) { pw.dirtyShardPhase(g) })
+		t = h.phaseMark(PhaseDirtyScan, t)
 	} else {
 		cands := h.oldSegCandidates(g)
 		h.runPar(func(pw *parWorker) { pw.scanOldPhase(cands) })
+		t = h.phaseMark(PhaseOldScan, t)
 	}
-	t = h.phaseMark(PhaseOldScan, t)
 
 	// The whole parallel drain counts as one kleene-sweep pass: waves
 	// lose their meaning when workers race through the transitive
@@ -229,49 +226,23 @@ func (pw *parWorker) rootsPhase() {
 	}
 }
 
-// prepDirtyPar is the sequential pre-pass over the remembered set: it
-// snapshots the map, drops stale and collected entries, defers weak
-// car cells to the weak pass, and returns the strong cells for the
-// workers to forward. Run before the workers start because the dirty
-// map is not safe for concurrent mutation.
-func (h *Heap) prepDirtyPar(g int) []uint64 {
-	scratch := h.dirtyScratch[:0]
-	for addr, weak := range h.dirty {
-		scratch = append(scratch, dirtyCell{addr, weak})
-	}
-	h.dirtyScratch = scratch[:0]
-	strong := h.par.strongScratch[:0]
-	for _, c := range scratch {
-		s := h.tab.SegOf(c.addr)
-		if !s.InUse || s.Gen <= g {
-			delete(h.dirty, c.addr)
-			continue
-		}
-		h.Stats.DirtyCellsScanned++
-		if c.weak {
-			delete(h.dirty, c.addr)
-			h.pendWeak = append(h.pendWeak, c.addr)
-			continue
-		}
-		strong = append(strong, c.addr)
-	}
-	h.par.strongScratch = strong
-	return strong
-}
-
-// dirtyPhase forwards this worker's share of the strong dirty cells in
-// place, recording entries that no longer point to a younger
-// generation for deletion after the join (the map itself is only
-// touched sequentially).
-func (pw *parWorker) dirtyPhase(strong []uint64) {
+// dirtyShardPhase scans this worker's share of the remembered-set
+// shards, strided by worker id so each shard is owned by exactly one
+// worker for the whole phase. Shard ownership makes every shard
+// mutation (compaction, index rewrites) and every remembered-cell
+// write single-writer without locks: a cell's address determines its
+// shard, so no other worker can touch the same cell. Racing forwards
+// of shared referents go through the usual CAS protocol (pw.forward),
+// and reads of freshly copied objects' segment metadata are ordered by
+// the forwarding-word acquire/release publication. Deferred weak cars
+// go to the worker's private pendWeak list, merged after the join.
+func (pw *parWorker) dirtyShardPhase(g int) {
 	h, w := pw.h, len(pw.h.par.active)
-	for k := pw.id; k < len(strong); k += w {
-		addr := strong[k]
-		nv := pw.forward(h.valueAt(addr))
-		h.setWord(addr, uint64(nv))
-		if !nv.IsPointer() || h.tab.SegOf(nv.Addr()).Gen >= h.tab.SegOf(addr).Gen {
-			pw.dropDirty = append(pw.dropDirty, addr)
-		}
+	for k := pw.id; k < RemShards; k += w {
+		n := h.scanRemShard(&h.rem.shards[k], g, pw.fwd, &pw.pendWeak)
+		// Disjoint indices per worker, so these writes never collide.
+		h.Stats.LastShardDirty[k] = n
+		pw.stats.dirtyCellsScanned += n
 	}
 }
 

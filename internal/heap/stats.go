@@ -62,6 +62,13 @@ type Stats struct {
 	// construction; the interesting signal is how they compare to the
 	// whole-phase LastPhases[PhaseSweep].
 	LastWorkerSweep []time.Duration
+	// LastShardDirty holds, per remembered-set shard, the number of
+	// live remembered cells the last collection's dirty scan examined
+	// (stale entries dropped without examination are not counted). Its
+	// sum is the collection's DirtyCellsScanned delta; the spread shows
+	// how evenly the write barrier's segments hash across shards. All
+	// zero when the dirty set is disabled or the heap has not collected.
+	LastShardDirty [RemShards]uint64
 }
 
 // Reset zeroes all counters.

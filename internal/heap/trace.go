@@ -27,9 +27,14 @@ const (
 	// PhaseRoots forwards the explicit root slots and the registered
 	// root providers.
 	PhaseRoots
-	// PhaseOldScan processes old-to-young pointers: the remembered
-	// (dirty) set, or the conservative scan of all older generations
-	// when the dirty set is disabled.
+	// PhaseDirtyScan processes the sharded remembered set: the dirty
+	// cells recorded by the write barrier, scanned shard-by-shard (and
+	// fanned out over the workers in parallel mode). Zero when the
+	// dirty set is disabled.
+	PhaseDirtyScan
+	// PhaseOldScan is the conservative scan of every cell of every
+	// older generation, used when the dirty set is disabled
+	// (Config.UseDirtySet == false). Zero otherwise.
 	PhaseOldScan
 	// PhaseSweep is the iterated kleene-sweep of copied objects,
 	// including the re-sweeps triggered by guardian salvage.
@@ -52,7 +57,7 @@ const (
 )
 
 var phaseNames = [NumPhases]string{
-	"setup", "roots", "old-scan", "sweep", "guardian", "weak", "hooks", "free",
+	"setup", "roots", "dirty-scan", "old-scan", "sweep", "guardian", "weak", "hooks", "free",
 }
 
 // String returns the phase's short name as used in Stats.String,
@@ -96,6 +101,11 @@ type TraceEvent struct {
 	// id, and is nil for sequential collections.
 	Workers       int     `json:"workers"`
 	WorkerSweepNS []int64 `json:"worker_sweep_ns,omitempty"`
+	// DirtyShardCells holds the number of live remembered cells the
+	// dirty-scan phase examined in each shard, indexed by shard number
+	// (0..RemShards-1); its sum is the collection's DirtyCellsScanned
+	// delta. Nil when the dirty set is disabled.
+	DirtyShardCells []uint64 `json:"dirty_shard_cells,omitempty"`
 }
 
 // PhaseDurations returns the event's phase timings keyed by phase
@@ -181,6 +191,10 @@ func (h *Heap) recordTrace(gen, target int, snap *Stats) {
 	}
 	ev.PhaseNS = h.phaseNS
 	ev.Workers = h.cfg.Workers
+	if h.cfg.UseDirtySet && h.dirtyMap == nil {
+		ev.DirtyShardCells = make([]uint64, RemShards)
+		copy(ev.DirtyShardCells, st.LastShardDirty[:])
+	}
 	if n := len(st.LastWorkerSweep); n > 0 {
 		ev.WorkerSweepNS = make([]int64, n)
 		for i, d := range st.LastWorkerSweep {

@@ -33,7 +33,13 @@ import (
 //     object's extent. Payload words are validated across the whole
 //     run (addresses are linear through contiguous segments), so a
 //     corrupted word in a continuation segment is reported just like
-//     one in the head segment.
+//     one in the head segment;
+//  8. the sharded remembered set is internally consistent: every
+//     shard's entry slice and dedup index agree (same size, index
+//     positions match, no duplicate addresses), every entry's address
+//     hashes to the shard holding it, and every entry's segment
+//     exists. Shard-local state leaking across shards or collections
+//     would show up here.
 func (h *Heap) Verify() []error {
 	var errs []error
 	report := func(format string, args ...any) {
@@ -82,7 +88,7 @@ func (h *Heap) Verify() []error {
 		if genCheck && h.cfg.UseDirtySet && !h.inCollect {
 			cellGen := h.tab.SegOf(addr).Gen
 			if ts.Gen < cellGen {
-				if got, ok := h.dirty[addr]; !ok || (weakCar && !got) {
+				if got, ok := h.dirtyLookup(addr); !ok || (weakCar && !got) {
 					report("%s @%d (gen %d) points to gen %d without a dirty entry",
 						where, addr, cellGen, ts.Gen)
 				}
@@ -230,6 +236,34 @@ func (h *Heap) Verify() []error {
 			}
 			if !e.Tconc.IsPair() {
 				report("protected[%d]: tconc is not a pair", gen)
+			}
+		}
+	}
+
+	// Remembered-set internal consistency (invariant 8). Only the
+	// sharded representation has structure to check; the map oracle is
+	// consistent by construction.
+	if h.dirtyMap == nil {
+		for si := range h.rem.shards {
+			sh := &h.rem.shards[si]
+			if len(sh.entries) != len(sh.index) {
+				report("remset shard %d: %d entries but %d index keys",
+					si, len(sh.entries), len(sh.index))
+			}
+			for i, c := range sh.entries {
+				if remShardOf(c.addr) != si {
+					report("remset shard %d: entry @%d belongs to shard %d",
+						si, c.addr, remShardOf(c.addr))
+				}
+				if j, ok := sh.index[c.addr]; !ok {
+					report("remset shard %d: entry @%d missing from index", si, c.addr)
+				} else if int(j) != i {
+					report("remset shard %d: entry @%d at position %d but indexed %d",
+						si, c.addr, i, j)
+				}
+				if seg.SegIndexOf(c.addr) >= h.tab.Len() {
+					report("remset shard %d: entry @%d past end of heap", si, c.addr)
+				}
 			}
 		}
 	}

@@ -8,9 +8,9 @@ func TestGCPhaseStats(t *testing.T) {
 	m := newMachine(t)
 	m.MustEval("(collect)")
 	// One entry per phase, each (phase-symbol last-ns total-ns).
-	expectEval(t, m, "(length (gc-phase-stats))", "8")
+	expectEval(t, m, "(length (gc-phase-stats))", "9")
 	expectEval(t, m, "(map car (gc-phase-stats))",
-		"(setup roots old-scan sweep guardian weak hooks free)")
+		"(setup roots dirty-scan old-scan sweep guardian weak hooks free)")
 	expectEval(t, m, `
 		(begin
 		  (define (all-fixnums? ls)
@@ -87,7 +87,7 @@ func TestGCTracePrim(t *testing.T) {
 	expectEval(t, m, `
 		(let* ([ev (car (gc-trace))]
 		       [phases (map (lambda (p) (cdr (assq p ev)))
-		                    '(setup-ns roots-ns old-scan-ns sweep-ns
+		                    '(setup-ns roots-ns dirty-scan-ns old-scan-ns sweep-ns
 		                      guardian-ns weak-ns hooks-ns free-ns))])
 		  (<= (apply + phases) (cdr (assq 'pause-ns ev))))`, "#t")
 	// (gc-trace 0) disables and clears.

@@ -750,6 +750,18 @@ func (m *Machine) installPrims() {
 		}
 		return out, nil
 	})
+	def("gc-remset-stats", 0, 0, func(m *Machine, a Args) (obj.Value, error) {
+		// A pair of the deduplicated remembered-set size and the list
+		// of per-shard sizes: (total shard0 shard1 ...). The shard list
+		// is empty when the sharded set is not in use (the dirty set
+		// disabled entirely, or the map-based test oracle active).
+		shards := obj.Nil
+		sizes := h.RemSetShardSizes()
+		for i := len(sizes) - 1; i >= 0; i-- {
+			shards = h.Cons(obj.FromFixnum(int64(sizes[i])), shards)
+		}
+		return h.Cons(obj.FromFixnum(int64(h.DirtyCount())), shards), nil
+	})
 	def("gc-trace", 0, 1, func(m *Machine, a Args) (obj.Value, error) {
 		// (gc-trace n) enables the trace ring with capacity n (0
 		// disables); (gc-trace) returns the buffered collection records,

@@ -25,10 +25,26 @@ go test -race ./...
 
 echo "== parallel collector gate (-race)"
 # Redundant with the full -race run above, but kept as an explicit,
-# named gate: the sequential-vs-parallel lockstep oracle and the
-# multi-worker stress tests are the proof that Workers=N is isomorphic
-# to Workers=1.
-go test -race -run 'TestParallelOracle|TestStressParallelWorkers' ./internal/heap/
+# named gate: the lockstep oracles (sequential-vs-parallel and
+# map-vs-sharded remembered set) and the multi-worker stress tests are
+# the proof that Workers=N is isomorphic to Workers=1.
+go test -race -run 'TestParallelOracle|TestRemsetMapOracle|TestStressParallelWorkers' ./internal/heap/
+
+echo "== heap repeat gate (-count=2 -race)"
+# Runs the heap suite twice in one process: shakes out state leaking
+# between runs (package-level caches, sticky remembered-set entries,
+# root-slot reuse) that a single pass cannot see.
+go test -count=2 -race ./internal/heap/...
+
+echo "== fuzz smoke"
+# Short coverage-guided runs of each fuzz target (go test -fuzz takes
+# one target per invocation); regressions found by longer offline
+# fuzzing land in testdata/ and then run as plain tests in the -race
+# pass above.
+go test -run '^$' -fuzz 'FuzzRememberedSet' -fuzztime=10s ./internal/heap/
+go test -run '^$' -fuzz 'FuzzReader' -fuzztime=10s ./internal/scheme/
+go test -run '^$' -fuzz 'FuzzDifferential' -fuzztime=10s ./internal/scheme/
+go test -run '^$' -fuzz 'FuzzEval' -fuzztime=10s ./internal/scheme/
 
 echo "== benchgc smoke"
 go run ./cmd/benchgc -trace -phases -gcs 5 >/dev/null

@@ -33,7 +33,7 @@ func main() {
 		trace    = flag.Bool("trace", false, "run the GC trace workload and emit one JSON line per collection")
 		phases   = flag.Bool("phases", false, "run the GC trace workload and print a per-phase pause summary")
 		gcs      = flag.Int("gcs", 50, "number of collections for -trace/-phases/-parallel-bench")
-		workers  = flag.Int("workers", 1, "collector workers for the -trace/-phases workload (1 = sequential)")
+		workers  = flag.Int("workers", 1, "collector workers for the -trace/-phases workload (1 = sequential, 0 = adaptive)")
 		parBench = flag.Bool("parallel-bench", false,
 			"run the parallel collection baseline across worker counts and write a JSON report")
 		benchOut = flag.String("bench-out", "BENCH_parallel.json", "output path for -parallel-bench")

@@ -34,10 +34,15 @@ type benchQuantiles struct {
 }
 
 type benchWorkerResult struct {
-	Workers     int            `json:"workers"`
-	Collections int            `json:"collections"`
-	Pause       benchQuantiles `json:"pause"`
-	Sweep       benchQuantiles `json:"sweep"`
+	// Workers is the configured count (0 = the adaptive policy);
+	// WorkersChosen is the count the measured collections actually
+	// used, taken from the trace's workers_chosen field (meaningful
+	// mainly for the auto row).
+	Workers       int            `json:"workers"`
+	WorkersChosen int            `json:"workers_chosen"`
+	Collections   int            `json:"collections"`
+	Pause         benchQuantiles `json:"pause"`
+	Sweep         benchQuantiles `json:"sweep"`
 	// DirtyScan covers the remembered-set scan phase (the default
 	// configuration); OldScan the conservative full scan, non-zero
 	// only when the dirty set is disabled.
@@ -101,12 +106,14 @@ func benchOneWorkerCount(workers, gcs, pairs, vectors int) benchWorkerResult {
 
 	var pause, sweep, dirtyScan, oldScan []int64
 	var words uint64
+	var chosen int
 	h.SetTraceFunc(func(ev heap.TraceEvent) {
 		pause = append(pause, ev.PauseNS)
 		sweep = append(sweep, ev.PhaseNS[heap.PhaseSweep])
 		dirtyScan = append(dirtyScan, ev.PhaseNS[heap.PhaseDirtyScan])
 		oldScan = append(oldScan, ev.PhaseNS[heap.PhaseOldScan])
 		words += ev.WordsCopied
+		chosen = ev.WorkersChosen
 	})
 	h.Collect(h.MaxGeneration()) // warm-up: settle survivors
 	pause, sweep, dirtyScan, oldScan, words = nil, nil, nil, nil, 0
@@ -118,12 +125,13 @@ func benchOneWorkerCount(workers, gcs, pairs, vectors int) benchWorkerResult {
 	}
 	h.MustVerify()
 	res := benchWorkerResult{
-		Workers:     workers,
-		Collections: gcs,
-		Pause:       quantilesOf(pause),
-		Sweep:       quantilesOf(sweep),
-		DirtyScan:   quantilesOf(dirtyScan),
-		OldScan:     quantilesOf(oldScan),
+		Workers:       workers,
+		WorkersChosen: chosen,
+		Collections:   gcs,
+		Pause:         quantilesOf(pause),
+		Sweep:         quantilesOf(sweep),
+		DirtyScan:     quantilesOf(dirtyScan),
+		OldScan:       quantilesOf(oldScan),
 	}
 	if gcs > 0 {
 		res.WordsCopied = words / uint64(gcs)
@@ -148,10 +156,17 @@ func runParallelBench(out io.Writer, path string, gcs int) error {
 	fmt.Fprintf(out, "parallel collection baseline: %d collections per worker count, GOMAXPROCS=%d\n",
 		gcs, rep.GoMaxProcs)
 	fmt.Fprintf(out, "%8s  %12s  %12s  %12s\n", "workers", "pause p50", "pause p90", "sweep p50")
-	for _, w := range []int{1, 2, 4, 8} {
+	// The sweep covers the fixed counts plus the adaptive policy
+	// (workers=0), whose row reports the count it actually chose for
+	// this heap on this host.
+	for _, w := range []int{1, 2, 4, 8, 0} {
 		res := benchOneWorkerCount(w, gcs, pairs, vectors)
 		rep.Results = append(rep.Results, res)
-		fmt.Fprintf(out, "%8d  %10.3fms  %10.3fms  %10.3fms\n", w,
+		label := fmt.Sprintf("%d", w)
+		if w == 0 {
+			label = fmt.Sprintf("auto(%d)", res.WorkersChosen)
+		}
+		fmt.Fprintf(out, "%8s  %10.3fms  %10.3fms  %10.3fms\n", label,
 			float64(res.Pause.P50)/1e6, float64(res.Pause.P90)/1e6, float64(res.Sweep.P50)/1e6)
 	}
 	f, err := os.Create(path)

@@ -14,7 +14,8 @@ import (
 // guardians with both held and salvaged registrations, weak pairs,
 // old-generation mutations, and generation-0 churn — for exactly the
 // requested number of collections under the radix policy. workers
-// selects the collector worker count (1 = sequential). When emitJSON
+// selects the collector worker count (1 = sequential, 0 = the
+// adaptive per-collection policy). When emitJSON
 // is set, every collection's TraceEvent is written to out as one JSON
 // line (JSON Lines, oldest first). The heap is returned so the caller
 // can render phase summaries from its Stats.

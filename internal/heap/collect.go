@@ -51,12 +51,18 @@ func (h *Heap) Collect(g int) {
 		target = g
 	}
 	h.gcTarget = target
+	// Pick the worker count while the from-space chains are still
+	// attached: the adaptive policy (Config.Workers == 0) sizes the
+	// fan-out by the number of live segments about to be collected.
+	h.gcWorkers = h.chooseWorkers(g)
 	st := &h.Stats
 	st.countCollection(g)
+	st.LastWorkersChosen = h.gcWorkers
 	snap := h.Stats // per-collection deltas for the trace event
 	h.phaseNS = [NumPhases]int64{}
 	st.LastWorkerSweep = st.LastWorkerSweep[:0] // repopulated by parallel mode
-	st.LastShardDirty = [RemShards]uint64{}     // repopulated by the dirty scan
+	st.LastWorkerIdle = st.LastWorkerIdle[:0]
+	st.LastShardDirty = [RemShards]uint64{} // repopulated by the dirty scan
 
 	// Detach from-space: the segment chains of every collected
 	// generation. When the oldest generation collects into itself, its
@@ -82,13 +88,16 @@ func (h *Heap) Collect(g int) {
 	h.pendWeak = h.pendWeak[:0]
 	t := h.phaseMark(PhaseSetup, start)
 
-	if h.cfg.Workers > 1 {
+	if h.gcWorkers > 1 {
 		// Parallel mode (see parallel.go): the roots, old-scan, and
-		// sweep phases fan out over cfg.Workers workers; everything
+		// sweep phases fan out over the chosen workers; everything
 		// after (guardian, weak, hooks, free) is shared sequential
 		// code, exactly as in the paper.
 		t = h.collectParallel(g, t)
 	} else {
+		// Sequential collections hold no segment reservations: drain
+		// any worker affinity caches left over from parallel mode.
+		h.releaseSegCaches()
 		// Roots: explicit root slots, then registered providers.
 		for i, live := range h.rootsLive {
 			if live {

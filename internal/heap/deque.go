@@ -1,0 +1,190 @@
+package heap
+
+import "sync/atomic"
+
+// This file implements the lock-free Chase–Lev work-stealing deque
+// (Chase & Lev, "Dynamic Circular Work-Stealing Deque", SPAA 2005)
+// that carries the parallel collector's sweep items. Each worker owns
+// one deque: the owner pushes and pops at the bottom without ever
+// taking a lock, and idle workers steal the oldest item from the top
+// with a single compare-and-swap. It replaces the earlier
+// mutex-guarded slice queues, whose head re-slicing both serialized
+// every push against every steal and stranded the backing array's
+// consumed prefix for the whole drain.
+//
+// Memory-ordering argument (why this is correct with Go's atomics,
+// which are sequentially consistent — strictly stronger than the
+// acquire/release fences of the published algorithm):
+//
+//   - Only the owner writes bottom; only thieves (and the owner's
+//     last-item CAS) advance top. Both are atomic, so every
+//     participant sees a consistent top <= bottom window.
+//   - push stores the element into the ring slot *before* publishing
+//     the new bottom. A thief that observes the new bottom therefore
+//     also observes the element (store-release / load-acquire pairing,
+//     subsumed by seq-cst).
+//   - steal reads the element *before* its CAS on top. If the CAS
+//     succeeds, the slot could not have been overwritten in between:
+//     the owner only writes slot (b & mask) when pushing at bottom b,
+//     which would require b - top >= capacity — and push grows the
+//     ring into a fresh array instead of wrapping onto live entries.
+//     If the CAS fails, the read value is discarded, so a stale read
+//     is harmless.
+//   - pop decrements bottom first, then examines top. When they meet,
+//     owner and thieves race on the same final element; the CAS on top
+//     arbitrates, and the loser restores bottom. Every element is
+//     therefore handed out exactly once (TestDequeOwnerThiefProperty
+//     exercises randomized interleavings under -race).
+//   - grow allocates a doubled ring, copies the live window, and
+//     publishes it through an atomic pointer. Thieves racing with
+//     growth may read from the old ring; entries in the live window
+//     are identical in both, and the old array is reclaimed by Go's
+//     collector once the last reader drops it.
+//
+// Elements are sweep items packed into a single uint64 (packSweepItem)
+// so ring slots can be read and written atomically; a struct element
+// could tear when a thief reads a slot the owner is recycling.
+
+const (
+	// dequeMinCap is the initial (and post-shrink) ring capacity, in
+	// items. 256 items = 2 KB per worker.
+	dequeMinCap = 256
+	// dequeRetainCap bounds the ring capacity a deque may keep between
+	// collections: a collection that sweeps a huge structure grows the
+	// ring, and shrink() drops it back so steady-state heaps do not
+	// retain peak-sweep memory (TestSweepQueueMemoryNotRetained).
+	dequeRetainCap = 8192
+)
+
+// dqRing is one immutable-capacity circular array. Capacity is a power
+// of two; index i lives in slot i & mask.
+type dqRing struct {
+	mask int64
+	slot []atomic.Uint64
+}
+
+func newDqRing(capacity int64) *dqRing {
+	return &dqRing{mask: capacity - 1, slot: make([]atomic.Uint64, capacity)}
+}
+
+// deque is a single-owner work-stealing deque of packed sweep items.
+// The zero value is not ready: call init (owner, no concurrency).
+type deque struct {
+	top    atomic.Int64 // next index to steal
+	bottom atomic.Int64 // next index to push
+	ring   atomic.Pointer[dqRing]
+	// peak is the largest ring capacity ever reached (owner-written in
+	// grow, read only after workers join). Tests use it to prove a
+	// workload actually grew the ring before asserting shrink released
+	// the memory.
+	peak int
+}
+
+// init prepares the deque (idempotent; no concurrency).
+func (d *deque) init() {
+	if d.ring.Load() == nil {
+		d.ring.Store(newDqRing(dequeMinCap))
+		d.peak = dequeMinCap
+	}
+}
+
+// push appends x at the bottom. Owner only.
+func (d *deque) push(x uint64) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	r := d.ring.Load()
+	if b-t >= int64(len(r.slot)) {
+		r = d.grow(r, t, b)
+	}
+	r.slot[b&r.mask].Store(x)
+	d.bottom.Store(b + 1)
+}
+
+// pop removes and returns the newest item (LIFO keeps the owner's
+// working set hot and leaves the oldest items for thieves). Owner only.
+func (d *deque) pop() (uint64, bool) {
+	b := d.bottom.Load() - 1
+	r := d.ring.Load()
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Empty: restore bottom.
+		d.bottom.Store(b + 1)
+		return 0, false
+	}
+	x := r.slot[b&r.mask].Load()
+	if t == b {
+		// Last element: race thieves for it via the CAS on top.
+		won := d.top.CompareAndSwap(t, t+1)
+		d.bottom.Store(b + 1)
+		if !won {
+			return 0, false
+		}
+	}
+	return x, true
+}
+
+// steal removes and returns the oldest item. Any thief may call it
+// concurrently with the owner and other thieves. A false return means
+// the deque looked empty or the CAS was lost — callers treat both as
+// "nothing taken" and move on (the sweep's pending counter, not the
+// deques, decides termination).
+func (d *deque) steal() (uint64, bool) {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return 0, false
+	}
+	r := d.ring.Load()
+	x := r.slot[t&r.mask].Load()
+	if !d.top.CompareAndSwap(t, t+1) {
+		return 0, false
+	}
+	return x, true
+}
+
+// grow doubles the ring, copying the live window [t, b). Owner only;
+// thieves may keep reading the old ring, whose live entries match.
+func (d *deque) grow(old *dqRing, t, b int64) *dqRing {
+	r := newDqRing(int64(len(old.slot)) * 2)
+	for i := t; i < b; i++ {
+		r.slot[i&r.mask].Store(old.slot[i&old.mask].Load())
+	}
+	d.ring.Store(r)
+	d.peak = len(r.slot)
+	return r
+}
+
+// capacity returns the current ring capacity in items.
+func (d *deque) capacity() int {
+	if r := d.ring.Load(); r != nil {
+		return len(r.slot)
+	}
+	return 0
+}
+
+// shrink drops an over-grown ring back to dequeMinCap. Called between
+// collections by the owner with no concurrency; the deque must be
+// empty. Steady-state collections whose rings stay at or under
+// dequeRetainCap keep their ring, so shrinking never makes the
+// zero-alloc steady state re-allocate.
+func (d *deque) shrink() {
+	r := d.ring.Load()
+	if r == nil || int64(len(r.slot)) <= dequeRetainCap {
+		return
+	}
+	d.top.Store(0)
+	d.bottom.Store(0)
+	d.ring.Store(newDqRing(dequeMinCap))
+}
+
+// packSweepItem packs a sweep item into one uint64 ring slot: the word
+// address in the high bits, the kind in the low two. Word addresses are
+// segment-index*512 + offset and stay far below 2^62.
+func packSweepItem(it sweepItem) uint64 {
+	return it.addr<<2 | uint64(it.kind)
+}
+
+func unpackSweepItem(x uint64) sweepItem {
+	return sweepItem{addr: x >> 2, kind: sweepKind(x & 3)}
+}

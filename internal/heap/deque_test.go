@@ -1,0 +1,175 @@
+package heap_test
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/heap"
+)
+
+// Chase–Lev deque tests: sequential protocol checks, then the
+// randomized owner/thief property test the CI -race gate runs — every
+// pushed item must come out exactly once, across any interleaving of
+// the owner's push/pop and N concurrent thieves.
+
+func TestDequeSequentialLIFO(t *testing.T) {
+	push, pop, _, _, _ := heap.NewDeque()
+	for i := uint64(1); i <= 100; i++ {
+		push(i)
+	}
+	for i := uint64(100); i >= 1; i-- {
+		x, ok := pop()
+		if !ok || x != i {
+			t.Fatalf("pop = %d,%v; want %d", x, ok, i)
+		}
+	}
+	if _, ok := pop(); ok {
+		t.Fatal("pop from empty deque succeeded")
+	}
+}
+
+func TestDequeStealFIFO(t *testing.T) {
+	push, _, steal, _, _ := heap.NewDeque()
+	for i := uint64(1); i <= 50; i++ {
+		push(i)
+	}
+	// Steals take the oldest item first.
+	for i := uint64(1); i <= 50; i++ {
+		x, ok := steal()
+		if !ok || x != i {
+			t.Fatalf("steal = %d,%v; want %d", x, ok, i)
+		}
+	}
+	if _, ok := steal(); ok {
+		t.Fatal("steal from empty deque succeeded")
+	}
+}
+
+func TestDequeGrowAndShrink(t *testing.T) {
+	push, pop, _, capacity, shrink := heap.NewDeque()
+	if capacity() != heap.DequeMinCap {
+		t.Fatalf("initial capacity %d, want %d", capacity(), heap.DequeMinCap)
+	}
+	n := uint64(4 * heap.DequeRetainCap)
+	for i := uint64(1); i <= n; i++ {
+		push(i)
+	}
+	if capacity() <= heap.DequeRetainCap {
+		t.Fatalf("capacity %d after %d pushes, expected growth past %d",
+			capacity(), n, heap.DequeRetainCap)
+	}
+	// Grown rings keep their contents.
+	for i := n; i >= 1; i-- {
+		x, ok := pop()
+		if !ok || x != i {
+			t.Fatalf("pop after grow = %d,%v; want %d", x, ok, i)
+		}
+	}
+	shrink()
+	if capacity() != heap.DequeMinCap {
+		t.Fatalf("capacity %d after shrink, want %d", capacity(), heap.DequeMinCap)
+	}
+	// A ring at or under the cap is retained (the zero-alloc steady
+	// state depends on this).
+	for i := uint64(1); i <= heap.DequeMinCap/2; i++ {
+		push(i)
+	}
+	for i := uint64(heap.DequeMinCap / 2); i >= 1; i-- {
+		pop()
+	}
+	shrink()
+	if capacity() != heap.DequeMinCap {
+		t.Fatalf("small ring was replaced by shrink: capacity %d", capacity())
+	}
+}
+
+// TestDequeOwnerThiefProperty is the randomized exactly-once property
+// test: one owner goroutine pushes every value in [1, total] while
+// randomly popping, and nThieves goroutines steal concurrently. Every
+// value must be delivered to exactly one consumer. Run under -race this
+// also checks the memory-ordering argument in deque.go — a torn or
+// stale slot read would either duplicate or lose a value, and the race
+// detector flags unsynchronized accesses directly.
+func TestDequeOwnerThiefProperty(t *testing.T) {
+	for _, nThieves := range []int{1, 3, 7} {
+		nThieves := nThieves
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			push, pop, steal, _, _ := heap.NewDeque()
+			const total = 200_000
+			seen := make([]atomic.Int32, total+1)
+			var delivered atomic.Int64
+			record := func(x uint64) {
+				if x == 0 || x > total {
+					t.Errorf("delivered out-of-range value %d", x)
+					return
+				}
+				if seen[x].Add(1) != 1 {
+					t.Errorf("value %d delivered more than once", x)
+				}
+				delivered.Add(1)
+			}
+			var done atomic.Bool
+			var wg sync.WaitGroup
+			for i := 0; i < nThieves; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for !done.Load() {
+						if x, ok := steal(); ok {
+							record(x)
+						} else {
+							runtime.Gosched() // keep single-CPU hosts live
+						}
+					}
+					// Final drain: the owner has stopped, so steals
+					// race only each other.
+					for {
+						x, ok := steal()
+						if !ok {
+							return
+						}
+						record(x)
+					}
+				}()
+			}
+			rng := rand.New(rand.NewSource(1))
+			next := uint64(1)
+			for next <= total {
+				// Bias toward pushing so thieves stay busy, with
+				// random owner pops interleaved.
+				burst := rng.Intn(50) + 1
+				for j := 0; j < burst && next <= total; j++ {
+					push(next)
+					next++
+				}
+				pops := rng.Intn(8)
+				for j := 0; j < pops; j++ {
+					if x, ok := pop(); ok {
+						record(x)
+					}
+				}
+			}
+			for {
+				x, ok := pop()
+				if !ok {
+					break
+				}
+				record(x)
+			}
+			done.Store(true)
+			wg.Wait()
+			if got := delivered.Load(); got != total {
+				t.Fatalf("delivered %d of %d values", got, total)
+			}
+			for x := 1; x <= total; x++ {
+				if seen[x].Load() != 1 {
+					t.Fatalf("value %d delivered %d times", x, seen[x].Load())
+				}
+			}
+		})
+	}
+}

@@ -10,8 +10,9 @@ import (
 // FuzzRememberedSet drives the write barrier and the collector through
 // fuzzer-chosen interleavings of strong writes, weak-car writes,
 // guardian registrations, and collections of arbitrary generation
-// ranges, at Workers 1 and 4, with the full heap verifier run after
-// every single step. The two worker counts must also agree on the
+// ranges, at Workers 1, 4, and 0 (the adaptive policy), with the full
+// heap verifier run after every single step. All worker
+// configurations must agree on the
 // observable outcome: surviving root structure, deduplicated dirty
 // count, and weak/guardian counters. The corpus is seeded with the
 // cross-generation guardian scenario (collector-performed old-to-young
@@ -139,16 +140,20 @@ func FuzzRememberedSet(f *testing.F) {
 	})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		seq := runRemsetFuzz(t, data, 1)
-		par := runRemsetFuzz(t, data, 4)
-		if seq.rootsDesc != par.rootsDesc {
-			t.Fatalf("surviving roots differ across worker counts:\n--- workers=1:\n%s\n--- workers=4:\n%s",
-				seq.rootsDesc, par.rootsDesc)
-		}
-		if seq.dirty != par.dirty {
-			t.Fatalf("dirty counts differ across worker counts: %d vs %d", seq.dirty, par.dirty)
-		}
-		if seq.weakBroken != par.weakBroken || seq.salvaged != par.salvaged || seq.dropped != par.dropped {
-			t.Fatalf("outcome counters differ across worker counts: %+v vs %+v", seq, par)
+		// 4 = fixed parallel, 0 = the adaptive policy picking its own
+		// count per collection; both must match the sequential outcome.
+		for _, workers := range []int{4, 0} {
+			par := runRemsetFuzz(t, data, workers)
+			if seq.rootsDesc != par.rootsDesc {
+				t.Fatalf("surviving roots differ across worker counts:\n--- workers=1:\n%s\n--- workers=%d:\n%s",
+					seq.rootsDesc, workers, par.rootsDesc)
+			}
+			if seq.dirty != par.dirty {
+				t.Fatalf("dirty counts differ at workers=%d: %d vs %d", workers, seq.dirty, par.dirty)
+			}
+			if seq.weakBroken != par.weakBroken || seq.salvaged != par.salvaged || seq.dropped != par.dropped {
+				t.Fatalf("outcome counters differ at workers=%d: %+v vs %+v", workers, seq, par)
+			}
 		}
 	})
 }

@@ -71,13 +71,18 @@ type Config struct {
 	TargetGen func(g, maxGen int) int
 	// Workers is the number of collector workers used for the
 	// forwarding phases of a collection (roots, old-space scan, and
-	// the Cheney sweep). 0 or 1 selects the exact sequential algorithm
-	// of the paper; 2..MaxWorkers fan those phases out over worker
+	// the Cheney sweep). 1 selects the exact sequential algorithm of
+	// the paper; 2..MaxWorkers fan those phases out over worker
 	// goroutines with per-worker to-space allocation buffers and
 	// CAS-installed forwarding words (see parallel.go and
-	// docs/ALGORITHM.md). The guardian and weak phases always run
-	// sequentially to preserve the paper's ordering guarantees. Values
-	// outside [1, MaxWorkers] are clamped.
+	// docs/ALGORITHM.md). 0 selects the adaptive policy: each
+	// collection picks its own count from GOMAXPROCS and the number of
+	// live from-space segments, so small collections run sequentially
+	// and only big ones fan out (chooseWorkers; the count actually used
+	// is reported in Stats.LastWorkersChosen and the trace's
+	// workers_chosen field). The guardian and weak phases always run
+	// sequentially to preserve the paper's ordering guarantees.
+	// Negative values select auto; values above MaxWorkers are clamped.
 	Workers int
 }
 
@@ -90,6 +95,9 @@ func DefaultConfig() Config {
 		TriggerWords: 64 * seg.Words,
 		Radix:        4,
 		UseDirtySet:  true,
+		// Sequential, not auto: the defaults describe the paper's
+		// collector, and parallelism stays an explicit opt-in.
+		Workers: 1,
 	}
 }
 
@@ -160,6 +168,7 @@ type Heap struct {
 	inCollect      bool
 	gcGen          int
 	gcTarget       int
+	gcWorkers      int // worker count chosen for the current collection
 	sweepQ         []sweepItem
 	sweepSpare     []sweepItem // second sweep buffer; ping-pongs with sweepQ per pass
 	newWeak        []uint64
@@ -231,27 +240,31 @@ func (h *Heap) MaxGeneration() int { return h.cfg.Generations - 1 }
 // collection has happened since they last hashed addresses.
 func (h *Heap) Stamp() uint64 { return h.stamp }
 
-// Workers returns the number of collector workers used by parallel
-// collections (1 means the sequential collector).
+// Workers returns the configured collector worker count: 1 means the
+// sequential collector, 0 the adaptive policy (see Config.Workers; the
+// count a particular collection actually used is in
+// Stats.LastWorkersChosen).
 func (h *Heap) Workers() int { return h.cfg.Workers }
 
 // SetWorkers changes the number of collector workers for subsequent
 // collections. It may be called at any time outside a collection; the
 // heap contents are unaffected (worker count only changes how the
-// forwarding phases are scheduled). n is clamped to [1, MaxWorkers].
+// forwarding phases are scheduled). n <= 0 selects the adaptive
+// policy; values above MaxWorkers are clamped.
 func (h *Heap) SetWorkers(n int) {
 	h.check(!h.inCollect, "SetWorkers called during a collection")
 	n = clampWorkers(n)
 	// The map-based remembered-set oracle has no shards to hand out to
 	// workers and is not safe for concurrent mutation; it exists only
-	// to cross-check the sequential algorithm.
-	h.check(n == 1 || h.dirtyMap == nil, "SetWorkers: map-oracle remembered set is sequential-only")
+	// to cross-check the sequential algorithm. Auto is fine: the policy
+	// stays sequential while the oracle is enabled.
+	h.check(n <= 1 || h.dirtyMap == nil, "SetWorkers: map-oracle remembered set is sequential-only")
 	h.cfg.Workers = n
 }
 
 func clampWorkers(n int) int {
-	if n < 1 {
-		return 1
+	if n < 0 {
+		return 0 // auto
 	}
 	if n > MaxWorkers {
 		return MaxWorkers

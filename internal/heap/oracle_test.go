@@ -270,7 +270,7 @@ func TestDirtySetOracle(t *testing.T) {
 // under -race this also exercises the CAS forwarding protocol and the
 // work-stealing sweep for data races.
 func TestParallelOracle(t *testing.T) {
-	for _, workers := range []int{2, 8} {
+	for _, workers := range []int{0, 2, 8} { // 0 = adaptive per-collection choice
 		for _, seed := range []int64{1, 20260805} {
 			t.Run(fmt.Sprintf("workers=%d/seed=%d", workers, seed), func(t *testing.T) {
 				a := newOracleHeap(nil)

@@ -12,9 +12,10 @@ import (
 )
 
 // This file implements the opt-in parallel collection mode
-// (Config.Workers > 1). The three forwarding phases of a collection —
-// roots, old-space scan, and the Cheney kleene-sweep — fan out over N
-// worker goroutines; the guardian and weak phases that follow stay
+// (Config.Workers > 1, or Workers == 0 with the adaptive policy
+// choosing more than one). The three forwarding phases of a collection
+// — roots, old-space scan, and the Cheney kleene-sweep — fan out over
+// N worker goroutines; the guardian and weak phases that follow stay
 // sequential, preserving the paper's ordering (guardians before the
 // weak second pass). The design, and the argument for why the result
 // is isomorphic to the sequential collector's, is laid out in
@@ -24,8 +25,10 @@ import (
 // The concurrency protocol in brief:
 //
 //   - Each worker owns a private to-space allocation buffer: one open
-//     segment per space, bump-allocated without locks. Taking a fresh
-//     segment (and large-object runs) goes through parGC.allocMu.
+//     segment per space, bump-allocated without locks. Fresh segments
+//     come from the worker's own reserved-segment cache (segment
+//     affinity), refilled from the table in batches under
+//     parGC.allocMu; large-object runs always go through the mutex.
 //     Segment structs are stable pointers (package seg's chunked
 //     table), so one worker growing the table never invalidates
 //     another worker's reads.
@@ -39,21 +42,42 @@ import (
 //     acquire/release semantics: whoever reads the forwarding word
 //     sees the fully initialized copy and its segment metadata.
 //   - Copied objects that need sweeping go onto the copying worker's
-//     queue; idle workers steal from the head of other workers'
-//     queues (owner pops the tail). Termination uses a global count
-//     of pushed-but-unprocessed items: it is incremented before an
-//     item becomes visible and decremented only after the item and
-//     all pushes it performed are done, so pending == 0 proves the
-//     sweep has reached its fixpoint.
+//     lock-free Chase–Lev deque (deque.go); the owner pushes and pops
+//     the bottom, idle workers steal the top with a CAS. Termination
+//     uses a global count of pushed-but-unprocessed items: it is
+//     incremented before an item becomes visible and decremented only
+//     after the item and all pushes it performed are done, so
+//     pending == 0 proves the sweep has reached its fixpoint.
 type parGC struct {
-	allocMu sync.Mutex   // serializes seg.Table mutation + chain appends
+	allocMu sync.Mutex   // serializes seg.Table mutation + large-run chain appends
 	workers []*parWorker // all workers ever created, id order
 	active  []*parWorker // workers participating in this collection
 	pending atomic.Int64 // sweep items pushed but not yet processed
 	abort   atomic.Bool  // a worker panicked; spinners must exit
 
+	// Per-phase fan-out state, hoisted here so runPar allocates
+	// nothing per phase (TestCollectSteadyStateAllocs covers
+	// Workers > 1): the WaitGroup and panic slots are reused, and the
+	// phase selector plus candScratch parameterize the workers'
+	// persistent goroutine bodies.
+	wg     sync.WaitGroup
+	phase  parPhase
+	panics []any
+
 	candScratch []int // reusable scanAllOld candidate-segment list
 }
+
+// parPhase selects which phase body a worker's persistent goroutine
+// runs; set by runPar before the fan-out (the goroutine-start edge
+// orders the write against the workers' reads).
+type parPhase uint8
+
+const (
+	parPhaseRoots parPhase = iota
+	parPhaseDirty
+	parPhaseOld
+	parPhaseSweep
+)
 
 // parStats are the per-worker deltas of the Stats counters touched by
 // the forwarding phases, merged into Heap.Stats after the workers join
@@ -76,15 +100,35 @@ type parWorker struct {
 	// always in the collection's target generation.
 	cur [seg.NumSpaces]cursor
 
-	qmu   sync.Mutex // guards queue; owner pops tail, thieves pop head
-	queue []sweepItem
+	// dq is this worker's lock-free sweep deque: owner pushes/pops the
+	// bottom, thieves CAS the top (deque.go).
+	dq deque
+
+	// segCache holds segment indices reserved from the table for this
+	// worker (seg.Table.Reserve): taking a fresh to-space segment pops
+	// the cache without locking, and the cache survives across
+	// collections — the segment-affinity design that keeps
+	// steady-state collections off allocMu. Only used on unbounded
+	// heaps; MaxSegments configurations keep the exact per-segment
+	// OOM accounting. newSegs buffers the segments this worker claimed
+	// during the current collection, merged into the target
+	// generation's chains after the join.
+	segCache []int
+	newSegs  [seg.NumSpaces][]int
 
 	newWeak  []uint64 // weak pairs this worker copied
 	pendWeak []uint64 // weak cars this worker deferred (dirty/old scan)
 
-	stats   parStats
-	sweepNS int64
+	stats parStats
+	// busyNS/idleNS split the sweep drain's wall time: busy is spent
+	// processing items (and scanning for work), idle is spent yielding
+	// in the termination spin. Idle dominates exactly when load is
+	// imbalanced, which is the signal the adaptive worker policy and
+	// the worker_busy_ns/worker_idle_ns trace fields exist to expose.
+	busyNS int64
+	idleNS int64
 
+	body  func()                    // persistent goroutine body for runPar
 	visit func(*obj.Value)          // persistent visitor closure for providers
 	fwd   func(obj.Value) obj.Value // persistent forwarder for scanRemShard
 }
@@ -94,57 +138,137 @@ type parWorker struct {
 // small.
 const MaxWorkers = 16
 
+// segCacheBatch is how many segments a worker reserves from the table
+// per allocMu acquisition when its affinity cache runs dry.
+const segCacheBatch = 8
+
+// autoSegsPerWorker calibrates the adaptive worker policy: one worker
+// per this many live from-space segments, so a collection needs at
+// least 2*autoSegsPerWorker segments (~96 KB of from-space) before it
+// fans out at all. Below that, goroutine start/join and CAS overhead
+// outweigh the copying work — a 10-segment nursery collection runs
+// sequentially.
+const autoSegsPerWorker = 12
+
+// autoWorkerCount is the pure adaptive policy: the worker count for a
+// collection of liveSegs from-space segments on procs schedulable
+// CPUs. Exported to tests via export_test.go.
+func autoWorkerCount(liveSegs, procs int) int {
+	w := liveSegs / autoSegsPerWorker
+	if w > procs {
+		w = procs
+	}
+	if w > MaxWorkers {
+		w = MaxWorkers
+	}
+	if w < 2 {
+		return 1
+	}
+	return w
+}
+
+// chooseWorkers picks the worker count for a collection of generations
+// 0..g: the configured count when one is set, otherwise the adaptive
+// policy applied to GOMAXPROCS and the number of live segments in the
+// collected generations (counted from the chains before from-space is
+// detached). The map-based remembered-set oracle is sequential-only,
+// so auto never fans out over it.
+func (h *Heap) chooseWorkers(g int) int {
+	if h.cfg.Workers != 0 {
+		return h.cfg.Workers
+	}
+	if h.dirtyMap != nil {
+		return 1
+	}
+	segs := 0
+	for sp := 0; sp < int(seg.NumSpaces); sp++ {
+		for gen := 0; gen <= g; gen++ {
+			segs += len(h.chains[sp][gen])
+		}
+	}
+	return autoWorkerCount(segs, runtime.GOMAXPROCS(0))
+}
+
 // ensurePar lazily builds (and per-collection resets) the parallel
-// collection state. Workers are created once and reused; changing
-// Config.Workers between collections just changes how many take part.
-func (h *Heap) ensurePar() *parGC {
+// collection state for the given worker count. Workers are created
+// once and reused; changing the count between collections just changes
+// how many take part. Workers left inactive by a smaller count return
+// their reserved segments to the table.
+func (h *Heap) ensurePar(workers int) *parGC {
 	if h.par == nil {
 		h.par = &parGC{}
 	}
 	p := h.par
-	for len(p.workers) < h.cfg.Workers {
+	for len(p.workers) < workers {
 		pw := &parWorker{id: len(p.workers), h: h}
 		pw.visit = func(pv *obj.Value) { *pv = pw.forward(*pv) }
 		pw.fwd = pw.forward
+		pw.body = pw.runPhase
+		pw.dq.init()
 		p.workers = append(p.workers, pw)
 	}
-	p.active = p.workers[:h.cfg.Workers]
+	for len(p.panics) < len(p.workers) {
+		p.panics = append(p.panics, nil)
+	}
+	p.active = p.workers[:workers]
 	p.pending.Store(0)
 	p.abort.Store(false)
-	for _, pw := range p.active {
+	for i, pw := range p.active {
+		p.panics[i] = nil
 		for sp := range pw.cur {
 			pw.cur[sp] = cursor{seg: seg.None}
 		}
-		pw.queue = pw.queue[:0]
 		pw.newWeak = pw.newWeak[:0]
 		pw.pendWeak = pw.pendWeak[:0]
 		pw.stats = parStats{}
-		pw.sweepNS = 0
+		pw.busyNS, pw.idleNS = 0, 0
+	}
+	for _, pw := range p.workers[workers:] {
+		for _, idx := range pw.segCache {
+			h.tab.Unreserve(idx)
+		}
+		pw.segCache = pw.segCache[:0]
 	}
 	return p
 }
 
+// releaseSegCaches returns every worker's reserved segments to the
+// table. Called when a collection runs sequentially, so reservations
+// never outlive the parallel mode that made them: after any sequential
+// collection the table has no reserved segments at all.
+func (h *Heap) releaseSegCaches() {
+	if h.par == nil {
+		return
+	}
+	for _, pw := range h.par.workers {
+		for _, idx := range pw.segCache {
+			h.tab.Unreserve(idx)
+		}
+		pw.segCache = pw.segCache[:0]
+	}
+}
+
 // collectParallel runs the roots, old-scan, and sweep phases of a
-// collection of generations 0..g over cfg.Workers workers. It is
+// collection of generations 0..g over h.gcWorkers workers. It is
 // called from Collect with the same phase-clock value the sequential
 // path would use and returns the clock after marking PhaseSweep;
 // everything before (setup) and after (guardian, weak, hooks, free)
 // is the shared sequential code.
 func (h *Heap) collectParallel(g int, t time.Time) time.Time {
-	p := h.ensurePar()
+	p := h.ensurePar(h.gcWorkers)
 
-	h.runPar(func(pw *parWorker) { pw.rootsPhase() })
+	h.runPar(parPhaseRoots)
 	t = h.phaseMark(PhaseRoots, t)
 
 	if h.cfg.UseDirtySet {
 		// The sharded remembered set needs no sequential snapshot
 		// pre-pass: each worker owns a disjoint subset of shards for
 		// the whole phase and scans them with in-place compaction.
-		h.runPar(func(pw *parWorker) { pw.dirtyShardPhase(g) })
+		h.runPar(parPhaseDirty)
 		t = h.phaseMark(PhaseDirtyScan, t)
 	} else {
-		cands := h.oldSegCandidates(g)
-		h.runPar(func(pw *parWorker) { pw.scanOldPhase(cands) })
+		h.oldSegCandidates(g)
+		h.runPar(parPhaseOld)
 		t = h.phaseMark(PhaseOldScan, t)
 	}
 
@@ -154,49 +278,72 @@ func (h *Heap) collectParallel(g int, t time.Time) time.Time {
 	if p.pending.Load() > 0 {
 		h.Stats.SweepPasses++
 	}
-	h.runPar(func(pw *parWorker) { pw.sweepPhase() })
+	h.runPar(parPhaseSweep)
 	t = h.phaseMark(PhaseSweep, t)
 
 	h.mergeWorkers(p)
 	return t
 }
 
-// runPar runs fn on every active worker and waits for all of them.
-// A worker panic sets the abort flag (so sweep spinners exit instead
-// of waiting for a pending count that will never reach zero) and is
-// re-raised on the coordinator after the join.
-func (h *Heap) runPar(fn func(*parWorker)) {
+// runPar runs the selected phase on every active worker and waits for
+// all of them. A worker panic sets the abort flag (so sweep spinners
+// exit instead of waiting for a pending count that will never reach
+// zero) and is re-raised on the coordinator after the join. The
+// fan-out reuses the workers' persistent goroutine bodies and the
+// parGC's WaitGroup and panic slots, so a steady-state phase allocates
+// nothing.
+func (h *Heap) runPar(ph parPhase) {
 	p := h.par
-	var wg sync.WaitGroup
-	panics := make([]any, len(p.active))
-	for i, pw := range p.active {
-		wg.Add(1)
-		go func(i int, pw *parWorker) {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					panics[i] = r
-					p.abort.Store(true)
-				}
-			}()
-			fn(pw)
-		}(i, pw)
+	p.phase = ph
+	for _, pw := range p.active {
+		p.wg.Add(1)
+		go pw.body()
 	}
-	wg.Wait()
-	for _, r := range panics {
-		if r != nil {
+	p.wg.Wait()
+	for i := range p.active {
+		if r := p.panics[i]; r != nil {
+			p.panics[i] = nil
 			panic(r)
 		}
 	}
 }
 
+// runPhase is the persistent goroutine body spawned by runPar: it
+// dispatches on the phase selector, recovers panics into the worker's
+// slot, and signals the join.
+func (pw *parWorker) runPhase() {
+	p := pw.h.par
+	defer p.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			p.panics[pw.id] = r
+			p.abort.Store(true)
+		}
+	}()
+	switch p.phase {
+	case parPhaseRoots:
+		pw.rootsPhase()
+	case parPhaseDirty:
+		pw.dirtyShardPhase(pw.h.gcGen)
+	case parPhaseOld:
+		pw.scanOldPhase(p.candScratch)
+	case parPhaseSweep:
+		pw.sweepPhase()
+	}
+}
+
 // mergeWorkers folds the per-worker state back into the heap after the
 // parallel phases have joined: stats deltas, the weak-pair lists the
-// sequential guardian/weak phases consume, and the per-worker sweep
-// timings surfaced in Stats.LastWorkerSweep.
+// sequential guardian/weak phases consume, the segments each worker
+// claimed (appended to the target generation's chains), and the
+// per-worker sweep timings surfaced in Stats.LastWorkerSweep /
+// LastWorkerIdle. Over-grown sweep deques shrink back here so a heap
+// whose peak collection swept a huge structure does not retain the
+// peak-size rings for its lifetime.
 func (h *Heap) mergeWorkers(p *parGC) {
 	st := &h.Stats
 	st.LastWorkerSweep = st.LastWorkerSweep[:0]
+	st.LastWorkerIdle = st.LastWorkerIdle[:0]
 	for _, pw := range p.active {
 		st.WordsAllocated += pw.stats.wordsAllocated
 		st.SegmentsAllocated += pw.stats.segmentsAllocated
@@ -207,7 +354,13 @@ func (h *Heap) mergeWorkers(p *parGC) {
 		st.DirtyCellsScanned += pw.stats.dirtyCellsScanned
 		h.newWeak = append(h.newWeak, pw.newWeak...)
 		h.pendWeak = append(h.pendWeak, pw.pendWeak...)
-		st.LastWorkerSweep = append(st.LastWorkerSweep, time.Duration(pw.sweepNS))
+		for sp := range pw.newSegs {
+			h.chains[sp][h.gcTarget] = append(h.chains[sp][h.gcTarget], pw.newSegs[sp]...)
+			pw.newSegs[sp] = pw.newSegs[sp][:0]
+		}
+		st.LastWorkerSweep = append(st.LastWorkerSweep, time.Duration(pw.busyNS))
+		st.LastWorkerIdle = append(st.LastWorkerIdle, time.Duration(pw.idleNS))
+		pw.dq.shrink()
 	}
 }
 
@@ -246,11 +399,12 @@ func (pw *parWorker) dirtyShardPhase(g int) {
 	}
 }
 
-// oldSegCandidates snapshots the segments scanAllOld would visit.
-// Taken sequentially before the workers start so nobody iterates the
-// table while to-space allocation grows it; segments created during
-// the phases carry the current stamp and would be skipped anyway.
-func (h *Heap) oldSegCandidates(g int) []int {
+// oldSegCandidates snapshots the segments scanAllOld would visit into
+// parGC.candScratch. Taken sequentially before the workers start so
+// nobody iterates the table while to-space allocation grows it;
+// segments created during the phases carry the current stamp and would
+// be skipped anyway.
+func (h *Heap) oldSegCandidates(g int) {
 	cands := h.par.candScratch[:0]
 	for idx := 0; idx < h.tab.Len(); idx++ {
 		s := h.tab.Seg(idx)
@@ -260,7 +414,6 @@ func (h *Heap) oldSegCandidates(g int) []int {
 		cands = append(cands, idx)
 	}
 	h.par.candScratch = cands
-	return cands
 }
 
 // scanOldPhase is the parallel body of scanAllOld: each candidate
@@ -395,7 +548,7 @@ func (pw *parWorker) followFwd(v obj.Value, wp *uint64) obj.Value {
 
 // alloc bump-allocates n (<= seg.Words) words from this worker's
 // private buffer for the given space, taking a fresh target-generation
-// segment under the allocation mutex when the open one is full.
+// segment when the open one is full.
 func (pw *parWorker) alloc(space seg.Space, n int) uint64 {
 	h := pw.h
 	pw.stats.wordsAllocated += uint64(n)
@@ -420,19 +573,53 @@ func (pw *parWorker) unalloc(space seg.Space, n int) {
 	pw.stats.wordsAllocated -= uint64(n)
 }
 
-// newSeg takes a fresh segment in the target generation. The table and
-// the segment chains are shared, so mutation is serialized.
+// newSeg takes a fresh segment in the target generation. On unbounded
+// heaps it pops the worker's reserved-segment cache, refilled from the
+// table in segCacheBatch-sized gulps under allocMu — the segment-
+// affinity fast path: a steady-state collection whose survivors fit
+// the cached segments touches the mutex once per batch instead of once
+// per segment, and activating a cached segment (seg.InitReserved)
+// mutates only worker-owned state. Bounded heaps (MaxSegments > 0)
+// keep the exact per-segment OOM accounting and allocate under the
+// mutex. Either way the claimed segment is recorded in newSegs; the
+// coordinator links it into the target generation's chain after the
+// join (nothing reads those chains during the parallel phases).
 func (pw *parWorker) newSeg(space seg.Space) int {
+	h := pw.h
+	var idx int
+	if h.cfg.MaxSegments > 0 {
+		idx = pw.newSegLocked(space)
+	} else {
+		if len(pw.segCache) == 0 {
+			pw.refillSegCache()
+		}
+		idx = pw.segCache[len(pw.segCache)-1]
+		pw.segCache = pw.segCache[:len(pw.segCache)-1]
+		h.tab.InitReserved(idx, space, h.gcTarget, h.stamp)
+	}
+	pw.newSegs[space] = append(pw.newSegs[space], idx)
+	return idx
+}
+
+// newSegLocked is the bounded-heap slow path: allocate one segment
+// under the mutex with the OOM check.
+func (pw *parWorker) newSegLocked(space seg.Space) int {
 	h := pw.h
 	h.par.allocMu.Lock()
 	defer h.par.allocMu.Unlock()
-	if h.cfg.MaxSegments > 0 && h.tab.InUseCount()+1 > h.cfg.MaxSegments {
+	if h.tab.InUseCount()+1 > h.cfg.MaxSegments {
 		panic(fmt.Sprintf("heap: out of memory: %d-segment limit reached (parallel copy)",
 			h.cfg.MaxSegments))
 	}
-	idx := h.tab.Alloc(space, h.gcTarget, h.stamp)
-	h.chains[space][h.gcTarget] = append(h.chains[space][h.gcTarget], idx)
-	return idx
+	return h.tab.Alloc(space, h.gcTarget, h.stamp)
+}
+
+// refillSegCache reserves a batch of segments for this worker.
+func (pw *parWorker) refillSegCache() {
+	h := pw.h
+	h.par.allocMu.Lock()
+	pw.segCache = h.tab.Reserve(pw.segCache, segCacheBatch)
+	h.par.allocMu.Unlock()
 }
 
 // allocRun allocates a large-object run of contiguous segments. Unlike
@@ -492,53 +679,47 @@ func (pw *parWorker) freeRun(first, k, total int) {
 // pending == 0 proves the fixpoint).
 func (pw *parWorker) push(it sweepItem) {
 	pw.h.par.pending.Add(1)
-	pw.qmu.Lock()
-	pw.queue = append(pw.queue, it)
-	pw.qmu.Unlock()
+	pw.dq.push(packSweepItem(it))
 }
 
-// popTail pops this worker's own newest item (LIFO keeps the working
-// set hot and leaves the queue head for thieves).
-func (pw *parWorker) popTail() (sweepItem, bool) {
-	pw.qmu.Lock()
-	defer pw.qmu.Unlock()
-	n := len(pw.queue)
-	if n == 0 {
+// popOwn pops this worker's own newest item (LIFO keeps the working
+// set hot and leaves the deque's top for thieves).
+func (pw *parWorker) popOwn() (sweepItem, bool) {
+	x, ok := pw.dq.pop()
+	if !ok {
 		return sweepItem{}, false
 	}
-	it := pw.queue[n-1]
-	pw.queue = pw.queue[:n-1]
-	return it, true
+	return unpackSweepItem(x), true
 }
 
-// steal takes the oldest item from some other worker's queue.
+// steal takes the oldest item from some other worker's deque. A failed
+// CAS on a victim just moves on to the next; the pending counter, not
+// the deques, decides when the drain is over.
 func (pw *parWorker) steal() (sweepItem, bool) {
 	act := pw.h.par.active
 	for k := 1; k < len(act); k++ {
-		vic := act[(pw.id+k)%len(act)]
-		vic.qmu.Lock()
-		if len(vic.queue) > 0 {
-			it := vic.queue[0]
-			vic.queue = vic.queue[1:]
-			vic.qmu.Unlock()
-			return it, true
+		if x, ok := act[(pw.id+k)%len(act)].dq.steal(); ok {
+			return unpackSweepItem(x), true
 		}
-		vic.qmu.Unlock()
 	}
 	return sweepItem{}, false
 }
 
-// sweepPhase drains the work-stealing queues to the Cheney fixpoint:
+// sweepPhase drains the work-stealing deques to the Cheney fixpoint:
 // pop own work, steal when empty, spin (yielding) while other workers
-// may still push, stop when nothing is pending anywhere.
+// may still push, stop when nothing is pending anywhere. Wall time is
+// split into busy (processing and scanning for work) and idle (the
+// yield in the termination spin) so the per-worker numbers reported in
+// Stats and the trace reflect load imbalance instead of hiding it.
 func (pw *parWorker) sweepPhase() {
 	t0 := time.Now()
+	var idle int64
 	p := pw.h.par
 	for {
 		if p.abort.Load() {
 			break
 		}
-		it, ok := pw.popTail()
+		it, ok := pw.popOwn()
 		if !ok {
 			it, ok = pw.steal()
 		}
@@ -546,13 +727,16 @@ func (pw *parWorker) sweepPhase() {
 			if p.pending.Load() == 0 {
 				break
 			}
+			ti := time.Now()
 			runtime.Gosched()
+			idle += time.Since(ti).Nanoseconds()
 			continue
 		}
 		pw.process(it)
 		p.pending.Add(-1)
 	}
-	pw.sweepNS = time.Since(t0).Nanoseconds()
+	pw.idleNS = idle
+	pw.busyNS = time.Since(t0).Nanoseconds() - idle
 }
 
 // process sweeps one copied object, mirroring kleeneSweep's cases.

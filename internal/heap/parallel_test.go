@@ -3,6 +3,7 @@ package heap_test
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/heap"
 	"repro/internal/obj"
@@ -13,7 +14,7 @@ import (
 // benchmark comparing worker counts on a multi-megabyte live heap.
 
 func TestStressParallelWorkers(t *testing.T) {
-	for _, workers := range []int{1, 2, 8} {
+	for _, workers := range []int{0, 1, 2, 8} { // 0 = adaptive
 		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
 			cfg := heap.DefaultConfig()
 			cfg.TriggerWords = 1 << 20
@@ -44,15 +45,78 @@ func TestSetWorkersBetweenCollections(t *testing.T) {
 	h.SetWorkers(1)
 	h.Collect(0) // and back to sequential
 	h.MustVerify()
-	// Out-of-range values clamp rather than misconfigure the collector.
+	// 0 (and anything negative) selects the adaptive policy.
 	h.SetWorkers(0)
-	if h.Workers() != 1 {
-		t.Fatalf("SetWorkers(0) -> %d, want 1", h.Workers())
+	if h.Workers() != 0 {
+		t.Fatalf("SetWorkers(0) -> %d, want 0 (auto)", h.Workers())
 	}
+	h.Collect(0) // adaptive collection over the same heap
+	if got := h.Stats.LastWorkersChosen; got < 1 || got > heap.MaxWorkers {
+		t.Fatalf("auto collection chose %d workers", got)
+	}
+	h.MustVerify()
+	h.SetWorkers(-5)
+	if h.Workers() != 0 {
+		t.Fatalf("SetWorkers(-5) -> %d, want 0 (auto)", h.Workers())
+	}
+	// Out-of-range values clamp rather than misconfigure the collector.
 	h.SetWorkers(1000)
 	if h.Workers() != heap.MaxWorkers {
 		t.Fatalf("SetWorkers(1000) -> %d, want %d", h.Workers(), heap.MaxWorkers)
 	}
+}
+
+// TestAutoWorkerPolicy pins the adaptive policy's shape as a pure
+// function of (live from-space segments, procs): no fan-out below the
+// segment threshold, scaling by segments, capped by procs and
+// MaxWorkers — host-independent, unlike an end-to-end auto collection.
+func TestAutoWorkerPolicy(t *testing.T) {
+	cases := []struct {
+		segs, procs, want int
+	}{
+		{0, 8, 1},
+		{10, 8, 1},  // 10-segment nursery: never fan out
+		{23, 8, 1},  // below 2*autoSegsPerWorker
+		{24, 8, 2},  // first collection big enough to fan out
+		{24, 1, 1},  // ... but not on a single CPU
+		{120, 8, 8}, // segment-limited -> proc-limited
+		{120, 4, 4},
+		{1 << 20, 64, heap.MaxWorkers}, // huge heap, many CPUs: clamp
+	}
+	for _, c := range cases {
+		if got := heap.AutoWorkerCount(c.segs, c.procs); got != c.want {
+			t.Errorf("AutoWorkerCount(%d segs, %d procs) = %d, want %d",
+				c.segs, c.procs, got, c.want)
+		}
+	}
+}
+
+// TestAutoWorkersNeverFanOutSmall drives real auto-mode collections of
+// a tiny heap and asserts via workers_chosen that the policy kept them
+// sequential: the collections are far below the segment threshold
+// regardless of the host's GOMAXPROCS.
+func TestAutoWorkersNeverFanOutSmall(t *testing.T) {
+	cfg := heap.DefaultConfig()
+	cfg.Workers = 0 // auto
+	h := heap.New(cfg)
+	h.EnableTrace(8)
+	r := h.NewRoot(h.Cons(obj.FromFixnum(1), h.MakeString("tiny")))
+	defer r.Release()
+	for i := 0; i < 3; i++ {
+		h.Collect(h.MaxGeneration())
+		if got := h.Stats.LastWorkersChosen; got != 1 {
+			t.Fatalf("collection %d of a tiny heap chose %d workers, want 1", i, got)
+		}
+	}
+	for _, ev := range h.TraceEvents() {
+		if ev.Workers != 0 {
+			t.Fatalf("TraceEvent.Workers = %d, want 0 (auto configured)", ev.Workers)
+		}
+		if ev.WorkersChosen != 1 {
+			t.Fatalf("TraceEvent.WorkersChosen = %d, want 1", ev.WorkersChosen)
+		}
+	}
+	h.MustVerify()
 }
 
 func TestParallelWorkerSweepStats(t *testing.T) {
@@ -71,28 +135,143 @@ func TestParallelWorkerSweepStats(t *testing.T) {
 	if got := len(h.Stats.LastWorkerSweep); got != 3 {
 		t.Fatalf("LastWorkerSweep has %d entries, want 3", got)
 	}
+	if got := len(h.Stats.LastWorkerIdle); got != 3 {
+		t.Fatalf("LastWorkerIdle has %d entries, want 3", got)
+	}
+	if h.Stats.LastWorkersChosen != 3 {
+		t.Fatalf("LastWorkersChosen = %d, want 3", h.Stats.LastWorkersChosen)
+	}
 	evs := h.TraceEvents()
 	if len(evs) != 1 {
 		t.Fatalf("trace events: %d, want 1", len(evs))
 	}
 	ev := evs[len(evs)-1]
-	if ev.Workers != 3 {
-		t.Fatalf("TraceEvent.Workers = %d, want 3", ev.Workers)
+	if ev.Workers != 3 || ev.WorkersChosen != 3 {
+		t.Fatalf("TraceEvent workers = %d chosen %d, want 3/3", ev.Workers, ev.WorkersChosen)
 	}
-	if len(ev.WorkerSweepNS) != 3 {
-		t.Fatalf("TraceEvent.WorkerSweepNS has %d entries, want 3", len(ev.WorkerSweepNS))
+	if len(ev.WorkerBusyNS) != 3 || len(ev.WorkerIdleNS) != 3 {
+		t.Fatalf("TraceEvent busy/idle have %d/%d entries, want 3/3",
+			len(ev.WorkerBusyNS), len(ev.WorkerIdleNS))
+	}
+	// Busy time must not include the idle spin: each worker's busy+idle
+	// is bounded by the whole sweep phase (up to timer granularity), and
+	// on a loaded drain neither component can exceed the phase alone.
+	phase := ev.PhaseNS[heap.PhaseSweep]
+	for i := range ev.WorkerBusyNS {
+		if ev.WorkerBusyNS[i] < 0 || ev.WorkerIdleNS[i] < 0 {
+			t.Fatalf("worker %d negative busy/idle: %d/%d", i, ev.WorkerBusyNS[i], ev.WorkerIdleNS[i])
+		}
+		if sum := ev.WorkerBusyNS[i] + ev.WorkerIdleNS[i]; sum > 2*phase+int64(time.Millisecond) {
+			t.Fatalf("worker %d busy+idle %dns far exceeds sweep phase %dns", i, sum, phase)
+		}
 	}
 	// Sequential collections leave the per-worker fields empty.
 	h.SetWorkers(1)
 	h.Collect(0)
-	if len(h.Stats.LastWorkerSweep) != 0 {
-		t.Fatal("LastWorkerSweep not cleared by a sequential collection")
+	if len(h.Stats.LastWorkerSweep) != 0 || len(h.Stats.LastWorkerIdle) != 0 {
+		t.Fatal("per-worker stats not cleared by a sequential collection")
 	}
 	evs = h.TraceEvents()
 	last := evs[len(evs)-1]
-	if last.Workers != 1 || last.WorkerSweepNS != nil {
+	if last.Workers != 1 || last.WorkerBusyNS != nil || last.WorkerIdleNS != nil {
 		t.Fatalf("sequential trace event carries worker fields: %+v", last)
 	}
+	if last.WorkersChosen != 1 {
+		t.Fatalf("sequential WorkersChosen = %d, want 1", last.WorkersChosen)
+	}
+}
+
+// TestSweepQueueMemoryNotRetained is the regression test for the
+// queue-pinning bug: the old mutex-guarded slice queues kept their
+// peak-sweep capacity for the heap's lifetime (steal's head re-slicing
+// stranded the consumed prefix too). The deques must shrink back after
+// a collection whose sweep out-grew the retention cap.
+func TestSweepQueueMemoryNotRetained(t *testing.T) {
+	cfg := heap.DefaultConfig()
+	cfg.TriggerWords = 1 << 24
+	cfg.Workers = 2
+	h := heap.New(cfg)
+	// One huge vector of pair chains: sweeping the vector pushes 4x
+	// DequeRetainCap items in a single process() call, before the owner
+	// pops anything. Each slot is a 4-pair chain so a thief stealing
+	// concurrently (which drains the pushed items faster than the owner
+	// can produce them, especially under -race) is held up by follow-on
+	// work and cannot keep the owner's ring below the retention cap.
+	n := 4 * heap.DequeRetainCap
+	v := h.MakeVector(n, obj.Nil)
+	for i := 0; i < n; i++ {
+		chain := obj.Nil
+		for j := 0; j < 4; j++ {
+			chain = h.Cons(obj.FromFixnum(int64(i)), chain)
+		}
+		h.VectorSet(v, i, chain)
+	}
+	r := h.NewRoot(v)
+	h.Collect(h.MaxGeneration())
+	// The big sweep must actually have grown a ring past the retention
+	// cap — otherwise the assertions below are vacuous.
+	grew := false
+	for _, p := range heap.WorkerDequePeaks(h) {
+		if p > heap.DequeRetainCap {
+			grew = true
+		}
+	}
+	if !grew {
+		t.Fatalf("workload never grew a deque past %d (peaks %v); the regression test needs a bigger push",
+			heap.DequeRetainCap, heap.WorkerDequePeaks(h))
+	}
+	// Rings are released before the collection returns, and stay
+	// capped through subsequent steady-state collections.
+	for i, c := range heap.WorkerDequeCaps(h) {
+		if c > heap.DequeRetainCap {
+			t.Fatalf("worker %d deque retains peak capacity %d (> %d) after the big collection",
+				i, c, heap.DequeRetainCap)
+		}
+	}
+	r.Release()
+	r2 := h.NewRoot(h.Cons(obj.FromFixnum(1), obj.Nil))
+	defer r2.Release()
+	h.Collect(h.MaxGeneration())
+	for i, c := range heap.WorkerDequeCaps(h) {
+		if c > heap.DequeRetainCap {
+			t.Fatalf("worker %d deque retains capacity %d (> %d) after steady-state collection",
+				i, c, heap.DequeRetainCap)
+		}
+	}
+	h.MustVerify()
+}
+
+// TestSegmentAffinityReserve exercises the per-worker segment caches on
+// an unbounded heap: after a parallel collection the caches may hold
+// reserved segments (neither free nor in use), the heap's accounting
+// must stay consistent, and dropping back to fewer workers returns the
+// idle workers' cached segments to the table.
+func TestSegmentAffinityReserve(t *testing.T) {
+	cfg := heap.DefaultConfig()
+	cfg.TriggerWords = 1 << 22
+	cfg.Workers = 4
+	h := heap.New(cfg)
+	var list obj.Value = obj.Nil
+	for i := 0; i < 50_000; i++ {
+		list = h.Cons(obj.FromFixnum(int64(i)), list)
+	}
+	r := h.NewRoot(list)
+	defer r.Release()
+	for i := 0; i < 3; i++ {
+		h.Collect(h.MaxGeneration())
+		h.MustVerify()
+	}
+	if got := heap.ReservedSegments(h); got < 0 || got > 4*16 {
+		t.Fatalf("reserved segments = %d after parallel collections", got)
+	}
+	// A sequential collection sidelines all four workers: their caches
+	// must drain back into the free list.
+	h.SetWorkers(1)
+	h.Collect(h.MaxGeneration())
+	if got := heap.ReservedSegments(h); got != 0 {
+		t.Fatalf("reserved segments = %d after dropping to 1 worker, want 0", got)
+	}
+	h.MustVerify()
 }
 
 // TestParallelLargeObjects pushes multi-segment objects through the

@@ -18,7 +18,9 @@ package heap
 // and whose worker count is 1; the switch is one-way.
 func (h *Heap) enableMapRemsetOracle() {
 	h.check(!h.inCollect, "enableMapRemsetOracle during a collection")
-	h.check(h.cfg.Workers == 1, "enableMapRemsetOracle: map oracle is sequential-only")
+	// Workers <= 1 covers auto (0): chooseWorkers stays sequential
+	// while the oracle is active.
+	h.check(h.cfg.Workers <= 1, "enableMapRemsetOracle: map oracle is sequential-only")
 	h.check(h.rem.count() == 0, "enableMapRemsetOracle: remembered set already populated")
 	h.dirtyMap = make(map[uint64]bool)
 }

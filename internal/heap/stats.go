@@ -55,13 +55,24 @@ type Stats struct {
 	// accumulates across collections like TotalPause.
 	LastPhases  [NumPhases]time.Duration
 	PhaseTotals [NumPhases]time.Duration
-	// LastWorkerSweep holds each worker's time in the last collection's
-	// parallel sweep drain, indexed by worker id. Empty after a
-	// sequential collection (Workers == 1). Because idle workers spin
-	// in the drain until global termination, entries are near-equal by
-	// construction; the interesting signal is how they compare to the
-	// whole-phase LastPhases[PhaseSweep].
+	// LastWorkerSweep holds each worker's *busy* time in the last
+	// collection's parallel sweep drain, indexed by worker id: time
+	// spent processing sweep items and probing for work, excluding the
+	// yielding spin while waiting for other workers to finish. Empty
+	// after a sequential collection. LastWorkerIdle is the complement —
+	// the time the worker spent spinning idle in the drain — so
+	// busy+idle per worker approximates the whole-phase
+	// LastPhases[PhaseSweep], and a large idle share is the
+	// load-imbalance signal the adaptive worker policy exists to avoid.
+	// (LastWorkerSweep once reported wall time including the idle spin,
+	// which overstated busy time exactly when load was imbalanced.)
 	LastWorkerSweep []time.Duration
+	LastWorkerIdle  []time.Duration
+	// LastWorkersChosen is the worker count the last collection actually
+	// used: Config.Workers when a count is configured, the adaptive
+	// policy's choice when Workers == 0 (1 = the sequential algorithm
+	// ran). Mirrored in the trace's workers_chosen field.
+	LastWorkersChosen int
 	// LastShardDirty holds, per remembered-set shard, the number of
 	// live remembered cells the last collection's dirty scan examined
 	// (stale entries dropped without examination are not counted). Its

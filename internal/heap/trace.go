@@ -95,12 +95,19 @@ type TraceEvent struct {
 	WeakScanned       uint64           `json:"weak_scanned"`
 	WeakBroken        uint64           `json:"weak_broken"`
 	SegmentsFreed     uint64           `json:"segments_freed"`
-	// Workers is the collector worker count for this collection
-	// (1 = the sequential algorithm); WorkerSweepNS holds each
-	// worker's time in the parallel sweep drain, indexed by worker
-	// id, and is nil for sequential collections.
+	// Workers is the configured collector worker count (0 = the
+	// adaptive "auto" policy); WorkersChosen is the count this
+	// collection actually used (1 = the sequential algorithm ran).
+	// WorkerBusyNS and WorkerIdleNS split each worker's time in the
+	// parallel sweep drain, indexed by worker id: busy is item
+	// processing and work probing, idle is the yielding spin while
+	// waiting for global termination. Both nil for sequential
+	// collections. (They replace the former worker_sweep_ns field,
+	// which reported wall time = busy + idle.)
 	Workers       int     `json:"workers"`
-	WorkerSweepNS []int64 `json:"worker_sweep_ns,omitempty"`
+	WorkersChosen int     `json:"workers_chosen"`
+	WorkerBusyNS  []int64 `json:"worker_busy_ns,omitempty"`
+	WorkerIdleNS  []int64 `json:"worker_idle_ns,omitempty"`
 	// DirtyShardCells holds the number of live remembered cells the
 	// dirty-scan phase examined in each shard, indexed by shard number
 	// (0..RemShards-1); its sum is the collection's DirtyCellsScanned
@@ -191,14 +198,19 @@ func (h *Heap) recordTrace(gen, target int, snap *Stats) {
 	}
 	ev.PhaseNS = h.phaseNS
 	ev.Workers = h.cfg.Workers
+	ev.WorkersChosen = st.LastWorkersChosen
 	if h.cfg.UseDirtySet && h.dirtyMap == nil {
 		ev.DirtyShardCells = make([]uint64, RemShards)
 		copy(ev.DirtyShardCells, st.LastShardDirty[:])
 	}
 	if n := len(st.LastWorkerSweep); n > 0 {
-		ev.WorkerSweepNS = make([]int64, n)
+		ev.WorkerBusyNS = make([]int64, n)
+		ev.WorkerIdleNS = make([]int64, n)
 		for i, d := range st.LastWorkerSweep {
-			ev.WorkerSweepNS[i] = d.Nanoseconds()
+			ev.WorkerBusyNS[i] = d.Nanoseconds()
+		}
+		for i, d := range st.LastWorkerIdle {
+			ev.WorkerIdleNS[i] = d.Nanoseconds()
 		}
 	}
 	if h.traceBuf != nil {

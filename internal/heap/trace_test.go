@@ -1,6 +1,7 @@
 package heap_test
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -257,26 +258,36 @@ func TestCollectionsByGenGrows(t *testing.T) {
 
 // TestCollectSteadyStateAllocs asserts that steady-state collections
 // perform no Go-level allocation with tracing disabled: the dirty-set
-// snapshot, from-space list, and sweep buffers are all reused.
+// snapshot, from-space list, and sweep buffers are all reused. The
+// parallel mode is held to the same contract — worker goroutine
+// bookkeeping, panic slots, sweep deques, and segment caches are all
+// persistent (runPar once rebuilt its panics slice and closures every
+// phase, which this test's Workers>1 case now pins down).
 func TestCollectSteadyStateAllocs(t *testing.T) {
-	h := heap.NewDefault()
-	lst := h.NewRoot(obj.Nil)
-	for i := 0; i < 5000; i++ {
-		lst.Set(h.Cons(fx(int64(i)), lst.Get()))
-	}
-	h.Collect(h.MaxGeneration())
-	h.Collect(h.MaxGeneration())
-	// Old-generation mutations keep scanDirty busy every round.
-	steady := func() {
-		h.SetCar(lst.Get(), h.Cons(fx(-1), obj.Nil))
-		churn(h, 1000)
-		h.Collect(0)
-	}
-	for i := 0; i < 3; i++ {
-		steady() // warm buffer capacities
-	}
-	if avg := testing.AllocsPerRun(20, steady); avg > 0 {
-		t.Fatalf("steady-state collection allocates %.1f objects/run, want 0", avg)
+	for _, workers := range []int{1, 2} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			cfg := heap.DefaultConfig()
+			cfg.Workers = workers
+			h := heap.New(cfg)
+			lst := h.NewRoot(obj.Nil)
+			for i := 0; i < 5000; i++ {
+				lst.Set(h.Cons(fx(int64(i)), lst.Get()))
+			}
+			h.Collect(h.MaxGeneration())
+			h.Collect(h.MaxGeneration())
+			// Old-generation mutations keep scanDirty busy every round.
+			steady := func() {
+				h.SetCar(lst.Get(), h.Cons(fx(-1), obj.Nil))
+				churn(h, 1000)
+				h.Collect(0)
+			}
+			for i := 0; i < 3; i++ {
+				steady() // warm buffer capacities
+			}
+			if avg := testing.AllocsPerRun(20, steady); avg > 0 {
+				t.Fatalf("steady-state collection allocates %.1f objects/run, want 0", avg)
+			}
+		})
 	}
 }
 

@@ -48,6 +48,15 @@ func TestCollectWorkersPrim(t *testing.T) {
 	// Huge counts clamp to the implementation maximum rather than fail.
 	expectEval(t, m, "(> (collect-workers 10000) 1)", "#t")
 	expectEval(t, m, "(collect-workers 1)", "1")
+	// 'auto selects the adaptive per-collection policy; the setting
+	// reads back as the symbol, and collections still work.
+	expectEval(t, m, "(collect-workers 'auto)", "auto")
+	expectEval(t, m, `
+		(begin
+		  (define keep2 (cons 3 4))
+		  (collect)
+		  (and (eq? (collect-workers) 'auto) (= (car keep2) 3) (= (cdr keep2) 4)))`, "#t")
+	expectEval(t, m, "(collect-workers 1)", "1")
 	// Bad arguments are errors.
 	if _, err := m.EvalString("(collect-workers 0)"); err == nil {
 		t.Fatal("(collect-workers 0) should error")

@@ -97,6 +97,12 @@ type Table struct {
 	chunks atomic.Pointer[[]*segChunk]
 	nseg   int
 	free   []int
+	// reserved counts segments handed out by Reserve but not yet
+	// initialized with InitReserved (nor returned with Unreserve).
+	// Reserving happens under the caller's allocation mutex, but
+	// InitReserved is called lock-free from parallel collector workers,
+	// so the counter is atomic.
+	reserved atomic.Int64
 }
 
 // chunkList returns the current chunk directory (nil when empty).
@@ -168,6 +174,70 @@ func (t *Table) AllocRun(space Space, gen int, stamp uint64, k int) int {
 	return first
 }
 
+// Reserve detaches up to k segments from the table — retired segments
+// first, brand-new ones when the free list runs dry — appends their
+// indices to dst, and returns the extended slice. Reserved segments are
+// not in use (InUseCount excludes them) and not on the free list; they
+// belong to the caller until InitReserved activates them or Unreserve
+// gives them back. The parallel collector's per-worker segment caches
+// use this to refill in batches under one allocation-mutex acquisition
+// instead of locking per segment. Backing word arrays are materialized
+// here, so InitReserved itself performs no allocation.
+//
+// Reserve mutates the table and must be serialized like Alloc/Free.
+func (t *Table) Reserve(dst []int, k int) []int {
+	for i := 0; i < k; i++ {
+		var idx int
+		if n := len(t.free); n > 0 {
+			idx = t.free[n-1]
+			t.free = t.free[:n-1]
+		} else {
+			t.grow()
+			idx = t.nseg
+			t.nseg++
+		}
+		if s := t.Seg(idx); s.Words == nil {
+			s.Words = make([]uint64, Words)
+		}
+		dst = append(dst, idx)
+	}
+	t.reserved.Add(int64(k))
+	return dst
+}
+
+// InitReserved activates a segment previously handed out by Reserve,
+// assigning it to the given space and generation. Unlike the other
+// mutating methods it may be called concurrently by parallel collector
+// workers without holding the table's serialization lock: it touches
+// only the segment's own (caller-owned) struct and the atomic reserved
+// counter. Publication of the initialized segment to other readers is
+// the caller's job (the collector publishes via forwarding-word CAS).
+func (t *Table) InitReserved(idx int, space Space, gen int, stamp uint64) {
+	s := t.Seg(idx)
+	if s.InUse {
+		panic(fmt.Sprintf("seg: InitReserved of in-use segment %d", idx))
+	}
+	s.Space = space
+	s.Gen = gen
+	s.InUse = true
+	s.Stamp = stamp
+	s.Next = None
+	s.Cont = false
+	s.Fill = 0
+	t.reserved.Add(-1)
+}
+
+// Unreserve returns a reserved segment to the free list. Serialized
+// like Alloc/Free.
+func (t *Table) Unreserve(idx int) {
+	t.reserved.Add(-1)
+	t.free = append(t.free, idx)
+}
+
+// ReservedCount returns the number of segments currently detached by
+// Reserve and neither activated nor returned.
+func (t *Table) ReservedCount() int { return int(t.reserved.Load()) }
+
 // Free retires segment idx onto the free list. Its words are zeroed so
 // that any dangling pointer into it reads as fixnum 0 rather than a
 // stale heap value, which keeps collector bugs loud.
@@ -196,8 +266,9 @@ func (t *Table) Len() int { return t.nseg }
 // FreeCount returns the number of retired segments awaiting reuse.
 func (t *Table) FreeCount() int { return len(t.free) }
 
-// InUseCount returns the number of live segments.
-func (t *Table) InUseCount() int { return t.nseg - len(t.free) }
+// InUseCount returns the number of live segments. Reserved segments
+// (see Reserve) are neither free nor in use and are excluded.
+func (t *Table) InUseCount() int { return t.nseg - len(t.free) - int(t.reserved.Load()) }
 
 // SegIndexOf returns the index of the segment containing the word
 // address addr.

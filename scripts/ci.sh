@@ -27,8 +27,16 @@ echo "== parallel collector gate (-race)"
 # Redundant with the full -race run above, but kept as an explicit,
 # named gate: the lockstep oracles (sequential-vs-parallel and
 # map-vs-sharded remembered set) and the multi-worker stress tests are
-# the proof that Workers=N is isomorphic to Workers=1.
+# the proof that Workers=N (and Workers=0, the adaptive policy) is
+# isomorphic to Workers=1.
 go test -race -run 'TestParallelOracle|TestRemsetMapOracle|TestStressParallelWorkers' ./internal/heap/
+
+echo "== deque property gate (-race)"
+# The Chase-Lev work-stealing deque carries every parallel sweep item;
+# the randomized owner/thief property test under the race detector is
+# the direct check of its lock-free protocol (exactly-once delivery,
+# no torn or stale slot reads).
+go test -race -run 'TestDeque' ./internal/heap/
 
 echo "== heap repeat gate (-count=2 -race)"
 # Runs the heap suite twice in one process: shakes out state leaking
@@ -49,10 +57,15 @@ go test -run '^$' -fuzz 'FuzzEval' -fuzztime=10s ./internal/scheme/
 echo "== benchgc smoke"
 go run ./cmd/benchgc -trace -phases -gcs 5 >/dev/null
 go run ./cmd/benchgc -trace -workers 4 -gcs 5 >/dev/null
+go run ./cmd/benchgc -trace -workers 0 -gcs 5 >/dev/null
 go run ./cmd/benchgc -e e1 >/dev/null
 
 echo "== parallel collection baseline"
-go run ./cmd/benchgc -parallel-bench -gcs 5 -bench-out /tmp/BENCH_parallel_ci.json >/dev/null
+# The summary (kept visible, unlike the other smokes) leads with
+# GOMAXPROCS so the log records which regime produced the numbers:
+# without real cores the parallel rows show honest overhead, not
+# speedup.
+go run ./cmd/benchgc -parallel-bench -gcs 5 -bench-out /tmp/BENCH_parallel_ci.json
 rm -f /tmp/BENCH_parallel_ci.json
 
 echo "CI OK"

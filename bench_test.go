@@ -373,7 +373,7 @@ func BenchmarkAblationDirtySet(b *testing.B) {
 			cfg := heap.DefaultConfig()
 			cfg.TriggerWords = 1 << 30
 			cfg.UseDirtySet = useDirty
-			h := heap.New(cfg)
+			h := heap.MustNew(cfg)
 			lst := h.NewRoot(obj.Nil)
 			for i := 0; i < 50000; i++ {
 				lst.Set(h.Cons(fx(int64(i)), lst.Get()))
@@ -401,7 +401,7 @@ func BenchmarkAblationWeakScan(b *testing.B) {
 			cfg := heap.DefaultConfig()
 			cfg.TriggerWords = 1 << 30
 			cfg.WeakScanAll = scanAll
-			h := heap.New(cfg)
+			h := heap.MustNew(cfg)
 			keep := h.NewRoot(obj.Nil)
 			for i := 0; i < 50000; i++ {
 				target := h.Cons(fx(int64(i)), obj.Nil)
@@ -574,7 +574,7 @@ func BenchmarkSchemeEval(b *testing.B) {
 		}
 	})
 	b.Run("list-churn", func(b *testing.B) {
-		h := heap.New(heap.Config{Generations: 4, TriggerWords: 16384, Radix: 4, UseDirtySet: true})
+		h := heap.MustNew(heap.Config{Generations: 4, TriggerWords: 16384, Radix: 4, UseDirtySet: true})
 		m := scheme.New(h, nil)
 		m.MustEval("(define (build n) (if (zero? n) '() (cons n (build (- n 1)))))")
 		b.ResetTimer()
@@ -585,7 +585,7 @@ func BenchmarkSchemeEval(b *testing.B) {
 		}
 	})
 	b.Run("guardian-churn", func(b *testing.B) {
-		h := heap.New(heap.Config{Generations: 4, TriggerWords: 16384, Radix: 4, UseDirtySet: true})
+		h := heap.MustNew(heap.Config{Generations: 4, TriggerWords: 16384, Radix: 4, UseDirtySet: true})
 		m := scheme.New(h, nil)
 		m.MustEval(`
 			(define G (make-guardian))

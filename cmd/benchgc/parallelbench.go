@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"sort"
 
+	"repro/internal/core"
 	"repro/internal/heap"
 	"repro/internal/obj"
 )
@@ -46,9 +47,14 @@ type benchWorkerResult struct {
 	// DirtyScan covers the remembered-set scan phase (the default
 	// configuration); OldScan the conservative full scan, non-zero
 	// only when the dirty set is disabled.
-	DirtyScan   benchQuantiles `json:"dirty_scan"`
-	OldScan     benchQuantiles `json:"old_scan"`
-	WordsCopied uint64         `json:"words_copied_per_gc"`
+	DirtyScan benchQuantiles `json:"dirty_scan"`
+	OldScan   benchQuantiles `json:"old_scan"`
+	// Guardian covers the protected-list salvage fixpoint (the
+	// classification fan-outs; the triggered re-sweeps land in Sweep),
+	// and GuardianRounds the per-collection round counts it needed.
+	Guardian       benchQuantiles `json:"guardian"`
+	GuardianRounds benchQuantiles `json:"guardian_rounds"`
+	WordsCopied    uint64         `json:"words_copied_per_gc"`
 }
 
 type benchReport struct {
@@ -83,17 +89,25 @@ func quantilesOf(ns []int64) benchQuantiles {
 
 // benchOneWorkerCount builds the live heap and runs gcs measured full
 // collections at the given worker count.
-func benchOneWorkerCount(workers, gcs, pairs, vectors int) benchWorkerResult {
+func benchOneWorkerCount(workers, gcs, pairs, vectors int) (benchWorkerResult, error) {
 	cfg := heap.DefaultConfig()
 	cfg.TriggerWords = 1 << 30 // collections are explicit
 	cfg.Workers = workers
-	h := heap.New(cfg)
+	h, err := heap.New(cfg)
+	if err != nil {
+		return benchWorkerResult{}, err
+	}
 
+	guard := core.NewGuardian(h)
+	defer guard.Release()
 	var list obj.Value = obj.Nil
 	for i := 0; i < pairs; i++ {
 		list = h.Cons(obj.FromFixnum(int64(i)), list)
 		if i%8 == 0 {
 			list = h.Cons(h.WeakCons(list, obj.Nil), list)
+		}
+		if i%64 == 0 {
+			guard.Register(list) // held: list stays reachable
 		}
 	}
 	for i := 0; i < vectors; i++ {
@@ -104,7 +118,7 @@ func benchOneWorkerCount(workers, gcs, pairs, vectors int) benchWorkerResult {
 	r := h.NewRoot(list)
 	defer r.Release()
 
-	var pause, sweep, dirtyScan, oldScan []int64
+	var pause, sweep, dirtyScan, oldScan, guardian, rounds []int64
 	var words uint64
 	var chosen int
 	h.SetTraceFunc(func(ev heap.TraceEvent) {
@@ -112,31 +126,45 @@ func benchOneWorkerCount(workers, gcs, pairs, vectors int) benchWorkerResult {
 		sweep = append(sweep, ev.PhaseNS[heap.PhaseSweep])
 		dirtyScan = append(dirtyScan, ev.PhaseNS[heap.PhaseDirtyScan])
 		oldScan = append(oldScan, ev.PhaseNS[heap.PhaseOldScan])
+		guardian = append(guardian, ev.PhaseNS[heap.PhaseGuardian])
+		rounds = append(rounds, int64(ev.GuardianRounds))
 		words += ev.WordsCopied
 		chosen = ev.WorkersChosen
 	})
 	h.Collect(h.MaxGeneration()) // warm-up: settle survivors
-	pause, sweep, dirtyScan, oldScan, words = nil, nil, nil, nil, 0
+	pause, sweep, dirtyScan, oldScan, guardian, rounds, words = nil, nil, nil, nil, nil, nil, 0
 	for i := 0; i < gcs; i++ {
 		for j := 0; j < 2000; j++ { // churn between collections
 			h.Cons(obj.FromFixnum(int64(j)), obj.Nil)
 		}
+		// A batch of salvageable registrations so the guardian phase has
+		// real fixpoint work every collection, not just held entries.
+		for j := 0; j < 64; j++ {
+			guard.Register(h.Cons(obj.FromFixnum(int64(j)), obj.Nil))
+		}
 		h.Collect(h.MaxGeneration())
+		for {
+			if _, ok := guard.Get(); !ok {
+				break
+			}
+		}
 	}
 	h.MustVerify()
 	res := benchWorkerResult{
-		Workers:       workers,
-		WorkersChosen: chosen,
-		Collections:   gcs,
-		Pause:         quantilesOf(pause),
-		Sweep:         quantilesOf(sweep),
-		DirtyScan:     quantilesOf(dirtyScan),
-		OldScan:       quantilesOf(oldScan),
+		Workers:        workers,
+		WorkersChosen:  chosen,
+		Collections:    gcs,
+		Pause:          quantilesOf(pause),
+		Sweep:          quantilesOf(sweep),
+		DirtyScan:      quantilesOf(dirtyScan),
+		OldScan:        quantilesOf(oldScan),
+		Guardian:       quantilesOf(guardian),
+		GuardianRounds: quantilesOf(rounds),
 	}
 	if gcs > 0 {
 		res.WordsCopied = words / uint64(gcs)
 	}
-	return res
+	return res, nil
 }
 
 // runParallelBench runs the worker-count sweep and writes the JSON
@@ -155,19 +183,23 @@ func runParallelBench(out io.Writer, path string, gcs int) error {
 	}
 	fmt.Fprintf(out, "parallel collection baseline: %d collections per worker count, GOMAXPROCS=%d\n",
 		gcs, rep.GoMaxProcs)
-	fmt.Fprintf(out, "%8s  %12s  %12s  %12s\n", "workers", "pause p50", "pause p90", "sweep p50")
+	fmt.Fprintf(out, "%8s  %12s  %12s  %12s  %12s\n", "workers", "pause p50", "pause p90", "sweep p50", "guard p50")
 	// The sweep covers the fixed counts plus the adaptive policy
 	// (workers=0), whose row reports the count it actually chose for
 	// this heap on this host.
 	for _, w := range []int{1, 2, 4, 8, 0} {
-		res := benchOneWorkerCount(w, gcs, pairs, vectors)
+		res, err := benchOneWorkerCount(w, gcs, pairs, vectors)
+		if err != nil {
+			return err
+		}
 		rep.Results = append(rep.Results, res)
 		label := fmt.Sprintf("%d", w)
 		if w == 0 {
 			label = fmt.Sprintf("auto(%d)", res.WorkersChosen)
 		}
-		fmt.Fprintf(out, "%8s  %10.3fms  %10.3fms  %10.3fms\n", label,
-			float64(res.Pause.P50)/1e6, float64(res.Pause.P90)/1e6, float64(res.Sweep.P50)/1e6)
+		fmt.Fprintf(out, "%8s  %10.3fms  %10.3fms  %10.3fms  %10.3fms\n", label,
+			float64(res.Pause.P50)/1e6, float64(res.Pause.P90)/1e6,
+			float64(res.Sweep.P50)/1e6, float64(res.Guardian.P50)/1e6)
 	}
 	f, err := os.Create(path)
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/heap"
@@ -60,15 +61,23 @@ func runTraceWorkload(out io.Writer, collections, workers int, emitJSON bool) (*
 }
 
 // printPhaseSummary renders the accumulated per-phase pause
-// attribution of the heap's Stats as an aligned table.
+// attribution (cumulative Stats totals plus the last collection's
+// CollectionReport) as an aligned table.
 func printPhaseSummary(w io.Writer, h *heap.Heap) {
 	st := &h.Stats
+	rep := h.LastReport()
 	var phaseTotal int64
 	for _, d := range st.PhaseTotals {
 		phaseTotal += d.Nanoseconds()
 	}
+	lastPause := time.Duration(0)
+	var lastPhases [heap.NumPhases]time.Duration
+	if rep != nil {
+		lastPause = rep.Pause
+		lastPhases = rep.Phases
+	}
 	fmt.Fprintf(w, "collections: %d, total pause %v (last %v)\n",
-		st.Collections, st.TotalPause, st.LastPause)
+		st.Collections, st.TotalPause, lastPause)
 	fmt.Fprintf(w, "%-10s  %14s  %14s  %7s\n", "phase", "total", "last", "share")
 	for i := heap.Phase(0); i < heap.NumPhases; i++ {
 		share := 0.0
@@ -76,6 +85,9 @@ func printPhaseSummary(w io.Writer, h *heap.Heap) {
 			share = 100 * float64(st.PhaseTotals[i].Nanoseconds()) / float64(phaseTotal)
 		}
 		fmt.Fprintf(w, "%-10s  %14v  %14v  %6.1f%%\n",
-			i, st.PhaseTotals[i], st.LastPhases[i], share)
+			i, st.PhaseTotals[i], lastPhases[i], share)
+	}
+	if rep != nil && rep.GuardianRounds > 0 {
+		fmt.Fprintf(w, "guardian rounds (last): %d\n", rep.GuardianRounds)
 	}
 }

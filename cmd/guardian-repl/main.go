@@ -66,7 +66,12 @@ func main() {
 		}
 		h = m.H
 	} else {
-		h = heap.New(cfg)
+		var err error
+		h, err = heap.New(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "guardian-repl: %v\n", err)
+			os.Exit(1)
+		}
 		m = scheme.New(h, nil)
 	}
 	m.Out = os.Stdout

@@ -61,7 +61,7 @@ const program = `
 func main() {
 	cfg := heap.DefaultConfig()
 	cfg.TriggerWords = 32 * 1024
-	h := heap.New(cfg)
+	h := heap.MustNew(cfg)
 	m := scheme.New(h, nil)
 
 	fmt.Println("GCBench-style binary-tree workload on the simulated heap")

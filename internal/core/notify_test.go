@@ -116,7 +116,7 @@ func TestNotifierManyRegistrations(t *testing.T) {
 func TestHeapOutOfMemoryLimit(t *testing.T) {
 	cfg := heap.DefaultConfig()
 	cfg.MaxSegments = 8
-	h := heap.New(cfg)
+	h := heap.MustNew(cfg)
 	defer func() {
 		r := recover()
 		if r == nil {

@@ -28,7 +28,7 @@ func A4() Table {
 			cfg := heap.DefaultConfig()
 			cfg.TriggerWords = 1 << 30
 			cfg.GuardianSinglePass = single
-			h := heap.New(cfg)
+			h := heap.MustNew(cfg)
 			// Build the chain: tconcs t1..tD; t1 rooted; t_i guards
 			// t_{i+1}; tD guards the payload.
 			tconcs := make([]obj.Value, depth)

@@ -24,7 +24,7 @@ func A1() Table {
 			cfg := heap.DefaultConfig()
 			cfg.TriggerWords = 1 << 30 // manual collections only
 			cfg.UseDirtySet = useDirty
-			h := heap.New(cfg)
+			h := heap.MustNew(cfg)
 			// Build a tenured list of N pairs.
 			lst := h.NewRoot(obj.Nil)
 			for i := 0; i < N; i++ {
@@ -76,7 +76,7 @@ func A2() Table {
 			cfg := heap.DefaultConfig()
 			cfg.TriggerWords = 1 << 30
 			cfg.WeakScanAll = scanAll
-			h := heap.New(cfg)
+			h := heap.MustNew(cfg)
 			keep := h.NewRoot(obj.Nil)
 			lst := h.NewRoot(obj.Nil)
 			for i := 0; i < N; i++ {

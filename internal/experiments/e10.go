@@ -48,7 +48,7 @@ func E10() Table {
 		for _, compiled := range []bool{false, true} {
 			cfg := heap.DefaultConfig()
 			cfg.TriggerWords = 16 * 1024
-			h := heap.New(cfg)
+			h := heap.MustNew(cfg)
 			m := scheme.New(h, nil)
 			run := m.EvalString
 			engine := "interpreter"

@@ -21,7 +21,12 @@ import (
 // guardians are saved from destruction and moved onto their guardians'
 // tconcs; weak pointers into the collected generations are then
 // updated or broken.
-func (h *Heap) Collect(g int) {
+//
+// Collect returns the collection's report: pause and per-phase
+// timings, worker figures, guardian-round breakdown, and the
+// per-collection counter deltas. The report is heap-owned and reused
+// by the next collection (see CollectionReport).
+func (h *Heap) Collect(g int) *CollectionReport {
 	h.check(!h.inCollect, "Collect called during a collection")
 	if g < 0 {
 		g = 0
@@ -57,12 +62,23 @@ func (h *Heap) Collect(g int) {
 	h.gcWorkers = h.chooseWorkers(g)
 	st := &h.Stats
 	st.countCollection(g)
-	st.LastWorkersChosen = h.gcWorkers
-	snap := h.Stats // per-collection deltas for the trace event
+	h.statsSnap = *st // per-collection deltas for the report and trace
 	h.phaseNS = [NumPhases]int64{}
-	st.LastWorkerSweep = st.LastWorkerSweep[:0] // repopulated by parallel mode
-	st.LastWorkerIdle = st.LastWorkerIdle[:0]
-	st.LastShardDirty = [RemShards]uint64{} // repopulated by the dirty scan
+	rep := &h.report
+	rep.Seq = st.Collections
+	rep.Gen, rep.Target = g, target
+	rep.Pause = 0
+	rep.Phases = [NumPhases]time.Duration{}
+	rep.Workers = h.cfg.Workers
+	rep.WorkersChosen = h.gcWorkers
+	rep.WorkerSweepBusy = rep.WorkerSweepBusy[:0] // repopulated by parallel mode
+	rep.WorkerSweepIdle = rep.WorkerSweepIdle[:0]
+	rep.WorkerGuardianBusy = rep.WorkerGuardianBusy[:0]
+	rep.WorkerGuardianIdle = rep.WorkerGuardianIdle[:0]
+	rep.GuardianRounds = 0
+	rep.GuardianRoundDurations = rep.GuardianRoundDurations[:0]
+	rep.ShardDirty = [RemShards]uint64{} // repopulated by the dirty scan
+	rep.ProtectedByGen = rep.ProtectedByGen[:0]
 
 	// Detach from-space: the segment chains of every collected
 	// generation. When the oldest generation collects into itself, its
@@ -90,9 +106,10 @@ func (h *Heap) Collect(g int) {
 
 	if h.gcWorkers > 1 {
 		// Parallel mode (see parallel.go): the roots, old-scan, and
-		// sweep phases fan out over the chosen workers; everything
-		// after (guardian, weak, hooks, free) is shared sequential
-		// code, exactly as in the paper.
+		// sweep phases fan out over the chosen workers. The guardian
+		// phase below fans its classifications and re-sweeps out too
+		// (keeping all mutation sequential); weak, hooks, and free
+		// stay sequential code, exactly as in the paper.
 		t = h.collectParallel(g, t)
 	} else {
 		// Sequential collections hold no segment reservations: drain
@@ -126,22 +143,58 @@ func (h *Heap) Collect(g int) {
 
 	// The guardian phase's nested kleene-sweeps accrue to PhaseSweep;
 	// subtracting them leaves the protected-list bookkeeping alone in
-	// the guardian column.
+	// the guardian column. In parallel mode the phase partitions
+	// classification across the workers and the re-sweeps fan out
+	// through the work-stealing drain (see guardianPhase and
+	// parallel.go).
 	sweepBase := h.phaseNS[PhaseSweep]
 	tg := time.Now()
 	h.guardianPhase(g, target)
 	h.phaseNS[PhaseGuardian] += time.Since(tg).Nanoseconds() - (h.phaseNS[PhaseSweep] - sweepBase)
 
+	if h.gcWorkers > 1 {
+		// Fold the per-worker state (stats deltas, weak lists, claimed
+		// segments, sweep/guardian timings) back into the heap. This
+		// runs after the guardian phase because its parallel re-sweeps
+		// keep using the workers' private buffers and deques.
+		h.mergeWorkers(h.par)
+	}
+
 	t = time.Now()
 	h.weakPass(g)
 	t = h.phaseMark(PhaseWeak, t)
 
+	// Snapshot the per-generation protected-list sizes and the counter
+	// deltas into the report before the hooks run, so a hook (or any
+	// goroutine the report is handed to later) reads a stable record
+	// instead of racing with live collector state.
+	for _, lst := range h.protected {
+		rep.ProtectedByGen = append(rep.ProtectedByGen, len(lst))
+	}
+	snap := &h.statsSnap
+	rep.WordsCopied = st.WordsCopied - snap.WordsCopied
+	rep.PairsCopied = st.PairsCopied - snap.PairsCopied
+	rep.ObjectsCopied = st.ObjectsCopied - snap.ObjectsCopied
+	rep.CellsSwept = st.CellsSwept - snap.CellsSwept
+	rep.SweepPasses = st.SweepPasses - snap.SweepPasses
+	rep.DirtyCellsScanned = st.DirtyCellsScanned - snap.DirtyCellsScanned
+	rep.GuardianScanned = st.GuardianEntriesScanned - snap.GuardianEntriesScanned
+	rep.GuardianSalvaged = st.GuardianEntriesSalvaged - snap.GuardianEntriesSalvaged
+	rep.GuardianHeld = st.GuardianEntriesHeld - snap.GuardianEntriesHeld
+	rep.GuardianDropped = st.GuardianEntriesDropped - snap.GuardianEntriesDropped
+	rep.WeakScanned = st.WeakPairsScanned - snap.WeakPairsScanned
+	rep.WeakBroken = st.WeakPointersBroken - snap.WeakPointersBroken
+	for i := range h.phaseNS {
+		rep.Phases[i] = time.Duration(h.phaseNS[i])
+	}
+
 	// Post-collect hooks run while forwarding words are still readable
 	// (from-space not yet freed), so hooks can ask whether a value
 	// survived — the weak symbol-table pruning in package scheme needs
-	// exactly this window.
+	// exactly this window. Hooks receive the report; its hooks/free
+	// phase timings and Pause are finalized only after they return.
 	for _, fn := range h.postCollect {
-		fn(h)
+		fn(h, rep)
 	}
 	t = h.phaseMark(PhaseHooks, t)
 
@@ -154,14 +207,16 @@ func (h *Heap) Collect(g int) {
 
 	h.gen0Words = 0
 	h.needCollect = false
-	st.LastPause = time.Since(start)
-	st.TotalPause += st.LastPause
+	rep.Pause = time.Since(start)
+	rep.SegmentsFreed = st.SegmentsFreed - snap.SegmentsFreed
+	st.TotalPause += rep.Pause
 	for i := range h.phaseNS {
 		d := time.Duration(h.phaseNS[i])
-		st.LastPhases[i] = d
+		rep.Phases[i] = d
 		st.PhaseTotals[i] += d
 	}
-	h.recordTrace(g, target, &snap)
+	h.recordTrace(rep)
+	return rep
 }
 
 // phaseMark accrues the time elapsed since t0 to phase p and returns
@@ -319,7 +374,7 @@ func (h *Heap) scanDirty(g int) {
 	st := &h.Stats
 	for i := range h.rem.shards {
 		n := h.scanRemShard(&h.rem.shards[i], g, h.fwdFn, &h.pendWeak)
-		st.LastShardDirty[i] = n
+		h.report.ShardDirty[i] = n
 		st.DirtyCellsScanned += n
 	}
 }
@@ -374,7 +429,10 @@ func (h *Heap) scanAllOld(g int) {
 // collection, after guardian and weak-pair processing but before
 // from-space is freed. Inside the hook, Survived reports whether a
 // pre-collection value is still live and returns its new location.
-func (h *Heap) AddPostCollectHook(fn func(*Heap)) {
+// The hook also receives the collection's report (the same heap-owned
+// record Collect returns); its hooks/free phase timings and Pause are
+// finalized only after all hooks return.
+func (h *Heap) AddPostCollectHook(fn func(*Heap, *CollectionReport)) {
 	h.postCollect = append(h.postCollect, fn)
 }
 
@@ -429,6 +487,13 @@ func (h *Heap) ProtectedCount() int {
 }
 
 // ProtectedCountByGen returns the per-generation protected-list sizes.
+//
+// Deprecated: reading the live lists from another goroutine races
+// with the guardian phase mutating them mid-collection. Use the
+// ProtectedByGen snapshot on the CollectionReport instead, which is
+// taken at a stable point (after the guardian phase, before hooks).
+// This accessor remains valid on the mutator thread outside a
+// collection and will be removed next release.
 func (h *Heap) ProtectedCountByGen() []int {
 	out := make([]int, len(h.protected))
 	for i, lst := range h.protected {
@@ -450,41 +515,83 @@ func (h *Heap) ProtectedCountByGen() []int {
 // Protected lists of generations older than g are not touched at all:
 // the overhead is proportional to the work the collector is already
 // doing (the paper's generation-friendliness claim, experiment E1).
+//
+// In parallel mode (gcWorkers > 1) the accessibility checks — the
+// dominant cost on large protected lists — fan out over the worker
+// pool: each worker classifies a strided share of the entries into a
+// private verdict slot (guardClassifyPar), and each round's triggered
+// re-sweep drains through the work-stealing deques instead of the
+// sequential kleene-sweep (guardResweep). All mutation — forwarding
+// representatives, tconc appends, migration to the target list — stays
+// sequential, in original registration order, and every negative
+// round-start verdict is re-checked at merge time. isForwarded is
+// monotone within a collection (objects only become forwarded), so the
+// merged verdicts reproduce the sequential algorithm's decisions
+// bit-for-bit: the tconc contents, their order, and the Figure 4
+// mutator protocol are identical at any worker count, which is what
+// keeps the seq-vs-parallel lockstep oracle meaningful.
 func (h *Heap) guardianPhase(g, target int) {
 	st := &h.Stats
-	var pendHold, pendFinal []ProtEntry
+	rep := &h.report
+	// Gather the protected entries of every collected generation in
+	// registration order (generation 0..g, list order within each);
+	// this order is what the per-round passes below preserve.
+	ents := h.guardEnts[:0]
 	for i := 0; i <= g; i++ {
-		for _, e := range h.protected[i] {
-			st.GuardianEntriesScanned++
-			if h.isForwarded(e.Obj) {
-				pendHold = append(pendHold, e)
-			} else {
-				pendFinal = append(pendFinal, e)
-			}
-		}
-		h.protected[i] = nil
+		ents = append(ents, h.protected[i]...)
+		h.protected[i] = h.protected[i][:0]
 	}
+	h.guardEnts = ents
+	st.GuardianEntriesScanned += uint64(len(ents))
+	if len(ents) == 0 {
+		return
+	}
+
+	// Initial partition: accessible objects pend-hold, inaccessible
+	// pend-final. No heap mutation happens here, so the parallel
+	// classification needs no re-check — a verdict cannot go stale.
+	verdicts := h.guardClassify(ents, nil, true)
+	pendHold, pendFinal := h.guardHold[:0], h.guardFinal[:0]
+	for i, e := range ents {
+		if h.guardVerdict(verdicts, i, e.Obj) {
+			pendHold = append(pendHold, e)
+		} else {
+			pendFinal = append(pendFinal, e)
+		}
+	}
+
 	for {
+		rep.GuardianRounds++
+		roundStart := time.Now()
+		// Round-start accessibility verdicts for every pending tconc,
+		// computed in parallel when workers are available. A verdict of
+		// true is final (monotonicity); a verdict of false is only a
+		// hint, because a salvage performed earlier in this very round
+		// can make a later entry's tconc accessible — the sequential
+		// algorithm observes that mid-round, so the merge below
+		// re-checks negative verdicts to match it exactly.
+		verdicts = h.guardClassify(pendFinal, pendHold, false)
 		progress := false
 		rest := pendFinal[:0]
-		for _, e := range pendFinal {
-			if h.isForwarded(e.Tconc) {
+		for i, e := range pendFinal {
+			if (verdicts != nil && verdicts[i]) || h.isForwarded(e.Tconc) {
 				// The object is inaccessible and its guardian is
 				// alive: save the representative from destruction and
 				// enqueue it on the guardian's tconc.
-				rep := h.forward(e.Rep)
+				r := h.forward(e.Rep)
 				tc := h.fwdAddrOf(e.Tconc)
-				h.tconcAddGC(tc, rep)
+				h.tconcAddGC(tc, r)
 				st.GuardianEntriesSalvaged++
 				progress = true
 			} else {
 				rest = append(rest, e)
 			}
 		}
+		nf := len(pendFinal)
 		pendFinal = rest
 		restH := pendHold[:0]
-		for _, e := range pendHold {
-			if h.isForwarded(e.Tconc) {
+		for j, e := range pendHold {
+			if (verdicts != nil && verdicts[nf+j]) || h.isForwarded(e.Tconc) {
 				ne := ProtEntry{
 					Obj:   h.fwdAddrOf(e.Obj),
 					Rep:   h.forward(e.Rep),
@@ -499,20 +606,59 @@ func (h *Heap) guardianPhase(g, target int) {
 		}
 		pendHold = restH
 		if !progress {
+			rep.GuardianRoundDurations = append(rep.GuardianRoundDurations, time.Since(roundStart))
 			break
 		}
 		// Salvaged objects (and newly forwarded representatives) may
 		// point at tconcs of other guardians, making them accessible;
-		// sweep and try again.
-		h.kleeneSweep()
+		// sweep — through the parallel drain when workers are active —
+		// and try again.
+		h.guardResweep()
+		rep.GuardianRoundDurations = append(rep.GuardianRoundDurations, time.Since(roundStart))
 		if h.cfg.GuardianSinglePass {
 			break // ablation: no fixpoint iteration
 		}
 	}
+	h.guardHold, h.guardFinal = pendHold[:0], pendFinal[:0]
 	// Remaining entries belong to guardians that are themselves
 	// inaccessible: both the entries and (eventually) the registered
 	// objects are reclaimed.
 	st.GuardianEntriesDropped += uint64(len(pendFinal) + len(pendHold))
+}
+
+// guardVerdict reads entry i's parallel classification verdict, or
+// computes it inline when the round ran without a fan-out (sequential
+// mode, or an empty entry set).
+func (h *Heap) guardVerdict(verdicts []bool, i int, v obj.Value) bool {
+	if verdicts == nil {
+		return h.isForwarded(v)
+	}
+	return verdicts[i]
+}
+
+// guardClassify returns the accessibility verdicts for the entries of
+// a then b — isForwarded of each entry's Obj (checkObj) or Tconc —
+// computed by the worker pool when this collection is parallel, or nil
+// to make callers fall back to inline checks. Classification only
+// reads forwarding words and segment metadata, so the workers race
+// with nothing: no heap mutation happens between the fan-out and the
+// join.
+func (h *Heap) guardClassify(a, b []ProtEntry, checkObj bool) []bool {
+	if h.gcWorkers <= 1 || len(a)+len(b) == 0 {
+		return nil
+	}
+	return h.guardClassifyPar(a, b, checkObj)
+}
+
+// guardResweep runs the kleene-sweep a salvage round triggered: the
+// sequential iterated sweep, or — in parallel mode — the items staged
+// on h.sweepQ handed to the work-stealing drain (parGuardianSweep).
+func (h *Heap) guardResweep() {
+	if h.gcWorkers > 1 {
+		h.parGuardianSweep()
+		return
+	}
+	h.kleeneSweep()
 }
 
 // tconcAddGC performs the collector side of the tconc protocol

@@ -473,7 +473,7 @@ func TestTenuredObjectSalvagedWhenItsGenerationCollected(t *testing.T) {
 }
 
 func TestCollectAutoRadixPolicy(t *testing.T) {
-	h := heap.New(heap.Config{Generations: 3, TriggerWords: 1 << 20, Radix: 2, UseDirtySet: true})
+	h := heap.MustNew(heap.Config{Generations: 3, TriggerWords: 1 << 20, Radix: 2, UseDirtySet: true})
 	for i := 0; i < 8; i++ {
 		h.CollectAuto()
 	}
@@ -484,7 +484,7 @@ func TestCollectAutoRadixPolicy(t *testing.T) {
 }
 
 func TestCheckpointRunsHandler(t *testing.T) {
-	h := heap.New(heap.Config{Generations: 2, TriggerWords: 64, Radix: 4, UseDirtySet: true})
+	h := heap.MustNew(heap.Config{Generations: 2, TriggerWords: 64, Radix: 4, UseDirtySet: true})
 	called := 0
 	h.SetCollectRequestHandler(func(hh *heap.Heap) {
 		called++
@@ -622,7 +622,7 @@ func TestPropertyRandomGraphsSurviveCollections(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			f := func(seed int64) bool {
 				rng := rand.New(rand.NewSource(seed))
-				h := heap.New(cfg)
+				h := heap.MustNew(cfg)
 				var roots []*heap.Root
 				var mirrors []*mirror
 				for i := 0; i < 10; i++ {
@@ -663,7 +663,7 @@ func TestScanAllOracleMatchesDirtySet(t *testing.T) {
 	// structure. (Scan-all may retain more garbage; reachable
 	// structure must be identical.)
 	run := func(cfg heap.Config) string {
-		h := heap.New(cfg)
+		h := heap.MustNew(cfg)
 		old := h.NewRoot(h.Cons(obj.False, obj.Nil))
 		h.Collect(0)
 		h.Collect(1)

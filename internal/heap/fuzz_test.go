@@ -39,7 +39,7 @@ func runRemsetFuzz(t *testing.T, data []byte, workers int) fuzzOutcome {
 	cfg := heap.DefaultConfig()
 	cfg.TriggerWords = 1 << 30 // collections are fuzz ops only
 	cfg.Workers = workers
-	h := heap.New(cfg)
+	h := heap.MustNew(cfg)
 	tconc := h.NewRoot(makeTconc(h))
 	roots := []*heap.Root{h.NewRoot(h.Cons(obj.FromFixnum(0), obj.Nil))}
 	pick := func(sel byte) obj.Value {

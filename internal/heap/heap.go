@@ -70,20 +70,45 @@ type Config struct {
 	// generation collecting into itself.
 	TargetGen func(g, maxGen int) int
 	// Workers is the number of collector workers used for the
-	// forwarding phases of a collection (roots, old-space scan, and
-	// the Cheney sweep). 1 selects the exact sequential algorithm of
-	// the paper; 2..MaxWorkers fan those phases out over worker
-	// goroutines with per-worker to-space allocation buffers and
-	// CAS-installed forwarding words (see parallel.go and
+	// forwarding phases of a collection (roots, old-space scan, the
+	// Cheney sweep, and the guardian phase's accessibility
+	// classification and salvage re-sweeps). 1 selects the exact
+	// sequential algorithm of the paper; 2..MaxWorkers fan those phases
+	// out over worker goroutines with per-worker to-space allocation
+	// buffers and CAS-installed forwarding words (see parallel.go and
 	// docs/ALGORITHM.md). 0 selects the adaptive policy: each
 	// collection picks its own count from GOMAXPROCS and the number of
 	// live from-space segments, so small collections run sequentially
 	// and only big ones fan out (chooseWorkers; the count actually used
-	// is reported in Stats.LastWorkersChosen and the trace's
-	// workers_chosen field). The guardian and weak phases always run
-	// sequentially to preserve the paper's ordering guarantees.
+	// is reported in CollectionReport.WorkersChosen and the trace's
+	// workers_chosen field). All guardian salvage decisions and tconc
+	// appends — and the whole weak phase — still run sequentially in
+	// registration order, so the paper's ordering guarantees hold at
+	// any worker count (see guardianPhase).
 	// Negative values select auto; values above MaxWorkers are clamped.
 	Workers int
+}
+
+// Validate checks the configuration for nonsensical values and
+// returns a descriptive error for the first one found. Zero values
+// that have documented defaults (TriggerWords, Radix, Workers) are
+// not errors: New normalizes them. Validate is what New runs before
+// constructing a heap — construction no longer panics on a bad
+// Config; it returns the Validate error instead.
+func (c Config) Validate() error {
+	if c.Generations < 1 {
+		return fmt.Errorf("heap: Config.Generations must be >= 1 (got %d)", c.Generations)
+	}
+	if c.TriggerWords < 0 {
+		return fmt.Errorf("heap: Config.TriggerWords must be >= 0 (got %d; 0 selects the default)", c.TriggerWords)
+	}
+	if c.Radix < 0 || c.Radix == 1 {
+		return fmt.Errorf("heap: Config.Radix must be 0 (default) or >= 2 (got %d)", c.Radix)
+	}
+	if c.MaxSegments < 0 {
+		return fmt.Errorf("heap: Config.MaxSegments must be >= 0 (got %d; 0 means unbounded)", c.MaxSegments)
+	}
+	return nil
 }
 
 // DefaultConfig returns the configuration used throughout the examples
@@ -162,17 +187,24 @@ type Heap struct {
 	rem         remSet
 	dirtyMap    map[uint64]bool
 	handler     func(*Heap)
-	postCollect []func(*Heap)
+	postCollect []func(*Heap, *CollectionReport)
 
-	stamp          uint64
-	inCollect      bool
-	gcGen          int
-	gcTarget       int
-	gcWorkers      int // worker count chosen for the current collection
-	sweepQ         []sweepItem
-	sweepSpare     []sweepItem // second sweep buffer; ping-pongs with sweepQ per pass
-	newWeak        []uint64
-	pendWeak       []uint64
+	stamp      uint64
+	inCollect  bool
+	gcGen      int
+	gcTarget   int
+	gcWorkers  int // worker count chosen for the current collection
+	sweepQ     []sweepItem
+	sweepSpare []sweepItem // second sweep buffer; ping-pongs with sweepQ per pass
+	newWeak    []uint64
+	pendWeak   []uint64
+	// Guardian-phase scratch, retained across collections so the
+	// salvage fixpoint does not allocate in steady state: the gathered
+	// protected entries in registration order, and the pend-hold /
+	// pend-final partitions of §4.
+	guardEnts      []ProtEntry
+	guardHold      []ProtEntry
+	guardFinal     []ProtEntry
 	fromScratch    []int // reusable from-space segment list (Collect)
 	gen0Words      int
 	needCollect    bool
@@ -185,9 +217,12 @@ type Heap struct {
 	// across collections.
 	par *parGC
 
-	// Observability (see trace.go): per-collection phase timing
-	// scratch, the optional trace ring, and the optional callback.
+	// Observability (see trace.go and report.go): per-collection phase
+	// timing scratch, the reusable per-collection report, the optional
+	// trace ring, and the optional callback.
 	phaseNS   [NumPhases]int64
+	report    CollectionReport
+	statsSnap Stats // Stats at collection start, for the report's deltas
 	traceBuf  []TraceEvent
 	traceLen  int
 	traceNext int
@@ -196,15 +231,18 @@ type Heap struct {
 	Stats Stats
 }
 
-// New creates a heap with the given configuration.
-func New(cfg Config) *Heap {
-	if cfg.Generations < 1 {
-		panic("heap: Generations must be >= 1")
+// New creates a heap with the given configuration, or returns the
+// Config.Validate error if the configuration is invalid. (New used to
+// panic on a bad Config; callers that prefer the old behavior — tests,
+// examples, configs known valid at compile time — can use MustNew.)
+func New(cfg Config) (*Heap, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
-	if cfg.TriggerWords <= 0 {
+	if cfg.TriggerWords == 0 {
 		cfg.TriggerWords = 64 * seg.Words
 	}
-	if cfg.Radix < 2 {
+	if cfg.Radix == 0 {
 		cfg.Radix = 4
 	}
 	cfg.Workers = clampWorkers(cfg.Workers)
@@ -223,11 +261,22 @@ func New(cfg Config) *Heap {
 		h.chains[sp] = make([][]int, cfg.Generations)
 	}
 	h.protected = make([][]ProtEntry, cfg.Generations)
+	return h, nil
+}
+
+// MustNew is New for configurations known to be valid: it panics on a
+// Validate error. Tests and examples use it where threading the error
+// would only obscure the workload.
+func MustNew(cfg Config) *Heap {
+	h, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
 	return h
 }
 
 // NewDefault creates a heap with DefaultConfig.
-func NewDefault() *Heap { return New(DefaultConfig()) }
+func NewDefault() *Heap { return MustNew(DefaultConfig()) }
 
 // Config returns the heap's configuration.
 func (h *Heap) Config() Config { return h.cfg }
@@ -243,7 +292,7 @@ func (h *Heap) Stamp() uint64 { return h.stamp }
 // Workers returns the configured collector worker count: 1 means the
 // sequential collector, 0 the adaptive policy (see Config.Workers; the
 // count a particular collection actually used is in
-// Stats.LastWorkersChosen).
+// CollectionReport.WorkersChosen).
 func (h *Heap) Workers() int { return h.cfg.Workers }
 
 // SetWorkers changes the number of collector workers for subsequent
@@ -433,15 +482,16 @@ func (h *Heap) Checkpoint() {
 
 // CollectAuto collects the generation chosen by the radix policy:
 // generation g is collected on every Radix^g'th automatic collection,
-// so older generations are collected less frequently (§4).
-func (h *Heap) CollectAuto() {
+// so older generations are collected less frequently (§4). Like
+// Collect, it returns the collection's report.
+func (h *Heap) CollectAuto() *CollectionReport {
 	h.autoCount++
 	g, n := 0, h.autoCount
 	for g < h.MaxGeneration() && n%uint64(h.cfg.Radix) == 0 {
 		g++
 		n /= uint64(h.cfg.Radix)
 	}
-	h.Collect(g)
+	return h.Collect(g)
 }
 
 // Generation returns the generation a value currently resides in, or

@@ -190,7 +190,12 @@ func LoadImage(r io.Reader) (*Heap, []*Root, error) {
 	if ir.err != nil {
 		return nil, nil, ir.err
 	}
-	h := New(cfg)
+	// The config came off the wire: a corrupt or hostile image fails
+	// Validate here instead of producing a half-built heap.
+	h, err := New(cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("heap: corrupt image: %w", err)
+	}
 	h.stamp = ir.u64()
 	h.autoCount = ir.u64()
 

@@ -110,7 +110,7 @@ func TestPeekSymbolOutsideCollection(t *testing.T) {
 func TestConfigAccessorsAndStamp(t *testing.T) {
 	cfg := heap.DefaultConfig()
 	cfg.Generations = 5
-	h := heap.New(cfg)
+	h := heap.MustNew(cfg)
 	if h.Config().Generations != 5 {
 		t.Fatal("Config accessor wrong")
 	}

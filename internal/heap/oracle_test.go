@@ -31,7 +31,7 @@ func newOracleHeap(mut func(*heap.Config)) *oracleHeap {
 	if mut != nil {
 		mut(&cfg)
 	}
-	h := heap.New(cfg)
+	h := heap.MustNew(cfg)
 	dummy := h.Cons(obj.False, obj.False)
 	tc := h.Cons(dummy, dummy)
 	return &oracleHeap{h: h, tconc: h.NewRoot(tc)}

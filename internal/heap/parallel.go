@@ -65,6 +65,19 @@ type parGC struct {
 	panics []any
 
 	candScratch []int // reusable scanAllOld candidate-segment list
+
+	// Guardian-phase fan-out state (see guardianPhase in collect.go):
+	// the two entry lists a classification round covers (pend-final
+	// then pend-hold, or the gathered entries and nil for the initial
+	// partition), the per-entry verdict slots the workers fill at
+	// disjoint strided indices, and whether the round classifies Obj
+	// (initial partition) or Tconc (salvage rounds). inGuardian routes
+	// the sweep drain's busy/idle accounting to the guardian-phase
+	// columns while the salvage fixpoint's re-sweeps run.
+	guardA, guardB []ProtEntry
+	guardVerdicts  []bool
+	guardObj       bool
+	inGuardian     bool
 }
 
 // parPhase selects which phase body a worker's persistent goroutine
@@ -77,6 +90,7 @@ const (
 	parPhaseDirty
 	parPhaseOld
 	parPhaseSweep
+	parPhaseGuardClassify
 )
 
 // parStats are the per-worker deltas of the Stats counters touched by
@@ -120,13 +134,20 @@ type parWorker struct {
 	pendWeak []uint64 // weak cars this worker deferred (dirty/old scan)
 
 	stats parStats
-	// busyNS/idleNS split the sweep drain's wall time: busy is spent
-	// processing items (and scanning for work), idle is spent yielding
-	// in the termination spin. Idle dominates exactly when load is
-	// imbalanced, which is the signal the adaptive worker policy and
-	// the worker_busy_ns/worker_idle_ns trace fields exist to expose.
-	busyNS int64
-	idleNS int64
+	// busyNS/idleNS split the main sweep drain's wall time: busy is
+	// spent processing items (and scanning for work), idle is spent
+	// yielding in the termination spin. Idle dominates exactly when
+	// load is imbalanced, which is the signal the adaptive worker
+	// policy and the worker_busy_ns/worker_idle_ns trace fields exist
+	// to expose. guardBusyNS/guardIdleNS are the same split for the
+	// guardian phase's classification fan-outs and salvage re-sweeps
+	// (parGC.inGuardian selects which pair a drain accrues to),
+	// surfaced as CollectionReport.WorkerGuardianBusy/Idle and the
+	// guardian_busy_ns/guardian_idle_ns trace fields.
+	busyNS      int64
+	idleNS      int64
+	guardBusyNS int64
+	guardIdleNS int64
 
 	body  func()                    // persistent goroutine body for runPar
 	visit func(*obj.Value)          // persistent visitor closure for providers
@@ -222,7 +243,9 @@ func (h *Heap) ensurePar(workers int) *parGC {
 		pw.pendWeak = pw.pendWeak[:0]
 		pw.stats = parStats{}
 		pw.busyNS, pw.idleNS = 0, 0
+		pw.guardBusyNS, pw.guardIdleNS = 0, 0
 	}
+	p.inGuardian = false
 	for _, pw := range p.workers[workers:] {
 		for _, idx := range pw.segCache {
 			h.tab.Unreserve(idx)
@@ -281,7 +304,10 @@ func (h *Heap) collectParallel(g int, t time.Time) time.Time {
 	h.runPar(parPhaseSweep)
 	t = h.phaseMark(PhaseSweep, t)
 
-	h.mergeWorkers(p)
+	// mergeWorkers runs later, from Collect, after the guardian phase:
+	// the salvage fixpoint's parallel re-sweeps keep using the
+	// workers' private buffers and deques, so the per-worker state is
+	// folded back only once all parallel work is done.
 	return t
 }
 
@@ -329,21 +355,23 @@ func (pw *parWorker) runPhase() {
 		pw.scanOldPhase(p.candScratch)
 	case parPhaseSweep:
 		pw.sweepPhase()
+	case parPhaseGuardClassify:
+		pw.guardClassifyPhase()
 	}
 }
 
-// mergeWorkers folds the per-worker state back into the heap after the
-// parallel phases have joined: stats deltas, the weak-pair lists the
-// sequential guardian/weak phases consume, the segments each worker
-// claimed (appended to the target generation's chains), and the
-// per-worker sweep timings surfaced in Stats.LastWorkerSweep /
-// LastWorkerIdle. Over-grown sweep deques shrink back here so a heap
-// whose peak collection swept a huge structure does not retain the
-// peak-size rings for its lifetime.
+// mergeWorkers folds the per-worker state back into the heap after all
+// parallel work of a collection — the forwarding phases and the
+// guardian phase's classification fan-outs and re-sweep drains — has
+// joined: stats deltas, the weak-pair lists the weak pass consumes,
+// the segments each worker claimed (appended to the target
+// generation's chains), and the per-worker sweep and guardian timings
+// surfaced on the CollectionReport. Over-grown sweep deques shrink
+// back here so a heap whose peak collection swept a huge structure
+// does not retain the peak-size rings for its lifetime.
 func (h *Heap) mergeWorkers(p *parGC) {
 	st := &h.Stats
-	st.LastWorkerSweep = st.LastWorkerSweep[:0]
-	st.LastWorkerIdle = st.LastWorkerIdle[:0]
+	rep := &h.report
 	for _, pw := range p.active {
 		st.WordsAllocated += pw.stats.wordsAllocated
 		st.SegmentsAllocated += pw.stats.segmentsAllocated
@@ -358,8 +386,10 @@ func (h *Heap) mergeWorkers(p *parGC) {
 			h.chains[sp][h.gcTarget] = append(h.chains[sp][h.gcTarget], pw.newSegs[sp]...)
 			pw.newSegs[sp] = pw.newSegs[sp][:0]
 		}
-		st.LastWorkerSweep = append(st.LastWorkerSweep, time.Duration(pw.busyNS))
-		st.LastWorkerIdle = append(st.LastWorkerIdle, time.Duration(pw.idleNS))
+		rep.WorkerSweepBusy = append(rep.WorkerSweepBusy, time.Duration(pw.busyNS))
+		rep.WorkerSweepIdle = append(rep.WorkerSweepIdle, time.Duration(pw.idleNS))
+		rep.WorkerGuardianBusy = append(rep.WorkerGuardianBusy, time.Duration(pw.guardBusyNS))
+		rep.WorkerGuardianIdle = append(rep.WorkerGuardianIdle, time.Duration(pw.guardIdleNS))
 		pw.dq.shrink()
 	}
 }
@@ -394,7 +424,7 @@ func (pw *parWorker) dirtyShardPhase(g int) {
 	for k := pw.id; k < RemShards; k += w {
 		n := h.scanRemShard(&h.rem.shards[k], g, pw.fwd, &pw.pendWeak)
 		// Disjoint indices per worker, so these writes never collide.
-		h.Stats.LastShardDirty[k] = n
+		h.report.ShardDirty[k] = n
 		pw.stats.dirtyCellsScanned += n
 	}
 }
@@ -710,7 +740,10 @@ func (pw *parWorker) steal() (sweepItem, bool) {
 // may still push, stop when nothing is pending anywhere. Wall time is
 // split into busy (processing and scanning for work) and idle (the
 // yield in the termination spin) so the per-worker numbers reported in
-// Stats and the trace reflect load imbalance instead of hiding it.
+// the CollectionReport and the trace reflect load imbalance instead of
+// hiding it. One collection can run several drains — the main sweep
+// plus one per guardian salvage round — so the counters accumulate;
+// parGC.inGuardian routes a drain's time to the guardian columns.
 func (pw *parWorker) sweepPhase() {
 	t0 := time.Now()
 	var idle int64
@@ -735,8 +768,96 @@ func (pw *parWorker) sweepPhase() {
 		pw.process(it)
 		p.pending.Add(-1)
 	}
-	pw.idleNS = idle
-	pw.busyNS = time.Since(t0).Nanoseconds() - idle
+	busy := time.Since(t0).Nanoseconds() - idle
+	if p.inGuardian {
+		pw.guardIdleNS += idle
+		pw.guardBusyNS += busy
+	} else {
+		pw.idleNS += idle
+		pw.busyNS += busy
+	}
+}
+
+// guardClassifyPar computes the accessibility verdicts for the
+// protected entries of a then b over the worker pool: verdict i is
+// isForwarded of entry i's Obj (checkObj, the initial pend-hold /
+// pend-final partition) or Tconc (the salvage rounds). The protected
+// lists partition across workers by index striding; every verdict slot
+// is written by exactly one worker, and the phase performs no heap
+// mutation at all — workers only read forwarding words and segment
+// metadata, so the fan-out is race-free by construction. The verdict
+// slice is parGC-owned scratch, valid until the next classification.
+func (h *Heap) guardClassifyPar(a, b []ProtEntry, checkObj bool) []bool {
+	p := h.par
+	n := len(a) + len(b)
+	if cap(p.guardVerdicts) < n {
+		p.guardVerdicts = make([]bool, n)
+	}
+	p.guardVerdicts = p.guardVerdicts[:n]
+	p.guardA, p.guardB, p.guardObj = a, b, checkObj
+	p.inGuardian = true
+	h.runPar(parPhaseGuardClassify)
+	p.inGuardian = false
+	p.guardA, p.guardB = nil, nil
+	return p.guardVerdicts
+}
+
+// guardClassifyPhase is one worker's share of a guardian
+// classification fan-out: a strided walk over the combined entry
+// lists, recording each entry's accessibility verdict in its private
+// slot. Time spent here counts as guardian-phase busy time.
+func (pw *parWorker) guardClassifyPhase() {
+	t0 := time.Now()
+	h, p := pw.h, pw.h.par
+	w := len(p.active)
+	nA := len(p.guardA)
+	total := nA + len(p.guardB)
+	for i := pw.id; i < total; i += w {
+		var e *ProtEntry
+		if i < nA {
+			e = &p.guardA[i]
+		} else {
+			e = &p.guardB[i-nA]
+		}
+		v := e.Tconc
+		if p.guardObj {
+			v = e.Obj
+		}
+		p.guardVerdicts[i] = h.isForwarded(v)
+	}
+	pw.guardBusyNS += time.Since(t0).Nanoseconds()
+}
+
+// parGuardianSweep is the parallel form of the kleene-sweep a guardian
+// salvage round triggers: the items the sequential merge staged on
+// h.sweepQ (salvaged representatives and the tconc pairs they
+// reached) are dealt round-robin onto the workers' deques and drained
+// through the usual work-stealing fixpoint. Dealing happens before
+// the fan-out, with no worker running, so the owner-only push rule of
+// the Chase-Lev deque is respected (the goroutine-start edge publishes
+// the pushes). Time accrues to PhaseSweep exactly like the sequential
+// kleene-sweep, keeping the guardian column's "bookkeeping only"
+// meaning; the workers' busy/idle split lands in the guardian-phase
+// columns via parGC.inGuardian.
+func (h *Heap) parGuardianSweep() {
+	if len(h.sweepQ) == 0 {
+		return
+	}
+	t0 := time.Now()
+	p := h.par
+	for i, it := range h.sweepQ {
+		pw := p.active[i%len(p.active)]
+		p.pending.Add(1)
+		pw.dq.push(packSweepItem(it))
+	}
+	h.sweepQ = h.sweepQ[:0]
+	// Like the main parallel drain, the whole re-sweep counts as one
+	// kleene-sweep pass (waves lose their meaning under stealing).
+	h.Stats.SweepPasses++
+	p.inGuardian = true
+	h.runPar(parPhaseSweep)
+	p.inGuardian = false
+	h.phaseNS[PhaseSweep] += time.Since(t0).Nanoseconds()
 }
 
 // process sweeps one copied object, mirroring kleeneSweep's cases.

@@ -50,8 +50,8 @@ func TestSetWorkersBetweenCollections(t *testing.T) {
 	if h.Workers() != 0 {
 		t.Fatalf("SetWorkers(0) -> %d, want 0 (auto)", h.Workers())
 	}
-	h.Collect(0) // adaptive collection over the same heap
-	if got := h.Stats.LastWorkersChosen; got < 1 || got > heap.MaxWorkers {
+	rep := h.Collect(0) // adaptive collection over the same heap
+	if got := rep.WorkersChosen; got < 1 || got > heap.MaxWorkers {
 		t.Fatalf("auto collection chose %d workers", got)
 	}
 	h.MustVerify()
@@ -98,13 +98,13 @@ func TestAutoWorkerPolicy(t *testing.T) {
 func TestAutoWorkersNeverFanOutSmall(t *testing.T) {
 	cfg := heap.DefaultConfig()
 	cfg.Workers = 0 // auto
-	h := heap.New(cfg)
+	h := heap.MustNew(cfg)
 	h.EnableTrace(8)
 	r := h.NewRoot(h.Cons(obj.FromFixnum(1), h.MakeString("tiny")))
 	defer r.Release()
 	for i := 0; i < 3; i++ {
-		h.Collect(h.MaxGeneration())
-		if got := h.Stats.LastWorkersChosen; got != 1 {
+		rep := h.Collect(h.MaxGeneration())
+		if got := rep.WorkersChosen; got != 1 {
 			t.Fatalf("collection %d of a tiny heap chose %d workers, want 1", i, got)
 		}
 	}
@@ -123,7 +123,7 @@ func TestParallelWorkerSweepStats(t *testing.T) {
 	cfg := heap.DefaultConfig()
 	cfg.TriggerWords = 1 << 20
 	cfg.Workers = 3
-	h := heap.New(cfg)
+	h := heap.MustNew(cfg)
 	h.EnableTrace(4)
 	var list obj.Value = obj.Nil
 	for i := 0; i < 5000; i++ {
@@ -131,15 +131,15 @@ func TestParallelWorkerSweepStats(t *testing.T) {
 	}
 	r := h.NewRoot(list)
 	defer r.Release()
-	h.Collect(0)
-	if got := len(h.Stats.LastWorkerSweep); got != 3 {
-		t.Fatalf("LastWorkerSweep has %d entries, want 3", got)
+	rep := h.Collect(0)
+	if got := len(rep.WorkerSweepBusy); got != 3 {
+		t.Fatalf("WorkerSweepBusy has %d entries, want 3", got)
 	}
-	if got := len(h.Stats.LastWorkerIdle); got != 3 {
-		t.Fatalf("LastWorkerIdle has %d entries, want 3", got)
+	if got := len(rep.WorkerSweepIdle); got != 3 {
+		t.Fatalf("WorkerSweepIdle has %d entries, want 3", got)
 	}
-	if h.Stats.LastWorkersChosen != 3 {
-		t.Fatalf("LastWorkersChosen = %d, want 3", h.Stats.LastWorkersChosen)
+	if rep.WorkersChosen != 3 {
+		t.Fatalf("WorkersChosen = %d, want 3", rep.WorkersChosen)
 	}
 	evs := h.TraceEvents()
 	if len(evs) != 1 {
@@ -167,8 +167,8 @@ func TestParallelWorkerSweepStats(t *testing.T) {
 	}
 	// Sequential collections leave the per-worker fields empty.
 	h.SetWorkers(1)
-	h.Collect(0)
-	if len(h.Stats.LastWorkerSweep) != 0 || len(h.Stats.LastWorkerIdle) != 0 {
+	rep = h.Collect(0)
+	if len(rep.WorkerSweepBusy) != 0 || len(rep.WorkerSweepIdle) != 0 {
 		t.Fatal("per-worker stats not cleared by a sequential collection")
 	}
 	evs = h.TraceEvents()
@@ -190,7 +190,7 @@ func TestSweepQueueMemoryNotRetained(t *testing.T) {
 	cfg := heap.DefaultConfig()
 	cfg.TriggerWords = 1 << 24
 	cfg.Workers = 2
-	h := heap.New(cfg)
+	h := heap.MustNew(cfg)
 	// One huge vector of pair chains: sweeping the vector pushes 4x
 	// DequeRetainCap items in a single process() call, before the owner
 	// pops anything. Each slot is a 4-pair chain so a thief stealing
@@ -250,7 +250,7 @@ func TestSegmentAffinityReserve(t *testing.T) {
 	cfg := heap.DefaultConfig()
 	cfg.TriggerWords = 1 << 22
 	cfg.Workers = 4
-	h := heap.New(cfg)
+	h := heap.MustNew(cfg)
 	var list obj.Value = obj.Nil
 	for i := 0; i < 50_000; i++ {
 		list = h.Cons(obj.FromFixnum(int64(i)), list)
@@ -281,7 +281,7 @@ func TestParallelLargeObjects(t *testing.T) {
 	cfg := heap.DefaultConfig()
 	cfg.TriggerWords = 1 << 20
 	cfg.Workers = 8
-	h := heap.New(cfg)
+	h := heap.MustNew(cfg)
 	var roots []*heap.Root
 	for i := 0; i < 6; i++ {
 		v := h.MakeVector(700+i, obj.FromFixnum(int64(i))) // 2-segment runs
@@ -323,7 +323,7 @@ func BenchmarkCollectParallel(b *testing.B) {
 			cfg := heap.DefaultConfig()
 			cfg.TriggerWords = 1 << 30
 			cfg.Workers = workers
-			h := heap.New(cfg)
+			h := heap.MustNew(cfg)
 			var list obj.Value = obj.Nil
 			for i := 0; i < 200_000; i++ { // ~3.2 MB of live pairs
 				list = h.Cons(obj.FromFixnum(int64(i)), list)

@@ -20,7 +20,7 @@ func withPolicy(fn func(g, maxGen int) int) heap.Config {
 
 func TestPolicySkipGeneration(t *testing.T) {
 	// Nursery survivors tenure straight to the oldest generation.
-	h := heap.New(withPolicy(func(g, maxGen int) int { return maxGen }))
+	h := heap.MustNew(withPolicy(func(g, maxGen int) int { return maxGen }))
 	r := h.NewRoot(h.Cons(obj.FromFixnum(1), obj.Nil))
 	h.Collect(0)
 	if got := h.Generation(r.Get()); got != h.MaxGeneration() {
@@ -34,7 +34,7 @@ func TestPolicySkipGeneration(t *testing.T) {
 
 func TestPolicyNeverPromote(t *testing.T) {
 	// Survivors stay in generation 0 (a two-space copying collector).
-	h := heap.New(withPolicy(func(g, maxGen int) int { return 0 }))
+	h := heap.MustNew(withPolicy(func(g, maxGen int) int { return 0 }))
 	r := h.NewRoot(h.Cons(obj.FromFixnum(2), obj.Nil))
 	for i := 0; i < 5; i++ {
 		h.Collect(0)
@@ -52,7 +52,7 @@ func TestPolicyGuardiansStillWork(t *testing.T) {
 	// Guardians under an eager-tenure policy: entries migrate to the
 	// policy's target lists and salvage still fires when the object's
 	// generation is collected.
-	h := heap.New(withPolicy(func(g, maxGen int) int { return maxGen }))
+	h := heap.MustNew(withPolicy(func(g, maxGen int) int { return maxGen }))
 	tc := h.NewRoot(makeTconc(h))
 	keep := h.NewRoot(h.Cons(obj.FromFixnum(3), obj.Nil))
 	h.InstallGuardian(keep.Get(), tc.Get())
@@ -75,7 +75,7 @@ func TestPolicyGuardiansStillWork(t *testing.T) {
 }
 
 func TestPolicyWeakPairsStillSound(t *testing.T) {
-	h := heap.New(withPolicy(func(g, maxGen int) int { return maxGen }))
+	h := heap.MustNew(withPolicy(func(g, maxGen int) int { return maxGen }))
 	target := h.NewRoot(h.Cons(obj.FromFixnum(4), obj.Nil))
 	w := h.NewRoot(h.WeakCons(target.Get(), obj.Nil))
 	h.Collect(0)
@@ -98,7 +98,7 @@ func TestPolicyDemotionClampedToG(t *testing.T) {
 	// Config.TargetGen) makes such a policy behave exactly like the
 	// in-place policy target == g.
 	target := 2
-	h := heap.New(withPolicy(func(g, maxGen int) int { return target }))
+	h := heap.MustNew(withPolicy(func(g, maxGen int) int { return target }))
 	r := h.NewRoot(h.Cons(obj.FromFixnum(7), h.MakeString("kept")))
 	h.Collect(0) // legitimate promotion straight to generation 2
 	if got := h.Generation(r.Get()); got != 2 {
@@ -125,13 +125,13 @@ func TestPolicyDemotionClampedToG(t *testing.T) {
 }
 
 func TestPolicyOutOfRangeClamped(t *testing.T) {
-	h := heap.New(withPolicy(func(g, maxGen int) int { return 99 }))
+	h := heap.MustNew(withPolicy(func(g, maxGen int) int { return 99 }))
 	r := h.NewRoot(h.Cons(obj.FromFixnum(5), obj.Nil))
 	h.Collect(0)
 	if got := h.Generation(r.Get()); got != h.MaxGeneration() {
 		t.Fatalf("overshooting policy not clamped: %d", got)
 	}
-	h2 := heap.New(withPolicy(func(g, maxGen int) int { return -7 }))
+	h2 := heap.MustNew(withPolicy(func(g, maxGen int) int { return -7 }))
 	r2 := h2.NewRoot(h2.Cons(obj.FromFixnum(6), obj.Nil))
 	h2.Collect(0)
 	if got := h2.Generation(r2.Get()); got != 0 {

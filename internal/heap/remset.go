@@ -41,7 +41,7 @@ const (
 	// own even at the maximum worker count.
 	remShardBits = 5
 	// RemShards is the number of remembered-set shards (a power of
-	// two). Per-shard figures in Stats.LastShardDirty, the trace
+	// two). Per-shard figures in CollectionReport.ShardDirty, the trace
 	// schema, and Census.RemSetShards are indexed 0..RemShards-1.
 	RemShards = 1 << remShardBits
 )

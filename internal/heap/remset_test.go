@@ -93,7 +93,7 @@ func TestDirtyCountContract(t *testing.T) {
 	// re-insertions are complete before hooks run, so the hook's view
 	// equals the post-collection view.
 	var fromHook = -1
-	h.AddPostCollectHook(func(hh *heap.Heap) { fromHook = hh.DirtyCount() })
+	h.AddPostCollectHook(func(hh *heap.Heap, _ *heap.CollectionReport) { fromHook = hh.DirtyCount() })
 	h.Collect(0) // young referent promoted to gen 1: both cells still point younger
 	if fromHook != h.DirtyCount() {
 		t.Fatalf("hook saw DirtyCount %d, after collection %d", fromHook, h.DirtyCount())
@@ -161,26 +161,25 @@ func TestDirtyScanPhaseAttribution(t *testing.T) {
 	h.Collect(0)
 	h.Collect(1)
 	h.SetCar(old.Get(), h.Cons(obj.FromFixnum(1), obj.Nil))
-	h.Collect(0)
-	if h.Stats.LastPhases[heap.PhaseDirtyScan] <= 0 {
+	rep := h.Collect(0)
+	if rep.Phases[heap.PhaseDirtyScan] <= 0 {
 		t.Fatal("dirty-scan phase recorded no time for a dirty-set collection")
 	}
-	if h.Stats.LastPhases[heap.PhaseOldScan] != 0 {
+	if rep.Phases[heap.PhaseOldScan] != 0 {
 		t.Fatal("old-scan phase accrued time with the dirty set enabled")
 	}
-	// Per-shard counts surface in stats and the trace event, and sum
-	// to the collection's DirtyCellsScanned delta.
+	// Per-shard counts surface in the report and the trace event, and
+	// sum to the collection's DirtyCellsScanned delta.
 	h.EnableTrace(4)
-	before := h.Stats.DirtyCellsScanned
 	h.SetCar(old.Get(), h.Cons(obj.FromFixnum(2), obj.Nil))
-	h.Collect(0)
+	rep = h.Collect(0)
 	var sum uint64
-	for _, n := range h.Stats.LastShardDirty {
+	for _, n := range rep.ShardDirty {
 		sum += n
 	}
-	if sum != h.Stats.DirtyCellsScanned-before {
-		t.Fatalf("LastShardDirty sums to %d, DirtyCellsScanned delta %d",
-			sum, h.Stats.DirtyCellsScanned-before)
+	if sum != rep.DirtyCellsScanned {
+		t.Fatalf("ShardDirty sums to %d, DirtyCellsScanned delta %d",
+			sum, rep.DirtyCellsScanned)
 	}
 	evs := h.TraceEvents()
 	ev := evs[len(evs)-1]

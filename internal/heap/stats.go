@@ -47,39 +47,17 @@ type Stats struct {
 	WeakPairsScanned   uint64
 	WeakPointersBroken uint64
 
-	LastPause  time.Duration
-	TotalPause time.Duration
-	// LastPhases and PhaseTotals attribute the pause to the collection
-	// phases, indexed by Phase (see PhaseNames). The entries of
-	// LastPhases sum to LastPause up to timer granularity; PhaseTotals
-	// accumulates across collections like TotalPause.
-	LastPhases  [NumPhases]time.Duration
+	// TotalPause accumulates every collection's stop-the-world pause;
+	// PhaseTotals attributes it to the collection phases, indexed by
+	// Phase (see PhaseNames). Per-collection figures — the last pause,
+	// its phase breakdown, per-worker sweep and guardian timings, the
+	// chosen worker count, per-shard dirty-scan counts — moved to
+	// CollectionReport (returned by Collect/CollectAuto, retained via
+	// Heap.LastReport): Stats holds cumulative counters only. The
+	// former Stats.Last* fields have one-release deprecation shims on
+	// Heap (LastPause, LastPhases, LastWorkersChosen).
+	TotalPause  time.Duration
 	PhaseTotals [NumPhases]time.Duration
-	// LastWorkerSweep holds each worker's *busy* time in the last
-	// collection's parallel sweep drain, indexed by worker id: time
-	// spent processing sweep items and probing for work, excluding the
-	// yielding spin while waiting for other workers to finish. Empty
-	// after a sequential collection. LastWorkerIdle is the complement —
-	// the time the worker spent spinning idle in the drain — so
-	// busy+idle per worker approximates the whole-phase
-	// LastPhases[PhaseSweep], and a large idle share is the
-	// load-imbalance signal the adaptive worker policy exists to avoid.
-	// (LastWorkerSweep once reported wall time including the idle spin,
-	// which overstated busy time exactly when load was imbalanced.)
-	LastWorkerSweep []time.Duration
-	LastWorkerIdle  []time.Duration
-	// LastWorkersChosen is the worker count the last collection actually
-	// used: Config.Workers when a count is configured, the adaptive
-	// policy's choice when Workers == 0 (1 = the sequential algorithm
-	// ran). Mirrored in the trace's workers_chosen field.
-	LastWorkersChosen int
-	// LastShardDirty holds, per remembered-set shard, the number of
-	// live remembered cells the last collection's dirty scan examined
-	// (stale entries dropped without examination are not counted). Its
-	// sum is the collection's DirtyCellsScanned delta; the spread shows
-	// how evenly the write barrier's segments hash across shards. All
-	// zero when the dirty set is disabled or the heap has not collected.
-	LastShardDirty [RemShards]uint64
 }
 
 // Reset zeroes all counters.
@@ -109,10 +87,10 @@ func (s *Stats) String() string {
 		s.GuardianEntriesSalvaged, s.GuardianEntriesHeld, s.GuardianEntriesDropped)
 	fmt.Fprintf(&b, "weak: %d scanned, %d broken\n",
 		s.WeakPairsScanned, s.WeakPointersBroken)
-	fmt.Fprintf(&b, "pause: last %v, total %v\n", s.LastPause, s.TotalPause)
-	fmt.Fprintf(&b, "phases (last/total):")
+	fmt.Fprintf(&b, "pause: total %v\n", s.TotalPause)
+	fmt.Fprintf(&b, "phases (total):")
 	for i := Phase(0); i < NumPhases; i++ {
-		fmt.Fprintf(&b, " %s %v/%v", i, s.LastPhases[i], s.PhaseTotals[i])
+		fmt.Fprintf(&b, " %s %v", i, s.PhaseTotals[i])
 	}
 	return b.String()
 }

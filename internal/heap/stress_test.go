@@ -111,7 +111,7 @@ func (s *stressState) step() {
 
 func runStress(t *testing.T, cfg heap.Config, seed int64, steps int) {
 	t.Helper()
-	h := heap.New(cfg)
+	h := heap.MustNew(cfg)
 	s := &stressState{h: h, rng: rand.New(rand.NewSource(seed))}
 	for i := 0; i < steps; i++ {
 		s.step()
@@ -196,7 +196,7 @@ func TestSurvivedInsidePostCollectHook(t *testing.T) {
 	dead := h.Cons(obj.FromFixnum(2), obj.Nil)
 	var keptAlive, deadAlive bool
 	var keptNew obj.Value
-	h.AddPostCollectHook(func(hh *heap.Heap) {
+	h.AddPostCollectHook(func(hh *heap.Heap, _ *heap.CollectionReport) {
 		keptNew, keptAlive = hh.Survived(kept.Get())
 		_, deadAlive = hh.Survived(dead)
 	})

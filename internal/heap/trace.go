@@ -70,7 +70,7 @@ func (p Phase) String() string {
 }
 
 // PhaseNames returns the phase names in Phase order; index i names
-// PhaseNS[i] of a TraceEvent and LastPhases[i] of Stats.
+// PhaseNS[i] of a TraceEvent and Phases[i] of a CollectionReport.
 func PhaseNames() []string { return phaseNames[:] }
 
 // TraceEvent is one collection's structured trace record. Counter
@@ -104,10 +104,21 @@ type TraceEvent struct {
 	// waiting for global termination. Both nil for sequential
 	// collections. (They replace the former worker_sweep_ns field,
 	// which reported wall time = busy + idle.)
-	Workers       int     `json:"workers"`
-	WorkersChosen int     `json:"workers_chosen"`
-	WorkerBusyNS  []int64 `json:"worker_busy_ns,omitempty"`
-	WorkerIdleNS  []int64 `json:"worker_idle_ns,omitempty"`
+	// WorkerGuardianBusyNS / WorkerGuardianIdleNS are the same split
+	// for the guardian phase's parallel classification fan-outs and
+	// salvage re-sweep drains.
+	Workers              int     `json:"workers"`
+	WorkersChosen        int     `json:"workers_chosen"`
+	WorkerBusyNS         []int64 `json:"worker_busy_ns,omitempty"`
+	WorkerIdleNS         []int64 `json:"worker_idle_ns,omitempty"`
+	WorkerGuardianBusyNS []int64 `json:"worker_guardian_busy_ns,omitempty"`
+	WorkerGuardianIdleNS []int64 `json:"worker_guardian_idle_ns,omitempty"`
+	// GuardianRounds is the number of salvage-fixpoint rounds the
+	// guardian phase ran (0 when no protected entries were scanned);
+	// GuardianRoundNS holds each round's duration including the
+	// triggered re-sweeps.
+	GuardianRounds  int     `json:"guardian_rounds"`
+	GuardianRoundNS []int64 `json:"guardian_round_ns,omitempty"`
 	// DirtyShardCells holds the number of live remembered cells the
 	// dirty-scan phase examined in each shard, indexed by shard number
 	// (0..RemShards-1); its sum is the collection's DirtyCellsScanned
@@ -168,49 +179,55 @@ func (h *Heap) TraceEvents() []TraceEvent {
 }
 
 // recordTrace materializes and publishes the trace event for the
-// collection that just finished. snap is the Stats snapshot taken at
-// the start of Collect; counter deltas against it give the
-// per-collection figures. No-op (and allocation-free) when neither a
-// ring nor a callback is installed.
-func (h *Heap) recordTrace(gen, target int, snap *Stats) {
+// collection whose finished CollectionReport is rep. No-op (and
+// allocation-free) when neither a ring nor a callback is installed.
+func (h *Heap) recordTrace(rep *CollectionReport) {
 	if h.traceBuf == nil && h.traceFn == nil {
 		return
 	}
-	st := &h.Stats
 	ev := TraceEvent{
-		Seq:               st.Collections,
-		Gen:               gen,
-		Target:            target,
-		PauseNS:           st.LastPause.Nanoseconds(),
-		WordsCopied:       st.WordsCopied - snap.WordsCopied,
-		PairsCopied:       st.PairsCopied - snap.PairsCopied,
-		ObjectsCopied:     st.ObjectsCopied - snap.ObjectsCopied,
-		CellsSwept:        st.CellsSwept - snap.CellsSwept,
-		SweepPasses:       st.SweepPasses - snap.SweepPasses,
-		DirtyCellsScanned: st.DirtyCellsScanned - snap.DirtyCellsScanned,
-		GuardianScanned:   st.GuardianEntriesScanned - snap.GuardianEntriesScanned,
-		GuardianSalvaged:  st.GuardianEntriesSalvaged - snap.GuardianEntriesSalvaged,
-		GuardianHeld:      st.GuardianEntriesHeld - snap.GuardianEntriesHeld,
-		GuardianDropped:   st.GuardianEntriesDropped - snap.GuardianEntriesDropped,
-		WeakScanned:       st.WeakPairsScanned - snap.WeakPairsScanned,
-		WeakBroken:        st.WeakPointersBroken - snap.WeakPointersBroken,
-		SegmentsFreed:     st.SegmentsFreed - snap.SegmentsFreed,
+		Seq:               rep.Seq,
+		Gen:               rep.Gen,
+		Target:            rep.Target,
+		PauseNS:           rep.Pause.Nanoseconds(),
+		WordsCopied:       rep.WordsCopied,
+		PairsCopied:       rep.PairsCopied,
+		ObjectsCopied:     rep.ObjectsCopied,
+		CellsSwept:        rep.CellsSwept,
+		SweepPasses:       rep.SweepPasses,
+		DirtyCellsScanned: rep.DirtyCellsScanned,
+		GuardianScanned:   rep.GuardianScanned,
+		GuardianSalvaged:  rep.GuardianSalvaged,
+		GuardianHeld:      rep.GuardianHeld,
+		GuardianDropped:   rep.GuardianDropped,
+		WeakScanned:       rep.WeakScanned,
+		WeakBroken:        rep.WeakBroken,
+		SegmentsFreed:     rep.SegmentsFreed,
+		GuardianRounds:    rep.GuardianRounds,
 	}
 	ev.PhaseNS = h.phaseNS
-	ev.Workers = h.cfg.Workers
-	ev.WorkersChosen = st.LastWorkersChosen
+	ev.Workers = rep.Workers
+	ev.WorkersChosen = rep.WorkersChosen
 	if h.cfg.UseDirtySet && h.dirtyMap == nil {
 		ev.DirtyShardCells = make([]uint64, RemShards)
-		copy(ev.DirtyShardCells, st.LastShardDirty[:])
+		copy(ev.DirtyShardCells, rep.ShardDirty[:])
 	}
-	if n := len(st.LastWorkerSweep); n > 0 {
+	if n := len(rep.GuardianRoundDurations); n > 0 {
+		ev.GuardianRoundNS = make([]int64, n)
+		for i, d := range rep.GuardianRoundDurations {
+			ev.GuardianRoundNS[i] = d.Nanoseconds()
+		}
+	}
+	if n := len(rep.WorkerSweepBusy); n > 0 {
 		ev.WorkerBusyNS = make([]int64, n)
 		ev.WorkerIdleNS = make([]int64, n)
-		for i, d := range st.LastWorkerSweep {
-			ev.WorkerBusyNS[i] = d.Nanoseconds()
-		}
-		for i, d := range st.LastWorkerIdle {
-			ev.WorkerIdleNS[i] = d.Nanoseconds()
+		ev.WorkerGuardianBusyNS = make([]int64, n)
+		ev.WorkerGuardianIdleNS = make([]int64, n)
+		for i := range rep.WorkerSweepBusy {
+			ev.WorkerBusyNS[i] = rep.WorkerSweepBusy[i].Nanoseconds()
+			ev.WorkerIdleNS[i] = rep.WorkerSweepIdle[i].Nanoseconds()
+			ev.WorkerGuardianBusyNS[i] = rep.WorkerGuardianBusy[i].Nanoseconds()
+			ev.WorkerGuardianIdleNS[i] = rep.WorkerGuardianIdle[i].Nanoseconds()
 		}
 	}
 	if h.traceBuf != nil {

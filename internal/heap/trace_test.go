@@ -49,7 +49,7 @@ func TestPhasesSumToPause(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		h.InstallGuardian(h.Cons(fx(int64(i)), obj.Nil), tc.Get())
 	}
-	h.AddPostCollectHook(func(*heap.Heap) {})
+	h.AddPostCollectHook(func(*heap.Heap, *heap.CollectionReport) {})
 
 	for round := 0; round < 5; round++ {
 		g := round % h.MaxGeneration()
@@ -59,9 +59,9 @@ func TestPhasesSumToPause(t *testing.T) {
 			lst.Set(h.Cons(h.Cons(fx(int64(i)), obj.Nil), lst.Get()))
 		}
 		h.SetCar(lst.Get(), h.Cons(fx(-1), obj.Nil)) // keep the dirty set busy
-		h.Collect(g)
-		pause := h.Stats.LastPause
-		sum := phaseSum(h.Stats.LastPhases)
+		rep := h.Collect(g)
+		pause := rep.Pause
+		sum := phaseSum(rep.Phases)
 		if pause <= 0 {
 			t.Fatalf("round %d: no pause recorded", round)
 		}
@@ -86,7 +86,7 @@ func TestPhasesSumToPause(t *testing.T) {
 func TestPhaseAttribution(t *testing.T) {
 	cfg := heap.DefaultConfig()
 	cfg.UseDirtySet = false
-	h := heap.New(cfg)
+	h := heap.MustNew(cfg)
 	lst := h.NewRoot(obj.Nil)
 	for i := 0; i < 20000; i++ {
 		lst.Set(h.Cons(fx(int64(i)), lst.Get()))
@@ -95,11 +95,11 @@ func TestPhaseAttribution(t *testing.T) {
 	h.Collect(h.MaxGeneration())
 	h.Stats.Reset()
 	churn(h, 1000)
-	h.Collect(0)
-	if h.Stats.LastPhases[heap.PhaseOldScan] <= 0 {
+	rep := h.Collect(0)
+	if rep.Phases[heap.PhaseOldScan] <= 0 {
 		t.Fatal("conservative old scan recorded no old-scan time")
 	}
-	if h.Stats.LastPhases[heap.PhaseSweep] <= 0 {
+	if rep.Phases[heap.PhaseSweep] <= 0 {
 		t.Fatal("no sweep time recorded")
 	}
 }
@@ -238,7 +238,7 @@ func TestSweepPassesCountGuardianResweeps(t *testing.T) {
 func TestCollectionsByGenGrows(t *testing.T) {
 	cfg := heap.DefaultConfig()
 	cfg.Generations = 24
-	h := heap.New(cfg)
+	h := heap.MustNew(cfg)
 	h.Cons(fx(1), obj.Nil)
 	h.Collect(18)
 	h.Collect(18)
@@ -268,7 +268,7 @@ func TestCollectSteadyStateAllocs(t *testing.T) {
 		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
 			cfg := heap.DefaultConfig()
 			cfg.Workers = workers
-			h := heap.New(cfg)
+			h := heap.MustNew(cfg)
 			lst := h.NewRoot(obj.Nil)
 			for i := 0; i < 5000; i++ {
 				lst.Set(h.Cons(fx(int64(i)), lst.Get()))

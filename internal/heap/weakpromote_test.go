@@ -19,7 +19,7 @@ func TestPromotedWeakPairEntersDirtySet(t *testing.T) {
 	cfg := heap.DefaultConfig()
 	cfg.TriggerWords = 1 << 20
 	cfg.TargetGen = func(g, maxGen int) int { return target }
-	h := heap.New(cfg)
+	h := heap.MustNew(cfg)
 
 	x := h.NewRoot(h.Cons(obj.FromFixnum(42), obj.Nil))
 	h.Collect(0) // x -> generation 1
@@ -66,7 +66,7 @@ func TestPromotedWeakPairTracksMovingReferent(t *testing.T) {
 	cfg := heap.DefaultConfig()
 	cfg.TriggerWords = 1 << 20
 	cfg.TargetGen = func(g, maxGen int) int { return target }
-	h := heap.New(cfg)
+	h := heap.MustNew(cfg)
 
 	x := h.NewRoot(h.Cons(obj.FromFixnum(9), obj.Nil))
 	h.Collect(0) // x -> generation 1

@@ -178,7 +178,7 @@ func (m *Machine) InternedSymbols() int { return len(m.symIdx) }
 // pruneDeadSymbols is the post-collect hook implementing the weak
 // symbol table: prunable symbols are not visited as roots, so a
 // symbol survives only if something else in the heap kept it alive.
-func (m *Machine) pruneDeadSymbols(h *heap.Heap) {
+func (m *Machine) pruneDeadSymbols(h *heap.Heap, _ *heap.CollectionReport) {
 	if !m.pruneSymbols {
 		return
 	}

@@ -3,6 +3,7 @@ package scheme
 import (
 	"fmt"
 	"strconv"
+	"time"
 
 	"repro/internal/heap"
 	"repro/internal/obj"
@@ -751,11 +752,17 @@ func (m *Machine) installPrims() {
 	})
 	def("gc-phase-stats", 0, 0, func(m *Machine, a Args) (obj.Value, error) {
 		// A list of (phase-symbol last-ns total-ns), one entry per
-		// collection phase, in phase order.
+		// collection phase, in phase order. The last-collection column
+		// comes from the CollectionReport (zero before the first
+		// collection); the totals from the cumulative Stats.
+		var last [heap.NumPhases]time.Duration
+		if rep := h.LastReport(); rep != nil {
+			last = rep.Phases
+		}
 		out := obj.Nil
 		for i := heap.NumPhases - 1; i >= 0; i-- {
 			entry := h.Cons(m.Intern(heap.Phase(i).String()),
-				h.Cons(obj.FromFixnum(h.Stats.LastPhases[i].Nanoseconds()),
+				h.Cons(obj.FromFixnum(last[i].Nanoseconds()),
 					h.Cons(obj.FromFixnum(h.Stats.PhaseTotals[i].Nanoseconds()), obj.Nil)))
 			out = h.Cons(entry, out)
 		}

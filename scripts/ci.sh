@@ -31,6 +31,14 @@ echo "== parallel collector gate (-race)"
 # isomorphic to Workers=1.
 go test -race -run 'TestParallelOracle|TestRemsetMapOracle|TestStressParallelWorkers' ./internal/heap/
 
+echo "== parallel guardian gate (-race)"
+# The guardian salvage fixpoint fans its accessibility checks and
+# re-sweeps out over the workers but must keep tconc append order
+# bit-for-bit identical to the sequential algorithm: the determinism
+# suite replays randomized guardian/weak workloads at Workers
+# {1, 2, 8, auto} and compares every collection's queue contents.
+go test -race -run 'TestGuardianParallelDeterminism|TestGuardianChainSalvageOrder|TestGuardianWorkerAttribution' ./internal/heap/
+
 echo "== deque property gate (-race)"
 # The Chase-Lev work-stealing deque carries every parallel sweep item;
 # the randomized owner/thief property test under the race detector is
@@ -50,6 +58,7 @@ echo "== fuzz smoke"
 # fuzzing land in testdata/ and then run as plain tests in the -race
 # pass above.
 go test -run '^$' -fuzz 'FuzzRememberedSet' -fuzztime=10s ./internal/heap/
+go test -run '^$' -fuzz 'FuzzGuardianParallel' -fuzztime=10s ./internal/heap/
 go test -run '^$' -fuzz 'FuzzReader' -fuzztime=10s ./internal/scheme/
 go test -run '^$' -fuzz 'FuzzDifferential' -fuzztime=10s ./internal/scheme/
 go test -run '^$' -fuzz 'FuzzEval' -fuzztime=10s ./internal/scheme/

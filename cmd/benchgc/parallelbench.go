@@ -39,11 +39,18 @@ type benchWorkerResult struct {
 	// WorkersChosen is the count the measured collections actually
 	// used, taken from the trace's workers_chosen field (meaningful
 	// mainly for the auto row).
-	Workers       int            `json:"workers"`
-	WorkersChosen int            `json:"workers_chosen"`
-	Collections   int            `json:"collections"`
-	Pause         benchQuantiles `json:"pause"`
-	Sweep         benchQuantiles `json:"sweep"`
+	Workers       int `json:"workers"`
+	WorkersChosen int `json:"workers_chosen"`
+	Collections   int `json:"collections"`
+	// GoMaxProcs is sampled when this row is measured (the file-level
+	// figure is from report setup; a runtime.GOMAXPROCS call between
+	// rows would make them disagree). Degenerate marks a row measured
+	// with more workers than schedulable CPUs — its parallel numbers
+	// are a serialization artifact, not a speedup baseline.
+	GoMaxProcs int            `json:"gomaxprocs"`
+	Degenerate bool           `json:"degenerate_baseline,omitempty"`
+	Pause      benchQuantiles `json:"pause"`
+	Sweep      benchQuantiles `json:"sweep"`
 	// DirtyScan covers the remembered-set scan phase (the default
 	// configuration); OldScan the conservative full scan, non-zero
 	// only when the dirty set is disabled.
@@ -150,10 +157,13 @@ func benchOneWorkerCount(workers, gcs, pairs, vectors int) (benchWorkerResult, e
 		}
 	}
 	h.MustVerify()
+	procs := runtime.GOMAXPROCS(0)
 	res := benchWorkerResult{
 		Workers:        workers,
 		WorkersChosen:  chosen,
 		Collections:    gcs,
+		GoMaxProcs:     procs,
+		Degenerate:     chosen > procs,
 		Pause:          quantilesOf(pause),
 		Sweep:          quantilesOf(sweep),
 		DirtyScan:      quantilesOf(dirtyScan),
@@ -183,6 +193,14 @@ func runParallelBench(out io.Writer, path string, gcs int) error {
 	}
 	fmt.Fprintf(out, "parallel collection baseline: %d collections per worker count, GOMAXPROCS=%d\n",
 		gcs, rep.GoMaxProcs)
+	if rep.GoMaxProcs == 1 {
+		// Not a refusal — CI runs this sweep unconditionally on whatever
+		// host it gets — but the multi-worker rows must not be mistaken
+		// for a parallelism baseline, so say so loudly and tag the rows.
+		fmt.Fprintln(os.Stderr, "benchgc: WARNING: GOMAXPROCS=1 — collector workers will serialize;")
+		fmt.Fprintln(os.Stderr, "benchgc: WARNING: multi-worker rows measure coordination overhead only")
+		fmt.Fprintln(os.Stderr, "benchgc: WARNING: and are tagged \"degenerate_baseline\" in the JSON report")
+	}
 	fmt.Fprintf(out, "%8s  %12s  %12s  %12s  %12s\n", "workers", "pause p50", "pause p90", "sweep p50", "guard p50")
 	// The sweep covers the fixed counts plus the adaptive policy
 	// (workers=0), whose row reports the count it actually chose for
@@ -197,9 +215,13 @@ func runParallelBench(out io.Writer, path string, gcs int) error {
 		if w == 0 {
 			label = fmt.Sprintf("auto(%d)", res.WorkersChosen)
 		}
-		fmt.Fprintf(out, "%8s  %10.3fms  %10.3fms  %10.3fms  %10.3fms\n", label,
+		mark := ""
+		if res.Degenerate {
+			mark = "  (degenerate: workers > GOMAXPROCS)"
+		}
+		fmt.Fprintf(out, "%8s  %10.3fms  %10.3fms  %10.3fms  %10.3fms%s\n", label,
 			float64(res.Pause.P50)/1e6, float64(res.Pause.P90)/1e6,
-			float64(res.Sweep.P50)/1e6, float64(res.Guardian.P50)/1e6)
+			float64(res.Sweep.P50)/1e6, float64(res.Guardian.P50)/1e6, mark)
 	}
 	f, err := os.Create(path)
 	if err != nil {

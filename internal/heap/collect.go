@@ -26,8 +26,24 @@ import (
 // timings, worker figures, guardian-round breakdown, and the
 // per-collection counter deltas. The report is heap-owned and reused
 // by the next collection (see CollectionReport).
+//
+// While Mutator handles are registered, Collect runs the safepoint
+// handshake first (suspending every registered mutator) and may be
+// called from any non-mutator goroutine; registered mutators must use
+// Mutator.Collect instead. The handshake path is taken unconditionally
+// — with no mutators registered it reduces to a couple of uncontended
+// mutex operations — so a mutator registering concurrently with a
+// collection can never slip past a stale "no mutators" check.
 func (h *Heap) Collect(g int) *CollectionReport {
-	h.check(!h.inCollect, "Collect called during a collection")
+	return h.collectAs(nil, g, false)
+}
+
+// collectSTW is the stop-the-world collection body shared by the
+// legacy path (Collect, with the single mutator stopped by virtue of
+// calling it) and the concurrent-mutator path (collectAs, after the
+// safepoint handshake has suspended every registered mutator).
+func (h *Heap) collectSTW(g int) *CollectionReport {
+	h.check(!h.inCollect.Load(), "Collect called during a collection")
 	if g < 0 {
 		g = 0
 	}
@@ -35,8 +51,8 @@ func (h *Heap) Collect(g int) *CollectionReport {
 		g = h.MaxGeneration()
 	}
 	start := time.Now()
-	h.inCollect = true
-	defer func() { h.inCollect = false }()
+	h.inCollect.Store(true)
+	defer func() { h.inCollect.Store(false) }()
 
 	h.stamp++
 	h.gcGen = g
@@ -79,6 +95,8 @@ func (h *Heap) Collect(g int) *CollectionReport {
 	rep.GuardianRoundDurations = rep.GuardianRoundDurations[:0]
 	rep.ShardDirty = [RemShards]uint64{} // repopulated by the dirty scan
 	rep.ProtectedByGen = rep.ProtectedByGen[:0]
+	rep.MutatorsSuspended = h.spSuspended
+	rep.SafepointWait = time.Duration(h.spWaitNS)
 
 	// Detach from-space: the segment chains of every collected
 	// generation. When the oldest generation collects into itself, its
@@ -116,13 +134,23 @@ func (h *Heap) Collect(g int) *CollectionReport {
 		// any worker affinity caches left over from parallel mode.
 		h.releaseSegCaches()
 		// Roots: explicit root slots, then registered providers.
-		for i, live := range h.rootsLive {
-			if live {
-				h.roots[i] = h.forward(h.roots[i])
+		for _, c := range *h.rootChunks.Load() {
+			for o := range c.vals {
+				if c.live[o] {
+					c.vals[o] = h.forward(c.vals[o])
+				}
 			}
 		}
 		for _, p := range h.providers {
 			p.v.VisitRoots(h.rootVisit)
+		}
+		// Registered mutators' pin slots (Mutator.tmp): constructor
+		// arguments held across the allocation slow path. The world is
+		// stopped, so muts is stable and the owners are not looking.
+		for _, m := range h.muts {
+			for i := range m.tmp {
+				m.tmp[i] = h.forward(m.tmp[i])
+			}
 		}
 		t = h.phaseMark(PhaseRoots, t)
 
@@ -206,7 +234,7 @@ func (h *Heap) Collect(g int) *CollectionReport {
 	h.phaseMark(PhaseFree, t)
 
 	h.gen0Words = 0
-	h.needCollect = false
+	h.needCollect.Store(false)
 	rep.Pause = time.Since(start)
 	rep.SegmentsFreed = st.SegmentsFreed - snap.SegmentsFreed
 	st.TotalPause += rep.Pause
@@ -441,7 +469,7 @@ func (h *Heap) AddPostCollectHook(fn func(*Heap, *CollectionReport)) {
 // returns its current location. Values in uncollected generations
 // trivially survive.
 func (h *Heap) Survived(v obj.Value) (obj.Value, bool) {
-	h.check(h.inCollect, "Survived called outside a post-collect hook")
+	h.check(h.inCollect.Load(), "Survived called outside a post-collect hook")
 	if !v.IsPointer() {
 		return v, true
 	}
@@ -472,6 +500,13 @@ func (h *Heap) InstallGuardian(v, tconc obj.Value) {
 // rep == v this is the plain interface.
 func (h *Heap) InstallGuardianRep(v, rep, tconc obj.Value) {
 	h.check(tconc.IsPair(), "install-guardian: tconc must be a pair: %v", tconc)
+	if !h.inCollect.Load() && h.mutCount.Load() != 0 {
+		// Concurrent mutators may register guardians concurrently; the
+		// protected list rides the allocation mutex (registration is
+		// nowhere near the allocation fast path).
+		h.allocMu.Lock()
+		defer h.allocMu.Unlock()
+	}
 	h.protected[0] = append(h.protected[0], ProtEntry{Obj: v, Rep: rep, Tconc: tconc})
 	h.Stats.GuardianRegistrations++
 }

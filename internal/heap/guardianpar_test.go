@@ -294,12 +294,8 @@ func TestCollectionReportPopulated(t *testing.T) {
 	if clone.Seq != 1 || clone.GuardianSalvaged != 1 {
 		t.Fatalf("clone mutated by the next collection: %+v", clone)
 	}
-	// Deprecated shims agree with the report.
-	if h.LastPause() != rep2.Pause || h.LastWorkersChosen() != rep2.WorkersChosen {
-		t.Fatal("deprecated Last* shims disagree with LastReport")
-	}
-	if h.LastPhases() != rep2.Phases {
-		t.Fatal("LastPhases shim disagrees with report")
+	if h.LastReport() != rep2 {
+		t.Fatal("LastReport does not return the heap-owned record")
 	}
 }
 

@@ -17,6 +17,8 @@ package heap
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/obj"
 	"repro/internal/seg"
@@ -46,8 +48,10 @@ type Config struct {
 	// generation-friendly weak handling.
 	WeakScanAll bool
 	// MaxSegments bounds the heap: allocations that would bring the
-	// number of in-use segments above the limit panic with an
-	// out-of-memory error. 0 means unbounded.
+	// number of committed segments — in use, plus reserved in worker
+	// or mutator affinity caches (seg.Table.CommittedCount) — above
+	// the limit panic with an out-of-memory error, after draining any
+	// idle worker reservations. 0 means unbounded.
 	MaxSegments int
 	// GuardianSinglePass makes the guardian phase run its
 	// salvage/migrate pass at most once instead of iterating to
@@ -163,8 +167,21 @@ type dirtyCell struct {
 }
 
 // Heap is a simulated Scheme heap with a generation-based collector.
-// It is not safe for concurrent use; the paper's collector likewise
-// stops the mutator.
+//
+// Concurrency. A heap runs in one of two modes. In the default legacy
+// mode there is exactly one mutator goroutine and nothing is
+// synchronized, matching the paper's collector, which stops the (only)
+// mutator. Registering a Mutator handle (RegisterMutator) switches the
+// heap to concurrent-mutator mode: any number of registered mutators
+// may allocate and write concurrently — allocation goes through
+// per-mutator TLABs, the write barrier's remembered set takes per-shard
+// locks, and collections stop the world through the safepoint handshake
+// (see mutator.go and safepoint.go). The two modes are exclusive:
+// while any Mutator is registered, direct Heap allocation panics.
+// Structures the heap itself maintains (segment table, chains,
+// remembered set, Stats) are safe in mutator mode; racing accesses to
+// the same heap *cell* are the program's to synchronize, exactly like
+// racing accesses to a Go variable.
 type Heap struct {
 	tab *seg.Table
 	cfg Config
@@ -173,13 +190,17 @@ type Heap struct {
 	cur    [seg.NumSpaces][]cursor
 	chains [seg.NumSpaces][][]int
 
-	roots     []obj.Value
-	rootsLive []bool
-	rootsFree []int
-	rootVisit func(*obj.Value)          // persistent visitor: keeps Collect allocation-free
-	fwdFn     func(obj.Value) obj.Value // persistent forwarder, same purpose
-	providers []*providerEntry
-	protected [][]ProtEntry
+	// Root slots live in fixed-size chunks whose addresses never
+	// change; the chunk directory is copy-on-write published through an
+	// atomic pointer so Root.Get/Set stay lock-free while NewRoot grows
+	// the registry from another goroutine (roots.go).
+	rootChunks atomic.Pointer[[]*rootChunk]
+	rootsLen   int
+	rootsFree  []int
+	rootVisit  func(*obj.Value)          // persistent visitor: keeps Collect allocation-free
+	fwdFn      func(obj.Value) obj.Value // persistent forwarder, same purpose
+	providers  []*providerEntry
+	protected  [][]ProtEntry
 	// rem is the sharded remembered set (remset.go). dirtyMap, normally
 	// nil, is the retired map-based representation kept as a sequential
 	// test oracle: when non-nil it replaces rem entirely (see
@@ -190,7 +211,7 @@ type Heap struct {
 	postCollect []func(*Heap, *CollectionReport)
 
 	stamp      uint64
-	inCollect  bool
+	inCollect  atomic.Bool
 	gcGen      int
 	gcTarget   int
 	gcWorkers  int // worker count chosen for the current collection
@@ -207,10 +228,37 @@ type Heap struct {
 	guardFinal     []ProtEntry
 	fromScratch    []int // reusable from-space segment list (Collect)
 	gen0Words      int
-	needCollect    bool
+	needCollect    atomic.Bool
 	autoCount      uint64
 	allocForbidden bool
 	inHandler      bool
+
+	// Concurrent-mutator state (mutator.go, safepoint.go). allocMu
+	// serializes every segment-table mutation and chain append outside
+	// a stop-the-world window: mutator TLAB refills and large
+	// allocations, root/guardian registration in mutator mode, and the
+	// parallel collector's to-space segment claims. The handshake
+	// fields live under spMu; spStop mirrors stopReq for the lock-free
+	// safepoint poll.
+	allocMu    sync.Mutex
+	spMu       sync.Mutex
+	spCond     *sync.Cond
+	spStop     atomic.Bool
+	collecting bool // a collectAs round is active (election .. resume)
+	stopReq    bool // mutators must park at their next safepoint
+	spParked   int  // mutators currently parked in parkLocked
+	spIdle     int  // mutators in the idle state (standing safepoint)
+	// muts is written under spMu AND allocMu together, so holding
+	// either lock is enough to read it — OOM reclaim walks it under
+	// allocMu alone (reclaimReservedLocked), the handshake under spMu
+	// alone.
+	muts     []*Mutator // registered mutators
+	mutCount atomic.Int32
+	// spWaitNS / spSuspended carry the handshake figures of the
+	// current collection into collectSTW's report (zero in legacy
+	// mode).
+	spWaitNS    int64
+	spSuspended int
 
 	// Parallel collection state (see parallel.go), built lazily the
 	// first time a collection runs with cfg.Workers > 1 and reused
@@ -251,6 +299,8 @@ func New(cfg Config) (*Heap, error) {
 		cfg:   cfg,
 		stamp: 1,
 	}
+	h.spCond = sync.NewCond(&h.spMu)
+	h.rootChunks.Store(&[]*rootChunk{})
 	h.rootVisit = func(pv *obj.Value) { *pv = h.forward(*pv) }
 	h.fwdFn = h.forward
 	for sp := 0; sp < int(seg.NumSpaces); sp++ {
@@ -301,7 +351,7 @@ func (h *Heap) Workers() int { return h.cfg.Workers }
 // forwarding phases are scheduled). n <= 0 selects the adaptive
 // policy; values above MaxWorkers are clamped.
 func (h *Heap) SetWorkers(n int) {
-	h.check(!h.inCollect, "SetWorkers called during a collection")
+	h.check(!h.inCollect.Load(), "SetWorkers called during a collection")
 	n = clampWorkers(n)
 	// The map-based remembered-set oracle has no shards to hand out to
 	// workers and is not safe for concurrent mutation; it exists only
@@ -326,7 +376,10 @@ func clampWorkers(n int) int {
 const maxObjectWords = 128 * 1024
 
 // allocWords carves n words out of the given space and generation and
-// returns the address of the first.
+// returns the address of the first. It is the legacy-mode (and
+// collector-time) allocation path: while Mutator handles are
+// registered, mutator allocation must go through their TLABs instead,
+// and calling this outside a collection panics.
 func (h *Heap) allocWords(space seg.Space, gen, n int) uint64 {
 	if n <= 0 || n > maxObjectWords {
 		panic(fmt.Sprintf("heap: bad allocation size %d", n))
@@ -334,16 +387,32 @@ func (h *Heap) allocWords(space seg.Space, gen, n int) uint64 {
 	if h.allocForbidden {
 		panic("heap: allocation while allocation is forbidden (finalizer running inside GC)")
 	}
-	if !h.inCollect {
+	if !h.inCollect.Load() {
+		if h.mutCount.Load() != 0 {
+			panic("heap: direct Heap allocation while mutators are registered (allocate through a Mutator handle)")
+		}
 		h.gen0Words += n
 		if h.gen0Words >= h.cfg.TriggerWords {
-			h.needCollect = true
+			h.needCollect.Store(true)
 		}
 	}
 	h.Stats.WordsAllocated += uint64(n)
-	if h.cfg.MaxSegments > 0 && h.tab.InUseCount()+(n+seg.Words-1)/seg.Words > h.cfg.MaxSegments {
-		panic(fmt.Sprintf("heap: out of memory: %d-segment limit reached (%d words requested)",
-			h.cfg.MaxSegments, n))
+	// Reserved segments (worker affinity caches, mutator TLAB caches)
+	// count toward the bound: they are committed at Reserve time, so
+	// the OOM check here must see them or a bounded heap could hand
+	// out MaxSegments live segments on top of a full cache. Idle worker
+	// reservations are reclaimable, though — drain them before
+	// declaring OOM, so the accounting stays exact: a bounded heap can
+	// always reach MaxSegments live segments.
+	if h.cfg.MaxSegments > 0 {
+		need := (n + seg.Words - 1) / seg.Words
+		if h.tab.CommittedCount()+need > h.cfg.MaxSegments {
+			h.releaseSegCaches()
+		}
+		if h.tab.CommittedCount()+need > h.cfg.MaxSegments {
+			panic(fmt.Sprintf("heap: out of memory: %d-segment limit reached (%d words requested)",
+				h.cfg.MaxSegments, n))
+		}
 	}
 	if n > seg.Words {
 		// Large object: a run of fresh contiguous segments.
@@ -391,6 +460,10 @@ func (h *Heap) valueAt(addr uint64) obj.Value { return obj.Value(h.tab.Word(addr
 // them before touching the set. isWeakCar marks the cell as a weak
 // car, whose referent must be handled by the weak-pair pass rather
 // than traced.
+// In mutator mode the barrier runs concurrently on many goroutines:
+// the remembered-set insert takes its shard's lock and the BarrierHits
+// counter is updated atomically, so the barrier itself never races —
+// racing stores to the same cell remain the program's responsibility.
 func (h *Heap) writeCell(addr uint64, v obj.Value, isWeakCar bool) {
 	h.tab.SetWord(addr, uint64(v))
 	if !h.cfg.UseDirtySet || !v.IsPointer() {
@@ -399,7 +472,7 @@ func (h *Heap) writeCell(addr uint64, v obj.Value, isWeakCar bool) {
 	s := h.tab.SegOf(addr)
 	if s.Gen > 0 {
 		h.dirtyInsert(addr, isWeakCar)
-		h.Stats.BarrierHits++
+		atomic.AddUint64(&h.Stats.BarrierHits, 1)
 	}
 }
 
@@ -450,14 +523,24 @@ func (h *Heap) dirtyLookup(addr uint64) (weak, ok bool) {
 
 // CollectPending reports whether the generation-0 allocation trigger
 // has fired since the last collection.
-func (h *Heap) CollectPending() bool { return h.needCollect }
+func (h *Heap) CollectPending() bool { return h.needCollect.Load() }
+
+// Safepoint is the cheap poll for loop back-edges (the Scheme VM calls
+// it on every evaluator back-jump): it reports whether the heap wants
+// attention — a stop-the-world handshake is in progress, or the
+// generation-0 trigger has fired. Legacy single-mutator callers follow
+// a true result with Checkpoint; registered mutators use
+// Mutator.Safepoint / Mutator.Checkpoint instead, which also park for
+// handshakes.
+func (h *Heap) Safepoint() bool { return h.spStop.Load() || h.needCollect.Load() }
 
 // SetCollectRequestHandler installs fn to be run at the next
 // Checkpoint after a collect request, mirroring Chez Scheme's
 // collect-request-handler. The handler is expected to call Collect (or
 // CollectAuto) and may then perform arbitrary work — closing dropped
 // ports, for example. Passing nil restores the default handler, which
-// calls CollectAuto.
+// calls CollectAuto. The handler is a legacy single-mutator facility:
+// Mutator.Checkpoint calls CollectAuto directly and does not run it.
 func (h *Heap) SetCollectRequestHandler(fn func(*Heap)) { h.handler = fn }
 
 // Checkpoint runs the collect-request handler if a collect request is
@@ -465,12 +548,13 @@ func (h *Heap) SetCollectRequestHandler(fn func(*Heap)) { h.handler = fn }
 // roots before calling. Checkpoint is not reentrant: a request raised
 // by the handler's own allocations is deferred until the handler has
 // returned, so an allocating handler (guardians exist precisely to
-// allow allocation in clean-up code) cannot recurse.
+// allow allocation in clean-up code) cannot recurse. In mutator mode,
+// use Mutator.Checkpoint from mutator goroutines instead.
 func (h *Heap) Checkpoint() {
-	if !h.needCollect || h.inCollect || h.inHandler {
+	if !h.needCollect.Load() || h.inCollect.Load() || h.inHandler {
 		return
 	}
-	h.needCollect = false
+	h.needCollect.Store(false)
 	if h.handler != nil {
 		h.inHandler = true
 		defer func() { h.inHandler = false }()
@@ -480,18 +564,28 @@ func (h *Heap) Checkpoint() {
 	h.CollectAuto()
 }
 
-// CollectAuto collects the generation chosen by the radix policy:
-// generation g is collected on every Radix^g'th automatic collection,
-// so older generations are collected less frequently (§4). Like
-// Collect, it returns the collection's report.
-func (h *Heap) CollectAuto() *CollectionReport {
+// autoGen advances the radix policy and returns the generation the
+// next automatic collection should collect: generation g is collected
+// on every Radix^g'th automatic collection, so older generations are
+// collected less frequently (§4). Callers must be serialized (legacy
+// mode, or the coordinator of a stopped world).
+func (h *Heap) autoGen() int {
 	h.autoCount++
 	g, n := 0, h.autoCount
 	for g < h.MaxGeneration() && n%uint64(h.cfg.Radix) == 0 {
 		g++
 		n /= uint64(h.cfg.Radix)
 	}
-	return h.Collect(g)
+	return g
+}
+
+// CollectAuto collects the generation chosen by the radix policy.
+// Like Collect, it returns the collection's report, and like Collect
+// it runs the safepoint handshake when mutators are registered (the
+// radix policy then advances under the stopped world, so concurrent
+// automatic requests never race on the counter).
+func (h *Heap) CollectAuto() *CollectionReport {
+	return h.collectAs(nil, 0, true)
 }
 
 // Generation returns the generation a value currently resides in, or

@@ -85,7 +85,7 @@ func (ir *imageReader) str() string {
 
 // SaveImage writes the heap to w. The heap must not be mid-collection.
 func (h *Heap) SaveImage(w io.Writer) error {
-	h.check(!h.inCollect, "SaveImage during collection")
+	h.check(!h.inCollect.Load(), "SaveImage during collection")
 	iw := &imageWriter{w: bufio.NewWriter(w)}
 	iw.str(imageMagic)
 
@@ -124,10 +124,11 @@ func (h *Heap) SaveImage(w io.Writer) error {
 	}
 
 	// Root slots.
-	iw.u64(uint64(len(h.roots)))
-	for i := range h.roots {
-		iw.u8(b2u(h.rootsLive[i]))
-		iw.u64(uint64(h.roots[i]))
+	iw.u64(uint64(h.rootsLen))
+	for i := 0; i < h.rootsLen; i++ {
+		c, o := h.rootSlot(i)
+		iw.u8(b2u(c.live[o]))
+		iw.u64(uint64(c.vals[o]))
 	}
 
 	// Protected lists.
@@ -258,8 +259,13 @@ func LoadImage(r io.Reader) (*Heap, []*Root, error) {
 	for i := 0; i < nRoots; i++ {
 		live := ir.u8() != 0
 		v := obj.Value(ir.u64())
-		h.roots = append(h.roots, v)
-		h.rootsLive = append(h.rootsLive, live)
+		if i == len(*h.rootChunks.Load())*rootChunkSlots {
+			h.growRootsLocked()
+		}
+		h.rootsLen++
+		c, o := h.rootSlot(i)
+		c.vals[o] = v
+		c.live[o] = live
 		if live {
 			handles[i] = &Root{h: h, idx: i}
 		} else {

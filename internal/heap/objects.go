@@ -34,11 +34,18 @@ func (h *Heap) badPair(op string, v obj.Value) {
 
 // --- Pairs -----------------------------------------------------------
 
+// initPair writes the two cells of a freshly allocated pair. New
+// objects need no write barrier (nothing in an older generation can
+// point at them yet). Shared by the Heap and Mutator constructors.
+func (h *Heap) initPair(addr uint64, car, cdr obj.Value) {
+	h.setWord(addr, uint64(car))
+	h.setWord(addr+1, uint64(cdr))
+}
+
 // Cons allocates an ordinary pair in generation 0.
 func (h *Heap) Cons(car, cdr obj.Value) obj.Value {
 	addr := h.allocWords(seg.SpacePair, 0, 2)
-	h.setWord(addr, uint64(car))
-	h.setWord(addr+1, uint64(cdr))
+	h.initPair(addr, car, cdr)
 	return obj.PairAt(addr)
 }
 
@@ -47,8 +54,7 @@ func (h *Heap) Cons(car, cdr obj.Value) obj.Value {
 // (and is not saved by a guardian). The cdr is an ordinary pointer.
 func (h *Heap) WeakCons(car, cdr obj.Value) obj.Value {
 	addr := h.allocWords(seg.SpaceWeak, 0, 2)
-	h.setWord(addr, uint64(car))
-	h.setWord(addr+1, uint64(cdr))
+	h.initPair(addr, car, cdr)
 	return obj.PairAt(addr)
 }
 
@@ -200,14 +206,22 @@ func (h *Heap) VectorSet(v obj.Value, i int, x obj.Value) {
 
 // --- Strings and bytevectors -------------------------------------------
 
-func (h *Heap) makeBytes(kind obj.Kind, b []byte) obj.Value {
-	words := (len(b) + 7) / 8
-	addr := h.allocObj(kind, len(b), words, 0)
+// fillBytes packs b into the payload words following the header at
+// addr, little-endian within each word. The payload must be
+// zero-initialized (fresh allocation). Shared by the Heap and Mutator
+// byte-object constructors.
+func (h *Heap) fillBytes(addr uint64, b []byte) {
 	for i, c := range b {
 		w := addr + 1 + uint64(i/8)
 		sh := uint(i%8) * 8
 		h.setWord(w, h.word(w)|uint64(c)<<sh)
 	}
+}
+
+func (h *Heap) makeBytes(kind obj.Kind, b []byte) obj.Value {
+	words := (len(b) + 7) / 8
+	addr := h.allocObj(kind, len(b), words, 0)
+	h.fillBytes(addr, b)
 	return obj.ObjAt(addr)
 }
 

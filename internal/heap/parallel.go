@@ -27,8 +27,9 @@ import (
 //   - Each worker owns a private to-space allocation buffer: one open
 //     segment per space, bump-allocated without locks. Fresh segments
 //     come from the worker's own reserved-segment cache (segment
-//     affinity), refilled from the table in batches under
-//     parGC.allocMu; large-object runs always go through the mutex.
+//     affinity), refilled from the table in batches under the heap's
+//     allocation mutex (Heap.allocMu, shared with the mutator TLAB
+//     refill path); large-object runs always go through the mutex.
 //     Segment structs are stable pointers (package seg's chunked
 //     table), so one worker growing the table never invalidates
 //     another worker's reads.
@@ -49,7 +50,6 @@ import (
 //     after the item and all pushes it performed are done, so
 //     pending == 0 proves the sweep has reached its fixpoint.
 type parGC struct {
-	allocMu sync.Mutex   // serializes seg.Table mutation + large-run chain appends
 	workers []*parWorker // all workers ever created, id order
 	active  []*parWorker // workers participating in this collection
 	pending atomic.Int64 // sweep items pushed but not yet processed
@@ -122,13 +122,19 @@ type parWorker struct {
 	// worker (seg.Table.Reserve): taking a fresh to-space segment pops
 	// the cache without locking, and the cache survives across
 	// collections — the segment-affinity design that keeps
-	// steady-state collections off allocMu. Only used on unbounded
-	// heaps; MaxSegments configurations keep the exact per-segment
-	// OOM accounting. newSegs buffers the segments this worker claimed
-	// during the current collection, merged into the target
-	// generation's chains after the join.
-	segCache []int
-	newSegs  [seg.NumSpaces][]int
+	// steady-state collections off allocMu. Bounded heaps get the same
+	// fast path: reserved segments are committed against MaxSegments
+	// at Reserve time (seg.Table.CommittedCount), so refills clamp to
+	// the remaining headroom instead of gating the cache off — and
+	// because an idle reservation in one worker's cache must never
+	// starve another worker into a spurious OOM, the cache is
+	// *stealable*: a drainer holding allocMu pops it with the same CAS
+	// protocol the owner uses (see segCache doc). newSegs buffers the
+	// segments this worker claimed during the current collection,
+	// merged into the target generation's chains after the join.
+	segCache   segCache
+	segScratch []int // Reserve() staging, cap segCacheBatch (0-alloc refills)
+	newSegs    [seg.NumSpaces][]int
 
 	newWeak  []uint64 // weak pairs this worker copied
 	pendWeak []uint64 // weak cars this worker deferred (dirty/old scan)
@@ -162,6 +168,53 @@ const MaxWorkers = 16
 // segCacheBatch is how many segments a worker reserves from the table
 // per allocMu acquisition when its affinity cache runs dry.
 const segCacheBatch = 8
+
+// segCache is a worker's stack of reserved segment indices. The owning
+// worker pops it lock-free during the parallel phases; anyone holding
+// allocMu may concurrently takeAll it, and the CAS on n arbitrates who
+// gets each slot. That stealability is what keeps bounded-heap OOM
+// accounting exact: a worker (or mutator) that finds no headroom under
+// allocMu reclaims the idle reservations parked in peer caches instead
+// of panicking while memory is still free.
+//
+// n is the only shared word: slots[0..n-1] are valid. Slots are
+// written only by the owner's refill, under allocMu with n == 0 —
+// nothing can be reading slots a refill overwrites, because readers
+// only touch indices below n and drains serialize with refills on
+// allocMu.
+type segCache struct {
+	n     atomic.Int32
+	slots [segCacheBatch]int
+}
+
+// pop claims the top entry, or reports the cache empty. Owner-only.
+func (c *segCache) pop() (int, bool) {
+	for {
+		n := c.n.Load()
+		if n == 0 {
+			return 0, false
+		}
+		if c.n.CompareAndSwap(n, n-1) {
+			return c.slots[n-1], true
+		}
+	}
+}
+
+// takeAll claims every entry at once and returns the claimed prefix of
+// slots (aliasing the cache's array — no allocation). The caller must
+// hold allocMu, or otherwise know the owner is quiescent, so that no
+// refill overwrites the slots while the caller processes them.
+func (c *segCache) takeAll() []int {
+	for {
+		n := c.n.Load()
+		if n == 0 {
+			return nil
+		}
+		if c.n.CompareAndSwap(n, 0) {
+			return c.slots[:n]
+		}
+	}
+}
 
 // autoSegsPerWorker calibrates the adaptive worker policy: one worker
 // per this many live from-space segments, so a collection needs at
@@ -225,6 +278,7 @@ func (h *Heap) ensurePar(workers int) *parGC {
 		pw.visit = func(pv *obj.Value) { *pv = pw.forward(*pv) }
 		pw.fwd = pw.forward
 		pw.body = pw.runPhase
+		pw.segScratch = make([]int, 0, segCacheBatch)
 		pw.dq.init()
 		p.workers = append(p.workers, pw)
 	}
@@ -247,10 +301,9 @@ func (h *Heap) ensurePar(workers int) *parGC {
 	}
 	p.inGuardian = false
 	for _, pw := range p.workers[workers:] {
-		for _, idx := range pw.segCache {
+		for _, idx := range pw.segCache.takeAll() {
 			h.tab.Unreserve(idx)
 		}
-		pw.segCache = pw.segCache[:0]
 	}
 	return p
 }
@@ -264,10 +317,41 @@ func (h *Heap) releaseSegCaches() {
 		return
 	}
 	for _, pw := range h.par.workers {
-		for _, idx := range pw.segCache {
+		for _, idx := range pw.segCache.takeAll() {
 			h.tab.Unreserve(idx)
 		}
-		pw.segCache = pw.segCache[:0]
+	}
+}
+
+// reclaimReservedLocked returns every idle reservation in the heap —
+// each collector worker's affinity cache and each registered mutator's
+// TLAB cache — to the table. OOM paths call this when the committed
+// count reaches MaxSegments: reservations held in a peer's cache are
+// committed but unused, and without reclaiming them a worker could
+// panic out-of-memory while another worker sits on a batch of free
+// segments it will never touch again this collection.
+//
+// Caller must hold allocMu. That makes every drain safe: mutator
+// caches are only ever mutated under allocMu (allocSlow, refill,
+// Unregister — and mid-collection their owners are parked anyway),
+// worker caches are stolen through the segCache CAS protocol, and
+// h.muts itself is written only with both spMu and allocMu held. The
+// caller's own cache is drained too, which is harmless: it is either
+// already empty (that is why it is refilling) or about to be
+// deliberately given up (allocRun).
+func (h *Heap) reclaimReservedLocked() {
+	if h.par != nil {
+		for _, pw := range h.par.workers {
+			for _, idx := range pw.segCache.takeAll() {
+				h.tab.Unreserve(idx)
+			}
+		}
+	}
+	for _, m := range h.muts {
+		for _, idx := range m.cache {
+			h.tab.Unreserve(idx)
+		}
+		m.cache = m.cache[:0]
 	}
 }
 
@@ -395,17 +479,30 @@ func (h *Heap) mergeWorkers(p *parGC) {
 }
 
 // rootsPhase forwards this worker's share of the explicit root slots
-// and root providers. Slots are strided by worker id; each provider is
-// visited by exactly one worker (providers own disjoint root storage).
+// and root providers. Root chunks are strided by worker id; each
+// provider is visited by exactly one worker (providers own disjoint
+// root storage).
 func (pw *parWorker) rootsPhase() {
 	h, w := pw.h, len(pw.h.par.active)
-	for i := pw.id; i < len(h.roots); i += w {
-		if h.rootsLive[i] {
-			h.roots[i] = pw.forward(h.roots[i])
+	dir := *h.rootChunks.Load()
+	for ci := pw.id; ci < len(dir); ci += w {
+		c := dir[ci]
+		for o := range c.vals {
+			if c.live[o] {
+				c.vals[o] = pw.forward(c.vals[o])
+			}
 		}
 	}
 	for j := pw.id; j < len(h.providers); j += w {
 		h.providers[j].v.VisitRoots(pw.visit)
+	}
+	// Registered mutators' pin slots (Mutator.tmp), strided like the
+	// explicit slots; the world is stopped, so muts is stable.
+	for j := pw.id; j < len(h.muts); j += w {
+		m := h.muts[j]
+		for i := range m.tmp {
+			m.tmp[i] = pw.forward(m.tmp[i])
+		}
 	}
 }
 
@@ -603,53 +700,61 @@ func (pw *parWorker) unalloc(space seg.Space, n int) {
 	pw.stats.wordsAllocated -= uint64(n)
 }
 
-// newSeg takes a fresh segment in the target generation. On unbounded
-// heaps it pops the worker's reserved-segment cache, refilled from the
-// table in segCacheBatch-sized gulps under allocMu — the segment-
-// affinity fast path: a steady-state collection whose survivors fit
-// the cached segments touches the mutex once per batch instead of once
-// per segment, and activating a cached segment (seg.InitReserved)
-// mutates only worker-owned state. Bounded heaps (MaxSegments > 0)
-// keep the exact per-segment OOM accounting and allocate under the
-// mutex. Either way the claimed segment is recorded in newSegs; the
-// coordinator links it into the target generation's chain after the
-// join (nothing reads those chains during the parallel phases).
+// newSeg takes a fresh segment in the target generation: it pops the
+// worker's reserved-segment cache, refilled from the table in
+// segCacheBatch-sized gulps under allocMu — the segment-affinity fast
+// path: a steady-state collection whose survivors fit the cached
+// segments touches the mutex once per batch instead of once per
+// segment, and activating a cached segment (seg.InitReserved) mutates
+// only worker-owned state. The claimed segment is recorded in newSegs;
+// the coordinator links it into the target generation's chain after
+// the join (nothing reads those chains during the parallel phases).
 func (pw *parWorker) newSeg(space seg.Space) int {
 	h := pw.h
-	var idx int
-	if h.cfg.MaxSegments > 0 {
-		idx = pw.newSegLocked(space)
-	} else {
-		if len(pw.segCache) == 0 {
-			pw.refillSegCache()
-		}
-		idx = pw.segCache[len(pw.segCache)-1]
-		pw.segCache = pw.segCache[:len(pw.segCache)-1]
-		h.tab.InitReserved(idx, space, h.gcTarget, h.stamp)
+	// Loop: a peer hitting its OOM path can steal a fresh refill out
+	// from under us (takeAll between our refill and our pop).
+	idx, ok := pw.segCache.pop()
+	for !ok {
+		pw.refillSegCache()
+		idx, ok = pw.segCache.pop()
 	}
+	h.tab.InitReserved(idx, space, h.gcTarget, h.stamp)
 	pw.newSegs[space] = append(pw.newSegs[space], idx)
 	return idx
 }
 
-// newSegLocked is the bounded-heap slow path: allocate one segment
-// under the mutex with the OOM check.
-func (pw *parWorker) newSegLocked(space seg.Space) int {
-	h := pw.h
-	h.par.allocMu.Lock()
-	defer h.par.allocMu.Unlock()
-	if h.tab.InUseCount()+1 > h.cfg.MaxSegments {
-		panic(fmt.Sprintf("heap: out of memory: %d-segment limit reached (parallel copy)",
-			h.cfg.MaxSegments))
-	}
-	return h.tab.Alloc(space, h.gcTarget, h.stamp)
-}
-
-// refillSegCache reserves a batch of segments for this worker.
+// refillSegCache reserves a batch of segments for this worker. On
+// bounded heaps reserved segments are committed against MaxSegments
+// (seg.Table.CommittedCount counts them like live ones), so the batch
+// clamps to the remaining headroom; when the headroom is gone the idle
+// reservations sitting in peer caches are reclaimed first, and only a
+// heap that is full with every cache empty is genuinely out of memory
+// — OOM accounting stays exact with the affinity cache enabled.
 func (pw *parWorker) refillSegCache() {
 	h := pw.h
-	h.par.allocMu.Lock()
-	pw.segCache = h.tab.Reserve(pw.segCache, segCacheBatch)
-	h.par.allocMu.Unlock()
+	h.allocMu.Lock()
+	defer h.allocMu.Unlock()
+	k := segCacheBatch
+	if h.cfg.MaxSegments > 0 {
+		head := h.cfg.MaxSegments - h.tab.CommittedCount()
+		if head <= 0 {
+			h.reclaimReservedLocked()
+			head = h.cfg.MaxSegments - h.tab.CommittedCount()
+		}
+		if head < k {
+			k = head
+		}
+		if k <= 0 {
+			panic(fmt.Sprintf("heap: out of memory: %d-segment limit reached (parallel copy)",
+				h.cfg.MaxSegments))
+		}
+	}
+	// Stage through segScratch: the cache's own slots may not be
+	// appended to (n is the published length), and reusing one
+	// persistent slice keeps steady-state refills allocation-free.
+	pw.segScratch = h.tab.Reserve(pw.segScratch[:0], k)
+	n := copy(pw.segCache.slots[:], pw.segScratch)
+	pw.segCache.n.Store(int32(n))
 }
 
 // allocRun allocates a large-object run of contiguous segments. Unlike
@@ -659,14 +764,17 @@ func (pw *parWorker) refillSegCache() {
 func (pw *parWorker) allocRun(space seg.Space, total int) (addr uint64, first, k int) {
 	h := pw.h
 	k = (total + seg.Words - 1) / seg.Words
-	h.par.allocMu.Lock()
-	if h.cfg.MaxSegments > 0 && h.tab.InUseCount()+k > h.cfg.MaxSegments {
-		h.par.allocMu.Unlock()
-		panic(fmt.Sprintf("heap: out of memory: %d-segment limit reached (%d words requested)",
-			h.cfg.MaxSegments, total))
+	h.allocMu.Lock()
+	if h.cfg.MaxSegments > 0 && h.tab.CommittedCount()+k > h.cfg.MaxSegments {
+		h.reclaimReservedLocked() // idle peer reservations count as committed
+		if h.tab.CommittedCount()+k > h.cfg.MaxSegments {
+			h.allocMu.Unlock()
+			panic(fmt.Sprintf("heap: out of memory: %d-segment limit reached (%d words requested)",
+				h.cfg.MaxSegments, total))
+		}
 	}
 	first = h.tab.AllocRun(space, h.gcTarget, h.stamp, k)
-	h.par.allocMu.Unlock()
+	h.allocMu.Unlock()
 	rem := total
 	for i := 0; i < k; i++ {
 		s := h.tab.Seg(first + i)
@@ -682,8 +790,8 @@ func (pw *parWorker) allocRun(space seg.Space, total int) (addr uint64, first, k
 // chains after its forwarding CAS won.
 func (pw *parWorker) publishRun(space seg.Space, first, k int) {
 	h := pw.h
-	h.par.allocMu.Lock()
-	defer h.par.allocMu.Unlock()
+	h.allocMu.Lock()
+	defer h.allocMu.Unlock()
 	for i := 0; i < k; i++ {
 		h.chains[space][h.gcTarget] = append(h.chains[space][h.gcTarget], first+i)
 	}
@@ -694,8 +802,8 @@ func (pw *parWorker) publishRun(space seg.Space, first, k int) {
 // back to the free list.
 func (pw *parWorker) freeRun(first, k, total int) {
 	h := pw.h
-	h.par.allocMu.Lock()
-	defer h.par.allocMu.Unlock()
+	h.allocMu.Lock()
+	defer h.allocMu.Unlock()
 	for i := 0; i < k; i++ {
 		h.tab.Free(first + i)
 	}

@@ -1,6 +1,8 @@
 package heap
 
 import (
+	"sync"
+
 	"repro/internal/obj"
 	"repro/internal/seg"
 )
@@ -55,7 +57,19 @@ func remShardOf(addr uint64) int {
 
 // remShard is one shard: the entry slice plus its dedup index. The
 // index is allocated lazily on the shard's first insert.
+//
+// mu serializes mutator-side access (insert, lookup, count): in
+// concurrent-mutator mode any number of goroutines run the write
+// barrier at once, and sharding means they contend only when writing
+// cells of segments that hash to the same shard. The collector's
+// dirty scan does NOT take mu — scanRemShard stays lock-free by
+// partition (each shard owned by one worker for the whole phase), and
+// the safepoint handshake orders every mutator's locked inserts
+// before the scan and the scan's compaction before every post-resume
+// insert. In legacy single-mutator mode the mutex is uncontended and
+// costs a few nanoseconds per barrier hit.
 type remShard struct {
+	mu      sync.Mutex
 	entries []dirtyCell
 	index   map[uint64]int32
 }
@@ -72,6 +86,7 @@ type remSet struct {
 // the weak-car barrier, so the flag never needs to clear).
 func (r *remSet) insert(addr uint64, weak bool) {
 	sh := &r.shards[remShardOf(addr)]
+	sh.mu.Lock()
 	if sh.index == nil {
 		sh.index = make(map[uint64]int32)
 	}
@@ -79,16 +94,20 @@ func (r *remSet) insert(addr uint64, weak bool) {
 		if weak {
 			sh.entries[i].weak = true
 		}
+		sh.mu.Unlock()
 		return
 	}
 	sh.index[addr] = int32(len(sh.entries))
 	sh.entries = append(sh.entries, dirtyCell{addr, weak})
+	sh.mu.Unlock()
 }
 
 // lookup reports whether addr is remembered and whether its entry is
 // marked weak.
 func (r *remSet) lookup(addr uint64) (weak, ok bool) {
 	sh := &r.shards[remShardOf(addr)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	i, ok := sh.index[addr]
 	if !ok {
 		return false, false
@@ -100,7 +119,10 @@ func (r *remSet) lookup(addr uint64) (weak, ok bool) {
 func (r *remSet) count() int {
 	n := 0
 	for i := range r.shards {
-		n += len(r.shards[i].entries)
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
 	}
 	return n
 }
@@ -115,9 +137,13 @@ func (r *remSet) count() int {
 // live remembered cells examined (the DirtyCellsScanned contribution).
 //
 // Concurrency: the caller must own the shard for the duration of the
-// scan. The parallel collector assigns each shard to exactly one
-// worker, so shard state is never shared; cell writes cannot collide
-// either, because a cell's address determines its shard.
+// scan — it deliberately does not take the shard mutex. The parallel
+// collector assigns each shard to exactly one worker, so shard state
+// is never shared; cell writes cannot collide either, because a cell's
+// address determines its shard. Mutator-side inserts cannot run
+// concurrently with a scan: collections only happen with every
+// registered mutator suspended, and the handshake's lock edges order
+// the inserts and the scan either side of the stop.
 func (h *Heap) scanRemShard(sh *remShard, g int, fwd func(obj.Value) obj.Value, pend *[]uint64) (scanned uint64) {
 	live := sh.entries[:0]
 	for _, c := range sh.entries {
@@ -161,7 +187,10 @@ func (h *Heap) RemSetShardSizes() []int {
 	}
 	out := make([]int, RemShards)
 	for i := range h.rem.shards {
-		out[i] = len(h.rem.shards[i].entries)
+		sh := &h.rem.shards[i]
+		sh.mu.Lock()
+		out[i] = len(sh.entries)
+		sh.mu.Unlock()
 	}
 	return out
 }

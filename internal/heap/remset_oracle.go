@@ -17,7 +17,7 @@ package heap
 // set. It must be called on a heap whose remembered set is still empty
 // and whose worker count is 1; the switch is one-way.
 func (h *Heap) enableMapRemsetOracle() {
-	h.check(!h.inCollect, "enableMapRemsetOracle during a collection")
+	h.check(!h.inCollect.Load(), "enableMapRemsetOracle during a collection")
 	// Workers <= 1 covers auto (0): chooseWorkers stays sequential
 	// while the oracle is active.
 	h.check(h.cfg.Workers <= 1, "enableMapRemsetOracle: map oracle is sequential-only")

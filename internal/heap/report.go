@@ -74,6 +74,14 @@ type CollectionReport struct {
 	// deprecated ProtectedCountByGen accessor could.
 	ProtectedByGen []int
 
+	// MutatorsSuspended is the number of registered mutators the
+	// safepoint handshake suspended (parked or idle) for this
+	// collection, and SafepointWait is how long the coordinator waited
+	// for the last of them to reach a safepoint. Both are zero in
+	// legacy single-mutator mode (no mutators registered).
+	MutatorsSuspended int
+	SafepointWait     time.Duration
+
 	// Per-collection deltas of the cumulative Stats counters.
 	WordsCopied       uint64
 	PairsCopied       uint64
@@ -112,26 +120,3 @@ func (h *Heap) LastReport() *CollectionReport {
 	}
 	return &h.report
 }
-
-// Deprecated shims for the removed Stats.Last* fields. They survive
-// for one release so out-of-tree callers can migrate; each reads the
-// last collection's report and returns a zero value before the first
-// collection. New code should use LastReport (or the report returned
-// by Collect) directly.
-
-// LastPause returns the most recent collection's pause.
-//
-// Deprecated: use LastReport().Pause.
-func (h *Heap) LastPause() time.Duration { return h.report.Pause }
-
-// LastPhases returns the most recent collection's per-phase pause
-// attribution.
-//
-// Deprecated: use LastReport().Phases.
-func (h *Heap) LastPhases() [NumPhases]time.Duration { return h.report.Phases }
-
-// LastWorkersChosen returns the worker count the most recent
-// collection actually used.
-//
-// Deprecated: use LastReport().WorkersChosen.
-func (h *Heap) LastWorkersChosen() int { return h.report.WorkersChosen }

@@ -11,45 +11,100 @@ import "repro/internal/obj"
 // Releasing a Root drops the reference; a guardian whose only
 // reference was a released root becomes collectible, which — per the
 // paper — cancels finalization of everything registered with it.
+//
+// Concurrency: NewRoot, Release, and AddRootProvider (and its remove
+// function) mutate registry bookkeeping, so in concurrent-mutator mode
+// they serialize on the allocation mutex. Get and Set on an individual
+// Root stay unsynchronized — a root slot, like a Mutator, belongs to
+// one goroutine (the collector rewrites slots only with the world
+// stopped). Slots therefore live in fixed-size chunks whose addresses
+// never change: growing the registry publishes a copied chunk
+// directory through an atomic pointer instead of moving slots, so one
+// goroutine's NewRoot cannot invalidate another's concurrent Set.
 type Root struct {
 	h   *Heap
 	idx int
 }
 
+// rootChunkSlots is the number of root slots per chunk. Chunks are
+// allocated once and never move; only the directory slice is copied on
+// growth, so growth cost and garbage stay O(len/256), amortized O(1)
+// per root.
+const rootChunkSlots = 256
+
+type rootChunk struct {
+	vals [rootChunkSlots]obj.Value
+	live [rootChunkSlots]bool
+}
+
+// rootSlot returns the chunk and intra-chunk offset of slot idx. The
+// atomic directory load pairs with the publication in growRootsLocked:
+// a reader sees either directory, and every slot it can legitimately
+// index exists, at the same address, in both.
+func (h *Heap) rootSlot(idx int) (*rootChunk, int) {
+	dir := *h.rootChunks.Load()
+	return dir[idx/rootChunkSlots], idx % rootChunkSlots
+}
+
+// growRootsLocked appends one chunk to the directory. Caller holds
+// allocMu in mutator mode (NewRoot) or owns the heap (image load).
+func (h *Heap) growRootsLocked() {
+	old := *h.rootChunks.Load()
+	dir := make([]*rootChunk, len(old)+1)
+	copy(dir, old)
+	dir[len(old)] = &rootChunk{}
+	h.rootChunks.Store(&dir)
+}
+
 // NewRoot registers v as a collector root and returns its slot.
 func (h *Heap) NewRoot(v obj.Value) *Root {
+	if h.mutCount.Load() != 0 {
+		h.allocMu.Lock()
+		defer h.allocMu.Unlock()
+	}
 	var idx int
 	if n := len(h.rootsFree); n > 0 {
 		idx = h.rootsFree[n-1]
 		h.rootsFree = h.rootsFree[:n-1]
-		h.roots[idx] = v
-		h.rootsLive[idx] = true
 	} else {
-		h.roots = append(h.roots, v)
-		h.rootsLive = append(h.rootsLive, true)
-		idx = len(h.roots) - 1
+		idx = h.rootsLen
+		if idx == len(*h.rootChunks.Load())*rootChunkSlots {
+			h.growRootsLocked()
+		}
+		h.rootsLen++
 	}
+	c, o := h.rootSlot(idx)
+	c.vals[o] = v
+	c.live[o] = true
 	return &Root{h: h, idx: idx}
 }
 
 // Get returns the root's current value (updated across collections).
 func (r *Root) Get() obj.Value {
-	r.h.check(r.h.rootsLive[r.idx], "use of released root")
-	return r.h.roots[r.idx]
+	c, o := r.h.rootSlot(r.idx)
+	r.h.check(c.live[o], "use of released root")
+	return c.vals[o]
 }
 
 // Set replaces the root's value.
 func (r *Root) Set(v obj.Value) {
-	r.h.check(r.h.rootsLive[r.idx], "use of released root")
-	r.h.roots[r.idx] = v
+	c, o := r.h.rootSlot(r.idx)
+	r.h.check(c.live[o], "use of released root")
+	c.vals[o] = v
 }
 
 // Release drops the root. Releasing twice panics.
 func (r *Root) Release() {
-	r.h.check(r.h.rootsLive[r.idx], "double release of root")
-	r.h.rootsLive[r.idx] = false
-	r.h.roots[r.idx] = obj.False
-	r.h.rootsFree = append(r.h.rootsFree, r.idx)
+	h := r.h
+	if h.mutCount.Load() != 0 {
+		h.allocMu.Lock()
+		defer h.allocMu.Unlock()
+	}
+	c, o := h.rootSlot(r.idx)
+	h.check(c.live[o], "double release of root")
+	c.live[o] = false
+	c.vals[o] = obj.False
+	h.rootsFree = append(h.rootsFree, r.idx)
 }
 
 // RootVisitor is implemented by components that keep heap values in Go
@@ -65,9 +120,17 @@ type RootVisitor interface {
 // provider — including func-typed RootFunc values, which are not
 // comparable — can be removed safely.
 func (h *Heap) AddRootProvider(p RootVisitor) (remove func()) {
+	if h.mutCount.Load() != 0 {
+		h.allocMu.Lock()
+		defer h.allocMu.Unlock()
+	}
 	e := &providerEntry{v: p}
 	h.providers = append(h.providers, e)
 	return func() {
+		if h.mutCount.Load() != 0 {
+			h.allocMu.Lock()
+			defer h.allocMu.Unlock()
+		}
 		for i, q := range h.providers {
 			if q == e {
 				h.providers = append(h.providers[:i], h.providers[i+1:]...)
@@ -83,13 +146,14 @@ type providerEntry struct{ v RootVisitor }
 // exists and is live. Slot indexes are stable across SaveImage /
 // LoadImage, which is what the image tests use it for.
 func (h *Heap) RootSlot(i int) (obj.Value, bool) {
-	if i < 0 || i >= len(h.roots) {
+	if i < 0 || i >= h.rootsLen {
 		return obj.False, false
 	}
-	if !h.rootsLive[i] {
+	c, o := h.rootSlot(i)
+	if !c.live[o] {
 		return obj.False, true // slot exists but is free
 	}
-	return h.roots[i], true
+	return c.vals[o], true
 }
 
 // RootFunc adapts a function to the RootVisitor interface.

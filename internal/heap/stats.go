@@ -53,9 +53,7 @@ type Stats struct {
 	// its phase breakdown, per-worker sweep and guardian timings, the
 	// chosen worker count, per-shard dirty-scan counts — moved to
 	// CollectionReport (returned by Collect/CollectAuto, retained via
-	// Heap.LastReport): Stats holds cumulative counters only. The
-	// former Stats.Last* fields have one-release deprecation shims on
-	// Heap (LastPause, LastPhases, LastWorkersChosen).
+	// Heap.LastReport): Stats holds cumulative counters only.
 	TotalPause  time.Duration
 	PhaseTotals [NumPhases]time.Duration
 }

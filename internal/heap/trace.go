@@ -124,6 +124,12 @@ type TraceEvent struct {
 	// (0..RemShards-1); its sum is the collection's DirtyCellsScanned
 	// delta. Nil when the dirty set is disabled.
 	DirtyShardCells []uint64 `json:"dirty_shard_cells,omitempty"`
+	// MutatorsSuspended is the number of registered mutators the
+	// safepoint handshake suspended for this collection;
+	// SafepointWaitNS is how long the coordinator waited for the last
+	// of them. Both zero (and omitted) in legacy single-mutator mode.
+	MutatorsSuspended int   `json:"mutators_suspended,omitempty"`
+	SafepointWaitNS   int64 `json:"safepoint_wait_ns,omitempty"`
 }
 
 // PhaseDurations returns the event's phase timings keyed by phase
@@ -208,6 +214,8 @@ func (h *Heap) recordTrace(rep *CollectionReport) {
 	ev.PhaseNS = h.phaseNS
 	ev.Workers = rep.Workers
 	ev.WorkersChosen = rep.WorkersChosen
+	ev.MutatorsSuspended = rep.MutatorsSuspended
+	ev.SafepointWaitNS = rep.SafepointWait.Nanoseconds()
 	if h.cfg.UseDirtySet && h.dirtyMap == nil {
 		ev.DirtyShardCells = make([]uint64, RemShards)
 		copy(ev.DirtyShardCells, rep.ShardDirty[:])

@@ -39,7 +39,15 @@ import (
 //     positions match, no duplicate addresses), every entry's address
 //     hashes to the shard holding it, and every entry's segment
 //     exists. Shard-local state leaking across shards or collections
-//     would show up here.
+//     would show up here;
+//  9. registered mutators are consistent with the heap: a suspended
+//     mutator (parked, idle, or any mutator while a collection runs)
+//     has flushed TLAB cursors, and no mutator's reserved-segment
+//     cache entry is marked in use.
+//
+// In concurrent-mutator mode Verify must run on a quiescent heap —
+// every registered mutator parked, idle, or otherwise not allocating —
+// since it walks segment fills and cursors without stopping the world.
 func (h *Heap) Verify() []error {
 	var errs []error
 	report := func(format string, args ...any) {
@@ -85,7 +93,7 @@ func (h *Heap) Verify() []error {
 		}
 		// Generational invariant: old cell pointing young must be
 		// remembered (or be a deferred weak car, also remembered).
-		if genCheck && h.cfg.UseDirtySet && !h.inCollect {
+		if genCheck && h.cfg.UseDirtySet && !h.inCollect.Load() {
 			cellGen := h.tab.SegOf(addr).Gen
 			if ts.Gen < cellGen {
 				if got, ok := h.dirtyLookup(addr); !ok || (weakCar && !got) {
@@ -202,10 +210,10 @@ func (h *Heap) Verify() []error {
 	}
 
 	// Roots.
-	for i, live := range h.rootsLive {
-		if live {
-			v := h.roots[i]
-			if v.IsPointer() {
+	for i := 0; i < h.rootsLen; i++ {
+		c, o := h.rootSlot(i)
+		if c.live[o] {
+			if v := c.vals[o]; v.IsPointer() {
 				checkValue("root", 0, v, false, false)
 			}
 		}
@@ -267,6 +275,28 @@ func (h *Heap) Verify() []error {
 			}
 		}
 	}
+
+	// Mutator consistency (invariant 9). Lock order: spMu then allocMu,
+	// matching the handshake paths.
+	h.spMu.Lock()
+	h.allocMu.Lock()
+	for mi, m := range h.muts {
+		if m.parked || m.idle || h.inCollect.Load() {
+			for sp := range m.cur {
+				if m.cur[sp].seg != seg.None {
+					report("mutator %d: suspended with open TLAB in space %v (segment %d)",
+						mi, seg.Space(sp), m.cur[sp].seg)
+				}
+			}
+		}
+		for _, idx := range m.cache {
+			if idx < h.tab.Len() && h.tab.Seg(idx).InUse {
+				report("mutator %d: cached reserved segment %d is in use", mi, idx)
+			}
+		}
+	}
+	h.allocMu.Unlock()
+	h.spMu.Unlock()
 	return errs
 }
 

@@ -263,10 +263,13 @@ func (m *Machine) slot(v obj.Value) slot {
 func (m *Machine) get(s slot) obj.Value    { return m.stack[s] }
 func (m *Machine) set(s slot, v obj.Value) { m.stack[s] = v }
 
-// safepoint runs the collect-request handler when a request is
-// pending. All evaluator state is rooted at call sites.
+// safepoint is the evaluator's back-edge poll: it runs the
+// collect-request handler when an automatic collection is pending and,
+// in concurrent-mutator mode, yields to a stop-the-world handshake
+// raised by another goroutine's collection. All evaluator state is
+// rooted at call sites.
 func (m *Machine) safepoint() {
-	if m.H.CollectPending() {
+	if m.H.Safepoint() {
 		m.H.Checkpoint()
 	}
 }

@@ -270,6 +270,13 @@ func (t *Table) FreeCount() int { return len(t.free) }
 // (see Reserve) are neither free nor in use and are excluded.
 func (t *Table) InUseCount() int { return t.nseg - len(t.free) - int(t.reserved.Load()) }
 
+// CommittedCount returns the number of segments the table has handed
+// out and not gotten back: in-use plus reserved. Bounded heaps charge
+// reservations against Config.MaxSegments at Reserve time using this
+// figure, so a segment parked in an affinity cache or a mutator's TLAB
+// cache counts against the limit exactly like a live one.
+func (t *Table) CommittedCount() int { return t.nseg - len(t.free) }
+
 // SegIndexOf returns the index of the segment containing the word
 // address addr.
 func SegIndexOf(addr uint64) int { return int(addr / Words) }

@@ -39,6 +39,17 @@ echo "== parallel guardian gate (-race)"
 # {1, 2, 8, auto} and compares every collection's queue contents.
 go test -race -run 'TestGuardianParallelDeterminism|TestGuardianChainSalvageOrder|TestGuardianWorkerAttribution' ./internal/heap/
 
+echo "== concurrent mutator gate (-race)"
+# Concurrent-mutator mode: N goroutines allocating through TLABs while
+# collections run the stop-the-world safepoint handshake. The stress
+# suite races allocation, the write barrier, guardians, and collections
+# at Workers {1, 2, 8, auto}; the lockstep oracle proves the
+# multi-handle allocator isomorphic to the legacy single-mutator heap
+# (with the map remembered-set oracle on the reference side); the
+# bounded-heap tests pin the reserved-segments-count-toward-MaxSegments
+# fix and the exact-OOM guarantee.
+go test -race -run 'TestMutator|TestBoundedHeap' ./internal/heap/
+
 echo "== deque property gate (-race)"
 # The Chase-Lev work-stealing deque carries every parallel sweep item;
 # the randomized owner/thief property test under the race detector is
@@ -59,6 +70,9 @@ echo "== fuzz smoke"
 # pass above.
 go test -run '^$' -fuzz 'FuzzRememberedSet' -fuzztime=10s ./internal/heap/
 go test -run '^$' -fuzz 'FuzzGuardianParallel' -fuzztime=10s ./internal/heap/
+# -fuzzminimizetime: new interesting inputs otherwise get the default
+# 60s minimization budget each, which dwarfs the 10s fuzz budget.
+go test -run '^$' -fuzz 'FuzzMutatorOps' -fuzztime=10s -fuzzminimizetime=1s ./internal/heap/
 go test -run '^$' -fuzz 'FuzzReader' -fuzztime=10s ./internal/scheme/
 go test -run '^$' -fuzz 'FuzzDifferential' -fuzztime=10s ./internal/scheme/
 go test -run '^$' -fuzz 'FuzzEval' -fuzztime=10s ./internal/scheme/

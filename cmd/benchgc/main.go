@@ -11,7 +11,9 @@
 //	benchgc -phases    # run the trace workload; per-phase pause summary
 //	benchgc -trace -phases -gcs 100   # both, over 100 collections
 //	benchgc -trace -workers 4         # same workload, parallel collector
+//	benchgc -trace -pause-budget 1ms  # same workload, deadline-sliced full collections
 //	benchgc -parallel-bench           # pause/sweep percentiles per worker count -> BENCH_parallel.json
+//	benchgc -pause-bench              # sliced-vs-monolithic pause bound -> BENCH_pause.json
 //
 // See docs/ALGORITHM.md ("Reading benchgc -trace output") for the
 // trace record schema.
@@ -36,7 +38,12 @@ func main() {
 		workers  = flag.Int("workers", 1, "collector workers for the -trace/-phases workload (1 = sequential, 0 = adaptive)")
 		parBench = flag.Bool("parallel-bench", false,
 			"run the parallel collection baseline across worker counts and write a JSON report")
-		benchOut = flag.String("bench-out", "BENCH_parallel.json", "output path for -parallel-bench")
+		benchOut    = flag.String("bench-out", "BENCH_parallel.json", "output path for -parallel-bench")
+		pauseBudget = flag.Duration("pause-budget", 0,
+			"PauseBudget for the -trace/-phases workload (0 = monolithic); with -pause-bench, the sliced run's budget (default 1ms)")
+		pauseBench = flag.Bool("pause-bench", false,
+			"run the pause-budget benchmark (deadline-sliced vs monolithic full collections) and write a JSON report")
+		pauseOut = flag.String("pause-bench-out", "BENCH_pause.json", "output path for -pause-bench")
 	)
 	flag.Parse()
 
@@ -47,8 +54,15 @@ func main() {
 		}
 		return
 	}
+	if *pauseBench {
+		if err := runPauseBench(os.Stdout, *pauseOut, *gcs, *pauseBudget); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgc: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *trace || *phases {
-		h, err := runTraceWorkload(os.Stdout, *gcs, *workers, *trace)
+		h, err := runTraceWorkload(os.Stdout, *gcs, *workers, *pauseBudget, *trace)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchgc: %v\n", err)
 			os.Exit(1)

@@ -30,6 +30,7 @@ import (
 type benchQuantiles struct {
 	P50  int64 `json:"p50_ns"`
 	P90  int64 `json:"p90_ns"`
+	P99  int64 `json:"p99_ns"`
 	Max  int64 `json:"max_ns"`
 	Mean int64 `json:"mean_ns"`
 }
@@ -62,6 +63,34 @@ type benchWorkerResult struct {
 	Guardian       benchQuantiles `json:"guardian"`
 	GuardianRounds benchQuantiles `json:"guardian_rounds"`
 	WordsCopied    uint64         `json:"words_copied_per_gc"`
+
+	// Raw per-collection samples, kept so the report's aggregate can
+	// pool real observations instead of averaging quantiles. Unexported:
+	// they never reach the JSON.
+	rawPause []int64
+	rawSweep []int64
+}
+
+// benchAggregate summarizes the sweep across worker counts. Rows
+// tagged degenerate_baseline (more workers than schedulable CPUs —
+// their parallel numbers measure serialization overhead, not speedup)
+// are excluded from every aggregate figure: the pooled quantiles use
+// only the included rows' raw per-collection samples, and the best-
+// speedup figures compare only included rows against the workers=1
+// reference.
+type benchAggregate struct {
+	RowsIncluded           int `json:"rows_included"`
+	RowsExcludedDegenerate int `json:"rows_excluded_degenerate"`
+	// Pooled per-collection pause/sweep samples over included rows.
+	Pause benchQuantiles `json:"pause"`
+	Sweep benchQuantiles `json:"sweep"`
+	// Best p50 speedup over the workers=1 row among included
+	// multi-worker rows (0 when every such row was excluded, e.g. on a
+	// GOMAXPROCS=1 host).
+	BestPauseSpeedupP50     float64 `json:"best_pause_speedup_p50,omitempty"`
+	BestPauseSpeedupWorkers int     `json:"best_pause_speedup_workers,omitempty"`
+	BestSweepSpeedupP50     float64 `json:"best_sweep_speedup_p50,omitempty"`
+	BestSweepSpeedupWorkers int     `json:"best_sweep_speedup_workers,omitempty"`
 }
 
 type benchReport struct {
@@ -70,6 +99,52 @@ type benchReport struct {
 	LivePairs   int                 `json:"live_pairs"`
 	LiveVectors int                 `json:"live_vectors"`
 	Results     []benchWorkerResult `json:"results"`
+	Aggregate   benchAggregate      `json:"aggregate"`
+}
+
+// aggregateResults builds the cross-row summary from the non-degenerate
+// rows. The workers=1 row is the speedup denominator; it is never
+// degenerate (one worker cannot exceed GOMAXPROCS), so the aggregate
+// always has at least its samples.
+func aggregateResults(rows []benchWorkerResult) benchAggregate {
+	var agg benchAggregate
+	var pause, sweep []int64
+	var base *benchWorkerResult
+	for i := range rows {
+		if rows[i].Workers == 1 {
+			base = &rows[i]
+		}
+	}
+	for i := range rows {
+		r := &rows[i]
+		if r.Degenerate {
+			agg.RowsExcludedDegenerate++
+			continue
+		}
+		agg.RowsIncluded++
+		pause = append(pause, r.rawPause...)
+		sweep = append(sweep, r.rawSweep...)
+		if base == nil || r == base {
+			continue
+		}
+		w := r.Workers
+		if w == 0 {
+			w = r.WorkersChosen // attribute the auto row to its chosen count
+		}
+		if r.Pause.P50 > 0 && base.Pause.P50 > 0 {
+			if s := float64(base.Pause.P50) / float64(r.Pause.P50); s > agg.BestPauseSpeedupP50 {
+				agg.BestPauseSpeedupP50, agg.BestPauseSpeedupWorkers = s, w
+			}
+		}
+		if r.Sweep.P50 > 0 && base.Sweep.P50 > 0 {
+			if s := float64(base.Sweep.P50) / float64(r.Sweep.P50); s > agg.BestSweepSpeedupP50 {
+				agg.BestSweepSpeedupP50, agg.BestSweepSpeedupWorkers = s, w
+			}
+		}
+	}
+	agg.Pause = quantilesOf(pause)
+	agg.Sweep = quantilesOf(sweep)
+	return agg
 }
 
 func quantilesOf(ns []int64) benchQuantiles {
@@ -89,6 +164,7 @@ func quantilesOf(ns []int64) benchQuantiles {
 	return benchQuantiles{
 		P50:  at(0.50),
 		P90:  at(0.90),
+		P99:  at(0.99),
 		Max:  sorted[len(sorted)-1],
 		Mean: sum / int64(len(sorted)),
 	}
@@ -170,6 +246,8 @@ func benchOneWorkerCount(workers, gcs, pairs, vectors int) (benchWorkerResult, e
 		OldScan:        quantilesOf(oldScan),
 		Guardian:       quantilesOf(guardian),
 		GuardianRounds: quantilesOf(rounds),
+		rawPause:       pause,
+		rawSweep:       sweep,
 	}
 	if gcs > 0 {
 		res.WordsCopied = words / uint64(gcs)
@@ -223,6 +301,16 @@ func runParallelBench(out io.Writer, path string, gcs int) error {
 			float64(res.Pause.P50)/1e6, float64(res.Pause.P90)/1e6,
 			float64(res.Sweep.P50)/1e6, float64(res.Guardian.P50)/1e6, mark)
 	}
+	rep.Aggregate = aggregateResults(rep.Results)
+	agg := rep.Aggregate
+	fmt.Fprintf(out, "aggregate (non-degenerate rows %d, excluded %d): pause p50 %.3fms p99 %.3fms",
+		agg.RowsIncluded, agg.RowsExcludedDegenerate,
+		float64(agg.Pause.P50)/1e6, float64(agg.Pause.P99)/1e6)
+	if agg.BestSweepSpeedupP50 > 0 {
+		fmt.Fprintf(out, ", best sweep speedup %.2fx @ %d workers",
+			agg.BestSweepSpeedupP50, agg.BestSweepSpeedupWorkers)
+	}
+	fmt.Fprintln(out)
 	f, err := os.Create(path)
 	if err != nil {
 		return err

@@ -1,0 +1,235 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/heap"
+	"repro/internal/obj"
+)
+
+// benchgc -pause-bench: the acceptance benchmark for pause-budget
+// (deadline-sliced) collections. It runs the identical deterministic
+// workload twice — once monolithic (PauseBudget=0, the full
+// stop-the-world reference) and once sliced at the requested budget —
+// and reports:
+//
+//   - the monolithic full-collection pause distribution (which must be
+//     comfortably above the budget, or the workload proves nothing);
+//   - the sliced per-slice pause distribution, its max, and how many
+//     slices exceeded budget*slack (the bound the slicer is supposed
+//     to enforce);
+//   - whether the guardian tconc salvage order was bit-for-bit
+//     identical between the two runs (the paper's ordering guarantee
+//     must survive slicing).
+//
+// The report is written as JSON (BENCH_pause.json by default) so the
+// repo can carry the measured bound alongside the code that enforces
+// it.
+
+type pauseRunStats struct {
+	Collections int            `json:"collections"`
+	Pause       benchQuantiles `json:"pause"` // full-collection pause (sum of slices when sliced)
+	// Sliced-run-only fields.
+	SlicePause  benchQuantiles `json:"slice_pause,omitempty"`
+	SlicesPerGC benchQuantiles `json:"slices_per_gc,omitempty"`
+	MaxSliceNS  int64          `json:"max_slice_ns,omitempty"`
+	// Violations counts slices whose pause exceeded budget*slack.
+	Violations int `json:"violations"`
+}
+
+type pauseBenchReport struct {
+	Description string  `json:"description"`
+	GoMaxProcs  int     `json:"gomaxprocs"`
+	LivePairs   int     `json:"live_pairs"`
+	BudgetNS    int64   `json:"budget_ns"`
+	SlackRatio  float64 `json:"slack_ratio"`
+	// BudgetHolds is the headline claim: every slice of the sliced run
+	// stayed within budget*slack.
+	BudgetHolds bool          `json:"budget_holds"`
+	Monolithic  pauseRunStats `json:"monolithic"`
+	Sliced      pauseRunStats `json:"sliced"`
+	// TconcOrderIdentical reports whether the guardian salvage tconc
+	// order of the sliced run matched the monolithic run exactly, over
+	// TconcSalvaged total salvaged representatives.
+	TconcOrderIdentical bool `json:"tconc_order_identical"`
+	TconcSalvaged       int  `json:"tconc_salvaged"`
+}
+
+// runPauseWorkload builds a multi-megabyte tenured heap and runs gcs
+// full collections with churn and salvageable guardian registrations
+// between them. The allocation and registration sequence is fully
+// deterministic, so two runs differing only in PauseBudget must
+// salvage the same representatives in the same order. It returns the
+// per-collection pauses, the per-slice pauses (empty when budget==0),
+// per-collection slice counts, and the salvage order history.
+func runPauseWorkload(budget time.Duration, gcs, pairs int) (pause, slicePause, slicesPerGC []int64, order []int64, err error) {
+	cfg := heap.DefaultConfig()
+	cfg.TriggerWords = 1 << 30 // collections are explicit
+	cfg.PauseBudget = budget
+	h, err := heap.New(cfg)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	guard := core.NewGuardian(h)
+	defer guard.Release()
+	// The live structure is deliberately sweep-dominated: copying it is
+	// the work the slicer can bound, while the guardian classification
+	// and weak-pair scan are pinned to the final slice (the paper's
+	// ordering) and therefore must stay small relative to the budget.
+	// Weak pairs at 1/64 and held registrations at 1/1024 keep those
+	// phases in the tens of microseconds; the salvage burst below still
+	// exercises the ordering guarantee every collection.
+	var list obj.Value = obj.Nil
+	for i := 0; i < pairs; i++ {
+		list = h.Cons(obj.FromFixnum(int64(i)), list)
+		if i%64 == 0 {
+			list = h.Cons(h.WeakCons(list, obj.Nil), list)
+		}
+		if i%1024 == 0 {
+			guard.Register(list) // held: list stays reachable
+		}
+	}
+	r := h.NewRoot(list)
+	defer r.Release()
+
+	h.SetTraceFunc(func(ev heap.TraceEvent) {
+		pause = append(pause, ev.PauseNS)
+		slicesPerGC = append(slicesPerGC, int64(len(ev.Slices)))
+		for _, s := range ev.Slices {
+			slicePause = append(slicePause, s.PauseNS)
+		}
+	})
+	h.Collect(h.MaxGeneration()) // warm-up: settle survivors into old space
+	pause, slicePause, slicesPerGC = nil, nil, nil
+	for i := 0; i < gcs; i++ {
+		for j := 0; j < 2000; j++ { // churn between collections
+			h.Cons(obj.FromFixnum(int64(j)), obj.Nil)
+		}
+		// Salvageable registrations with collection-unique IDs: their
+		// tconc append order is the cross-run determinism witness.
+		for j := 0; j < 64; j++ {
+			guard.Register(h.Cons(obj.FromFixnum(int64(i*1000+j)), obj.Nil))
+		}
+		h.Collect(h.MaxGeneration())
+		for {
+			v, ok := guard.Get()
+			if !ok {
+				break
+			}
+			order = append(order, h.Car(v).FixnumValue())
+		}
+	}
+	h.MustVerify()
+	return pause, slicePause, slicesPerGC, order, nil
+}
+
+// runPauseBench runs the monolithic/sliced comparison and writes the
+// JSON report to path, echoing a human-readable summary to out.
+func runPauseBench(out io.Writer, path string, gcs int, budget time.Duration) error {
+	if gcs <= 0 {
+		gcs = 15
+	}
+	if budget <= 0 {
+		budget = time.Millisecond
+	}
+	const pairs = 400_000
+	const slack = 1.20
+
+	fmt.Fprintf(out, "pause-budget benchmark: %d collections, %d live pairs, budget %v, GOMAXPROCS=%d\n",
+		gcs, pairs, budget, runtime.GOMAXPROCS(0))
+
+	stwPause, _, _, stwOrder, err := runPauseWorkload(0, gcs, pairs)
+	if err != nil {
+		return err
+	}
+	slPause, slSlices, slPerGC, slOrder, err := runPauseWorkload(budget, gcs, pairs)
+	if err != nil {
+		return err
+	}
+
+	limit := int64(float64(budget.Nanoseconds()) * slack)
+	violations := 0
+	var maxSlice int64
+	for _, ns := range slSlices {
+		if ns > maxSlice {
+			maxSlice = ns
+		}
+		if ns > limit {
+			violations++
+		}
+	}
+	sameOrder := len(stwOrder) == len(slOrder)
+	if sameOrder {
+		for i := range stwOrder {
+			if stwOrder[i] != slOrder[i] {
+				sameOrder = false
+				break
+			}
+		}
+	}
+
+	rep := pauseBenchReport{
+		Description: "deadline-sliced full collections (PauseBudget) vs the monolithic " +
+			"stop-the-world reference on an identical deterministic workload",
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		LivePairs:   pairs,
+		BudgetNS:    budget.Nanoseconds(),
+		SlackRatio:  slack,
+		BudgetHolds: violations == 0,
+		Monolithic: pauseRunStats{
+			Collections: gcs,
+			Pause:       quantilesOf(stwPause),
+		},
+		Sliced: pauseRunStats{
+			Collections: gcs,
+			Pause:       quantilesOf(slPause),
+			SlicePause:  quantilesOf(slSlices),
+			SlicesPerGC: quantilesOf(slPerGC),
+			MaxSliceNS:  maxSlice,
+			Violations:  violations,
+		},
+		TconcOrderIdentical: sameOrder,
+		TconcSalvaged:       len(stwOrder),
+	}
+
+	fmt.Fprintf(out, "monolithic pause: p50 %.3fms  p99 %.3fms  max %.3fms\n",
+		float64(rep.Monolithic.Pause.P50)/1e6, float64(rep.Monolithic.Pause.P99)/1e6,
+		float64(rep.Monolithic.Pause.Max)/1e6)
+	fmt.Fprintf(out, "sliced slice pause: p50 %.3fms  p99 %.3fms  max %.3fms  (%d slices, %.0f/gc median)\n",
+		float64(rep.Sliced.SlicePause.P50)/1e6, float64(rep.Sliced.SlicePause.P99)/1e6,
+		float64(maxSlice)/1e6, len(slSlices), float64(rep.Sliced.SlicesPerGC.P50))
+	fmt.Fprintf(out, "budget %v x %.2f slack = %.3fms limit: %d violations; tconc order identical: %v (%d salvaged)\n",
+		budget, slack, float64(limit)/1e6, violations, sameOrder, len(stwOrder))
+	if rep.Monolithic.Pause.P50 < 5*budget.Nanoseconds() {
+		fmt.Fprintln(os.Stderr, "benchgc: WARNING: monolithic pause is under 5x the budget —")
+		fmt.Fprintln(os.Stderr, "benchgc: WARNING: the workload barely exercises slicing on this host")
+	}
+	if !sameOrder {
+		fmt.Fprintln(os.Stderr, "benchgc: ERROR: sliced run changed the guardian tconc order")
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s\n", path)
+	if !sameOrder {
+		return fmt.Errorf("tconc order diverged between monolithic and sliced runs")
+	}
+	return nil
+}

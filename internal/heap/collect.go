@@ -41,19 +41,152 @@ func (h *Heap) Collect(g int) *CollectionReport {
 // collectSTW is the stop-the-world collection body shared by the
 // legacy path (Collect, with the single mutator stopped by virtue of
 // calling it) and the concurrent-mutator path (collectAs, after the
-// safepoint handshake has suspended every registered mutator).
+// safepoint handshake has suspended every registered mutator). When
+// Config.PauseBudget is set and the collection includes old space,
+// collectAs routes to collectSliced instead.
 func (h *Heap) collectSTW(g int) *CollectionReport {
 	h.check(!h.inCollect.Load(), "Collect called during a collection")
+	start := time.Now()
+	h.inCollect.Store(true)
+	defer func() { h.inCollect.Store(false) }()
+	g, t := h.collectBegin(g, start)
+	if h.gcWorkers > 1 {
+		// Parallel mode (see parallel.go): the roots, old-scan, and
+		// sweep phases fan out over the chosen workers. The guardian
+		// phase below fans its classifications and re-sweeps out too
+		// (keeping all mutation sequential); weak, hooks, and free
+		// stay sequential code, exactly as in the paper.
+		h.collectParallel(g, t)
+	} else {
+		// Sequential collections hold no segment reservations: drain
+		// any worker affinity caches left over from parallel mode.
+		h.releaseSegCaches()
+		h.collectMark(g, t)
+		h.kleeneSweep() // accrues PhaseSweep itself
+	}
+	return h.collectFinish(start, time.Time{}, false)
+}
+
+// collectSliced is the pause-budget collection body (Config.PauseBudget
+// > 0 and the collection includes old space): the same algorithm as
+// collectSTW, but the dominant phase — the Cheney sweep — runs in
+// bounded slices with the mutators released between them through the
+// safepoint handshake (sliceWindow). The Chase-Lev deques (parallel
+// mode) or the sweep queue (sequential mode) are simply parked between
+// slices instead of drained to empty; nothing about the work
+// representation changes. Mutator progress during a window is kept
+// sound by three mechanisms: the write barrier records every window
+// pointer store for re-forwarding at the next slice (sliceRecord /
+// sliceFixup), window allocation goes to current-stamp gen-0 segments
+// that the next slice scans like to-space ("allocate black" — their
+// chains are walked by sliceFixup), and the read barrier (fwdNorm)
+// normalizes from-space values fished out of unswept cells. Guardian
+// salvage and weak-pair breaking are pinned to the final slice, after
+// the sweep fixpoint has fully drained, so the paper's ordering — and
+// the tconc salvage order — is bit-for-bit what PauseBudget == 0
+// produces. Guardians registered during a window take effect at the
+// NEXT collection: their entries sit past the sliceProtLim snapshot,
+// are skipped by the guardian phase, and are kept alive until then
+// (sliceRetainSuffix).
+func (h *Heap) collectSliced(self *Mutator, g int) *CollectionReport {
+	h.check(!h.inCollect.Load(), "Collect called during a collection")
+	start := time.Now()
+	sliceStart := start
+	budget := h.cfg.PauseBudget
+	h.inCollect.Store(true)
+	h.sliceActive.Store(true)
+	defer func() {
+		h.sliceActive.Store(false)
+		h.inCollect.Store(false)
+	}()
+	g, t := h.collectBegin(g, start)
+	h.slicePBase = [NumPhases]int64{}
+	h.sliceDirty = h.sliceDirty[:0]
+	for sp := range h.sliceGen0Done {
+		h.sliceGen0Done[sp] = 0
+	}
+	// Snapshot the protected-list lengths: entries registered during
+	// windows land past these limits and defer to the next collection.
+	lims := h.sliceProtLim[:0]
+	for i := 0; i <= g; i++ {
+		lims = append(lims, len(h.protected[i]))
+	}
+	h.sliceProtLim = lims
+
+	if h.gcWorkers > 1 {
+		t = h.collectParallelSliced(g, t)
+	} else {
+		h.releaseSegCaches()
+		t = h.collectMark(g, t)
+	}
+	_ = t
+
+	// The slice loop. Each iteration sweeps against the current slice's
+	// deadline; when the budget is exhausted with work remaining, the
+	// slice closes, the world resumes for a window, and the next slice
+	// re-forwards whatever the mutators did (sliceFixup) before
+	// resuming the parked sweep work. `finishing` guarantees
+	// termination: once the sweep has drained, at most one more window
+	// is taken (so the final phases get a fresh slice when the draining
+	// slice is already mostly spent), and the loop then exits even if
+	// that window's fixup produced further work — an allocation storm
+	// cannot postpone the final phases forever.
+	finishing := false
+	for {
+		drained := h.sliceSweep(deadlineOf(sliceStart, budget))
+		if drained && (finishing || time.Since(sliceStart) <= budget/4) {
+			break
+		}
+		if drained {
+			finishing = true
+		}
+		h.sliceEnd(sliceStart)
+		h.sliceWindow(self)
+		sliceStart = time.Now()
+		h.sliceFixup()
+	}
+	return h.collectFinish(start, sliceStart, true)
+}
+
+func deadlineOf(sliceStart time.Time, budget time.Duration) time.Time {
+	return sliceStart.Add(budget)
+}
+
+// sliceSweep runs one slice's worth of the sweep fixpoint — bounded by
+// the deadline — and reports whether the fixpoint is complete.
+func (h *Heap) sliceSweep(deadline time.Time) bool {
+	if h.gcWorkers > 1 {
+		return h.parSliceSweep(deadline)
+	}
+	return h.sweepBudgeted(deadline)
+}
+
+// sliceEnd closes the current slice: its pause and the phase time
+// accrued since the previous slice boundary are appended to the
+// report's Slices.
+func (h *Heap) sliceEnd(sliceStart time.Time) {
+	var sr SliceReport
+	sr.Pause = time.Since(sliceStart)
+	for i := range h.phaseNS {
+		sr.Phases[i] = time.Duration(h.phaseNS[i] - h.slicePBase[i])
+	}
+	h.slicePBase = h.phaseNS
+	h.report.Slices = append(h.report.Slices, sr)
+}
+
+// collectBegin is the collection prologue shared by collectSTW and
+// collectSliced: policy resolution (target generation, worker count),
+// report reset, from-space detachment (into h.curFrom, which
+// collectFinish frees), and queue resets. It accrues PhaseSetup and
+// returns the clamped generation and the running phase clock. The
+// caller has already set inCollect (and sliceActive, when slicing).
+func (h *Heap) collectBegin(g int, start time.Time) (int, time.Time) {
 	if g < 0 {
 		g = 0
 	}
 	if g > h.MaxGeneration() {
 		g = h.MaxGeneration()
 	}
-	start := time.Now()
-	h.inCollect.Store(true)
-	defer func() { h.inCollect.Store(false) }()
-
 	h.stamp++
 	h.gcGen = g
 	target := g + 1
@@ -97,12 +230,14 @@ func (h *Heap) collectSTW(g int) *CollectionReport {
 	rep.ProtectedByGen = rep.ProtectedByGen[:0]
 	rep.MutatorsSuspended = h.spSuspended
 	rep.SafepointWait = time.Duration(h.spWaitNS)
+	rep.Slices = rep.Slices[:0] // repopulated by collectSliced
 
 	// Detach from-space: the segment chains of every collected
 	// generation. When the oldest generation collects into itself, its
 	// survivors land in fresh segments stamped with the current
 	// collection, so the forwarding check can tell to-space from
-	// from-space.
+	// from-space. The list lives on the heap (curFrom) because a sliced
+	// collection spans many calls; collectFinish frees it.
 	from := h.fromScratch[:0]
 	for sp := 0; sp < int(seg.NumSpaces); sp++ {
 		for gen := 0; gen <= g; gen++ {
@@ -116,58 +251,66 @@ func (h *Heap) collectSTW(g int) *CollectionReport {
 			h.cur[sp][target] = cursor{seg: seg.None}
 		}
 	}
+	h.curFrom = from
 
 	h.sweepQ = h.sweepQ[:0]
 	h.newWeak = h.newWeak[:0]
 	h.pendWeak = h.pendWeak[:0]
-	t := h.phaseMark(PhaseSetup, start)
+	return g, h.phaseMark(PhaseSetup, start)
+}
 
-	if h.gcWorkers > 1 {
-		// Parallel mode (see parallel.go): the roots, old-scan, and
-		// sweep phases fan out over the chosen workers. The guardian
-		// phase below fans its classifications and re-sweeps out too
-		// (keeping all mutation sequential); weak, hooks, and free
-		// stay sequential code, exactly as in the paper.
-		t = h.collectParallel(g, t)
-	} else {
-		// Sequential collections hold no segment reservations: drain
-		// any worker affinity caches left over from parallel mode.
-		h.releaseSegCaches()
-		// Roots: explicit root slots, then registered providers.
-		for _, c := range *h.rootChunks.Load() {
-			for o := range c.vals {
-				if c.live[o] {
-					c.vals[o] = h.forward(c.vals[o])
-				}
+// collectMark runs the sequential root and old-to-young scan phases
+// (parallel collections use collectParallel / collectParallelSliced
+// instead). The sweep is the caller's: collectSTW drains it in one
+// kleeneSweep, collectSliced in budgeted slices.
+func (h *Heap) collectMark(g int, t time.Time) time.Time {
+	// Roots: explicit root slots, then registered providers.
+	for _, c := range *h.rootChunks.Load() {
+		for o := range c.vals {
+			if c.live[o] {
+				c.vals[o] = h.forward(c.vals[o])
 			}
 		}
-		for _, p := range h.providers {
-			p.v.VisitRoots(h.rootVisit)
-		}
-		// Registered mutators' pin slots (Mutator.tmp): constructor
-		// arguments held across the allocation slow path. The world is
-		// stopped, so muts is stable and the owners are not looking.
-		for _, m := range h.muts {
-			for i := range m.tmp {
-				m.tmp[i] = h.forward(m.tmp[i])
-			}
-		}
-		t = h.phaseMark(PhaseRoots, t)
-
-		// Old-to-young pointers: the remembered set's dirty cells, or a
-		// conservative scan of all older generations when the dirty set
-		// is disabled. Each strategy gets its own phase column so the
-		// trace distinguishes remembered-set time from full-scan time.
-		if h.cfg.UseDirtySet {
-			h.scanDirty(g)
-			t = h.phaseMark(PhaseDirtyScan, t)
-		} else {
-			h.scanAllOld(g)
-			t = h.phaseMark(PhaseOldScan, t)
-		}
-
-		h.kleeneSweep() // accrues PhaseSweep itself
 	}
+	for _, p := range h.providers {
+		p.v.VisitRoots(h.rootVisit)
+	}
+	// Registered mutators' pin slots (Mutator.tmp): constructor
+	// arguments held across the allocation slow path. The world is
+	// stopped, so muts is stable and the owners are not looking.
+	for _, m := range h.muts {
+		for i := range m.tmp {
+			m.tmp[i] = h.forward(m.tmp[i])
+		}
+	}
+	t = h.phaseMark(PhaseRoots, t)
+
+	// Old-to-young pointers: the remembered set's dirty cells, or a
+	// conservative scan of all older generations when the dirty set
+	// is disabled. Each strategy gets its own phase column so the
+	// trace distinguishes remembered-set time from full-scan time.
+	if h.cfg.UseDirtySet {
+		h.scanDirty(g)
+		t = h.phaseMark(PhaseDirtyScan, t)
+	} else {
+		h.scanAllOld(g)
+		t = h.phaseMark(PhaseOldScan, t)
+	}
+	return t
+}
+
+// collectFinish runs the ordered tail every collection shares —
+// guardian fixpoint, worker merge, weak pass, report snapshot, hooks,
+// from-space free — and finalizes the report. For a sliced collection
+// (sliced == true) these phases all belong to the final slice, which
+// began at sliceStart; the report's Pause is then the sum of the slice
+// pauses rather than wall time since start (the windows in between
+// were mutator time, not pause).
+func (h *Heap) collectFinish(start, sliceStart time.Time, sliced bool) *CollectionReport {
+	g, target := h.gcGen, h.gcTarget
+	st := &h.Stats
+	rep := &h.report
+	from := h.curFrom
 
 	// The guardian phase's nested kleene-sweeps accrue to PhaseSweep;
 	// subtracting them leaves the protected-list bookkeeping alone in
@@ -188,9 +331,21 @@ func (h *Heap) collectSTW(g int) *CollectionReport {
 		h.mergeWorkers(h.par)
 	}
 
-	t = time.Now()
+	t := time.Now()
 	h.weakPass(g)
 	t = h.phaseMark(PhaseWeak, t)
+
+	if sliced {
+		// Guardian entries registered during mutator windows are
+		// deferred to the next collection (they sit past the
+		// sliceProtLim snapshot, untouched above) — but the values they
+		// name may live in from-space, which is about to be freed. Keep
+		// them alive by forwarding them now. This runs after the weak
+		// pass on purpose: a window registration's values count as
+		// resurrected, so weak pointers to them were already treated
+		// exactly as PauseBudget == 0 would have.
+		h.sliceRetainSuffix(g)
+	}
 
 	// Snapshot the per-generation protected-list sizes and the counter
 	// deltas into the report before the hooks run, so a hook (or any
@@ -226,17 +381,43 @@ func (h *Heap) collectSTW(g int) *CollectionReport {
 	}
 	t = h.phaseMark(PhaseHooks, t)
 
+	// Sliced collections retire from-space lazily: the per-segment
+	// zeroing Free performs is the one Free-phase cost proportional to
+	// heap size, and it would all land in the final slice's bounded
+	// pause. FreeLazy defers each clear to the allocation that reuses
+	// the segment (seg.Table.claim), off the pause path.
 	for _, si := range from {
-		h.tab.Free(si)
+		if sliced {
+			h.tab.FreeLazy(si)
+		} else {
+			h.tab.Free(si)
+		}
 		st.SegmentsFreed++
 	}
 	h.fromScratch = from[:0]
+	h.curFrom = nil
 	h.phaseMark(PhaseFree, t)
 
+	// Window allocations charged the gen-0 trigger; the collection that
+	// just completed covers them, so the counter resets like any other
+	// collection's (documented on Config.PauseBudget in ALGORITHM.md).
 	h.gen0Words = 0
 	h.needCollect.Store(false)
-	rep.Pause = time.Since(start)
 	rep.SegmentsFreed = st.SegmentsFreed - snap.SegmentsFreed
+	if sliced {
+		// Close the final slice, then define the pause as the sum of
+		// the slice pauses: the windows in between were mutator time.
+		// The handshake figures were updated by every window's re-stop.
+		h.sliceEnd(sliceStart)
+		rep.MutatorsSuspended = h.spSuspended
+		rep.SafepointWait = time.Duration(h.spWaitNS)
+		rep.Pause = 0
+		for i := range rep.Slices {
+			rep.Pause += rep.Slices[i].Pause
+		}
+	} else {
+		rep.Pause = time.Since(start)
+	}
 	st.TotalPause += rep.Pause
 	for i := range h.phaseNS {
 		d := time.Duration(h.phaseNS[i])
@@ -245,6 +426,41 @@ func (h *Heap) collectSTW(g int) *CollectionReport {
 	}
 	h.recordTrace(rep)
 	return rep
+}
+
+// sliceRetainSuffix keeps alive the guardian entries registered during
+// this sliced collection's mutator windows (the suffix past the
+// sliceProtLim snapshot, which the guardian phase left in place):
+// their Obj/Rep/Tconc values are forwarded out of from-space and the
+// copies swept to the fixpoint. Window registrations always land in
+// generation 0's list, so that is the only suffix; the weak pairs the
+// retention sweep copies get the standard weak fix-up here because the
+// main weak pass has already run.
+func (h *Heap) sliceRetainSuffix(g int) {
+	t0 := time.Now()
+	nw, pw := len(h.newWeak), len(h.pendWeak)
+	for i := range h.protected[0] {
+		e := &h.protected[0][i]
+		e.Obj = h.forward(e.Obj)
+		e.Rep = h.forward(e.Rep)
+		e.Tconc = h.forward(e.Tconc)
+	}
+	// Sequential sweep regardless of worker count: mergeWorkers has
+	// already folded the workers' buffers back into the heap, so the
+	// parallel drain is no longer available (and the suffix is tiny).
+	sweepBase := h.phaseNS[PhaseSweep]
+	h.kleeneSweep()
+	for _, addr := range h.newWeak[nw:] {
+		if h.weakFix(addr) && h.cfg.UseDirtySet {
+			h.dirtyInsert(addr, true)
+		}
+	}
+	for _, addr := range h.pendWeak[pw:] {
+		if h.weakFix(addr) && h.cfg.UseDirtySet {
+			h.dirtyInsert(addr, true)
+		}
+	}
+	h.phaseNS[PhaseGuardian] += time.Since(t0).Nanoseconds() - (h.phaseNS[PhaseSweep] - sweepBase)
 }
 
 // phaseMark accrues the time elapsed since t0 to phase p and returns
@@ -362,26 +578,62 @@ func (h *Heap) kleeneSweep() {
 		batch := h.sweepQ
 		h.sweepQ = h.sweepSpare[:0]
 		for _, it := range batch {
-			switch it.kind {
-			case sweepPair:
-				h.setWord(it.addr, uint64(h.forward(h.valueAt(it.addr))))
-				h.setWord(it.addr+1, uint64(h.forward(h.valueAt(it.addr+1))))
-				h.Stats.CellsSwept += 2
-			case sweepWeakPair:
-				h.setWord(it.addr+1, uint64(h.forward(h.valueAt(it.addr+1))))
-				h.Stats.CellsSwept++
-			case sweepObj:
-				w := h.word(it.addr)
-				n := obj.PayloadWords(obj.HeaderKind(w), obj.HeaderLength(w))
-				for i := uint64(1); i <= uint64(n); i++ {
-					h.setWord(it.addr+i, uint64(h.forward(h.valueAt(it.addr+i))))
-				}
-				h.Stats.CellsSwept += uint64(n)
-			}
+			h.sweepItem1(it)
 		}
 		h.sweepSpare = batch[:0]
 	}
 	h.phaseNS[PhaseSweep] += time.Since(t0).Nanoseconds()
+}
+
+// sweepItem1 sweeps one copied object: every pointer field is
+// forwarded in place. Shared by the kleene-sweep waves and the
+// budgeted sweep of sliced collections.
+func (h *Heap) sweepItem1(it sweepItem) {
+	switch it.kind {
+	case sweepPair:
+		h.setWord(it.addr, uint64(h.forward(h.valueAt(it.addr))))
+		h.setWord(it.addr+1, uint64(h.forward(h.valueAt(it.addr+1))))
+		h.Stats.CellsSwept += 2
+	case sweepWeakPair:
+		h.setWord(it.addr+1, uint64(h.forward(h.valueAt(it.addr+1))))
+		h.Stats.CellsSwept++
+	case sweepObj:
+		w := h.word(it.addr)
+		n := obj.PayloadWords(obj.HeaderKind(w), obj.HeaderLength(w))
+		for i := uint64(1); i <= uint64(n); i++ {
+			h.setWord(it.addr+i, uint64(h.forward(h.valueAt(it.addr+i))))
+		}
+		h.Stats.CellsSwept += uint64(n)
+	}
+}
+
+// sweepBudgeted is the sequential sliced sweep: it drains sweep items
+// until the queue is empty or the deadline passes (checked every 32
+// items; at least one item is processed per call, so slices always
+// make progress). Items are taken from the end of the queue — newly
+// copied objects go straight back onto it — which changes the order
+// objects are swept relative to kleeneSweep's breadth-first waves, and
+// therefore copy addresses, but not reachability and not the guardian
+// phase's ordering, which is registration-driven. A slice that
+// processes any items counts as one sweep pass. It reports whether the
+// queue fully drained.
+func (h *Heap) sweepBudgeted(deadline time.Time) bool {
+	t0 := time.Now()
+	n := 0
+	for len(h.sweepQ) > 0 {
+		if n > 0 && n&31 == 0 && !time.Now().Before(deadline) {
+			break
+		}
+		it := h.sweepQ[len(h.sweepQ)-1]
+		h.sweepQ = h.sweepQ[:len(h.sweepQ)-1]
+		h.sweepItem1(it)
+		n++
+	}
+	if n > 0 {
+		h.Stats.SweepPasses++
+	}
+	h.phaseNS[PhaseSweep] += time.Since(t0).Nanoseconds()
+	return len(h.sweepQ) == 0
 }
 
 // scanDirty processes the remembered set: cells in generations older
@@ -573,8 +825,20 @@ func (h *Heap) guardianPhase(g, target int) {
 	// this order is what the per-round passes below preserve.
 	ents := h.guardEnts[:0]
 	for i := 0; i <= g; i++ {
-		ents = append(ents, h.protected[i]...)
-		h.protected[i] = h.protected[i][:0]
+		lst := h.protected[i]
+		lim := len(lst)
+		if h.sliceActive.Load() {
+			// Sliced collection: only entries present when the
+			// collection began participate — registrations made during
+			// mutator windows (always in generation 0's list, past the
+			// snapshot) defer to the next collection, keeping the
+			// salvage order identical to PauseBudget == 0. The retained
+			// suffix slides to the front of the list; its values are
+			// kept alive by sliceRetainSuffix.
+			lim = h.sliceProtLim[i]
+		}
+		ents = append(ents, lst[:lim]...)
+		h.protected[i] = append(lst[:0], lst[lim:]...)
 	}
 	h.guardEnts = ents
 	st.GuardianEntriesScanned += uint64(len(ents))
@@ -768,6 +1032,19 @@ func (h *Heap) weakPass(g int) {
 // own (so the caller can keep it in the dirty set).
 func (h *Heap) weakFix(addr uint64) bool {
 	h.Stats.WeakPairsScanned++
+	if h.sliceActive.Load() {
+		// A sliced collection's window can record a weak store into a
+		// from-space weak pair (the pair was not yet forwarded when the
+		// mutator wrote it). By the time the weak pass runs, the pair
+		// may have been forwarded — its copy is on newWeak and handled
+		// there — or died with from-space. Either way the from-space
+		// cell must be left alone: fixing it is at best wasted work and
+		// its address must never re-enter the dirty set.
+		as := h.tab.SegOf(addr)
+		if as.Gen <= h.gcGen && as.Stamp != h.stamp {
+			return false
+		}
+	}
 	v := h.valueAt(addr)
 	if !v.IsPointer() {
 		return false

@@ -163,6 +163,33 @@ func (d *deque) capacity() int {
 	return 0
 }
 
+// size returns the number of items currently in the deque. Quiescent
+// use only (no concurrent owner or thieves): the verifier walks parked
+// deques between slices of a sliced collection, when every worker has
+// returned and the world is stopped.
+func (d *deque) size() int {
+	n := d.bottom.Load() - d.top.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}
+
+// each calls fn on every packed item in the deque, oldest first,
+// without consuming them. Quiescent use only, like size: between
+// slices the parked deques are the checkpointed sweep work, and the
+// verifier uses each to prove every unswept item still addresses a
+// live current-stamp segment.
+func (d *deque) each(fn func(uint64)) {
+	r := d.ring.Load()
+	if r == nil {
+		return
+	}
+	for i := d.top.Load(); i < d.bottom.Load(); i++ {
+		fn(r.slot[i&r.mask].Load())
+	}
+}
+
 // shrink drops an over-grown ring back to dequeMinCap. Called between
 // collections by the owner with no concurrency; the deque must be
 // empty. Steady-state collections whose rings stay at or under

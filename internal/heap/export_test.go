@@ -63,3 +63,9 @@ func NewDeque() (push func(uint64), pop func() (uint64, bool), steal func() (uin
 	d.init()
 	return d.push, d.pop, d.steal, d.capacity, d.shrink
 }
+
+// SetSliceWindowHook installs fn to run inside every mutator window of
+// a sliced collection (world resumed, sweep work parked). Test-only:
+// the sliced-collection suite uses it to run Verify between slices —
+// the only moment invariant 10 is checkable — and to count windows.
+func SetSliceWindowHook(h *Heap, fn func()) { h.sliceHook = fn }

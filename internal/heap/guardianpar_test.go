@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/heap"
 	"repro/internal/obj"
@@ -37,12 +38,15 @@ func tconcIDs(h *heap.Heap, tc obj.Value) []int64 {
 // drops, and collections, recording the guardian tconc's ID sequence
 // after every collection. Two heaps run with the same seed consume
 // identical random streams, so any divergence in the returned
-// history is the collector's doing.
-func guardianWorkload(t *testing.T, workers int, seed int64, steps int) (history [][]int64, salvaged, held uint64) {
+// history is the collector's doing. A non-zero budget runs the same
+// workload with pause-budgeted (sliced) collections, which must be
+// equally unobservable here (TestGuardianSlicedDeterminism).
+func guardianWorkload(t *testing.T, workers int, budget time.Duration, seed int64, steps int) (history [][]int64, salvaged, held uint64) {
 	t.Helper()
 	cfg := heap.DefaultConfig()
 	cfg.TriggerWords = 1 << 30 // collections are explicit ops only
 	cfg.Workers = workers
+	cfg.PauseBudget = budget
 	h := heap.MustNew(cfg)
 	tc := h.NewRoot(makeTconc(h))
 	var roots []*heap.Root
@@ -109,12 +113,12 @@ func TestGuardianParallelDeterminism(t *testing.T) {
 	for _, seed := range []int64{3, 71, 20260806} {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			const steps = 1500
-			ref, refSalvaged, refHeld := guardianWorkload(t, 1, seed, steps)
+			ref, refSalvaged, refHeld := guardianWorkload(t, 1, 0, seed, steps)
 			if refSalvaged == 0 || refHeld == 0 {
 				t.Fatalf("weak workload: salvaged=%d held=%d", refSalvaged, refHeld)
 			}
 			for _, workers := range []int{2, 8, 0} {
-				got, salvaged, held := guardianWorkload(t, workers, seed, steps)
+				got, salvaged, held := guardianWorkload(t, workers, 0, seed, steps)
 				if salvaged != refSalvaged || held != refHeld {
 					t.Fatalf("workers=%d: salvaged/held %d/%d, sequential %d/%d",
 						workers, salvaged, held, refSalvaged, refHeld)

@@ -78,6 +78,14 @@ type parGC struct {
 	guardVerdicts  []bool
 	guardObj       bool
 	inGuardian     bool
+
+	// deadlineNS, when non-zero, is the current slice's deadline
+	// (UnixNano) for a sliced collection's budgeted sweep drain:
+	// workers exit sweepPhase when they cross it, leaving their deques
+	// parked — pending stays > 0 and the items resume next slice. A
+	// plain field, not atomic: it is written before the fan-out and the
+	// goroutine-start edge publishes it; workers only read it.
+	deadlineNS int64
 }
 
 // parPhase selects which phase body a worker's persistent goroutine
@@ -300,6 +308,7 @@ func (h *Heap) ensurePar(workers int) *parGC {
 		pw.guardBusyNS, pw.guardIdleNS = 0, 0
 	}
 	p.inGuardian = false
+	p.deadlineNS = 0
 	for _, pw := range p.workers[workers:] {
 		for _, idx := range pw.segCache.takeAll() {
 			h.tab.Unreserve(idx)
@@ -393,6 +402,61 @@ func (h *Heap) collectParallel(g int, t time.Time) time.Time {
 	// workers' private buffers and deques, so the per-worker state is
 	// folded back only once all parallel work is done.
 	return t
+}
+
+// collectParallelSliced is collectParallel for a sliced collection: it
+// fans out the roots and dirty/old scan phases exactly as
+// collectParallel does but leaves the sweep to the slice loop
+// (parSliceSweep). ensurePar runs here, once per collection — the
+// slice loop must not re-run it, since it would reset the pending
+// count the parked deques still depend on.
+func (h *Heap) collectParallelSliced(g int, t time.Time) time.Time {
+	h.ensurePar(h.gcWorkers)
+
+	h.runPar(parPhaseRoots)
+	t = h.phaseMark(PhaseRoots, t)
+
+	if h.cfg.UseDirtySet {
+		h.runPar(parPhaseDirty)
+		t = h.phaseMark(PhaseDirtyScan, t)
+	} else {
+		h.oldSegCandidates(g)
+		h.runPar(parPhaseOld)
+		t = h.phaseMark(PhaseOldScan, t)
+	}
+	return t
+}
+
+// parSliceSweep runs one slice's worth of the parallel sweep fixpoint,
+// bounded by the deadline, and reports whether the fixpoint completed.
+// Items staged on h.sweepQ by the slice's sequential fixup work
+// (sliceFixup's root re-forwarding and window-segment scans use the
+// sequential forward) are dealt round-robin onto the active deques
+// first, exactly like parGuardianSweep — with no worker running, the
+// owner-only push rule is respected and the fan-out's goroutine-start
+// edge publishes the pushes. Between calls the un-drained items stay
+// parked on the deques with pending as their exact count. Each slice
+// that drains anything counts as one sweep pass, matching the
+// sequential budgeted sweep.
+func (h *Heap) parSliceSweep(deadline time.Time) bool {
+	t0 := time.Now()
+	p := h.par
+	for i, it := range h.sweepQ {
+		pw := p.active[i%len(p.active)]
+		p.pending.Add(1)
+		pw.dq.push(packSweepItem(it))
+	}
+	h.sweepQ = h.sweepQ[:0]
+	if p.pending.Load() == 0 {
+		h.phaseNS[PhaseSweep] += time.Since(t0).Nanoseconds()
+		return true
+	}
+	h.Stats.SweepPasses++
+	p.deadlineNS = deadline.UnixNano()
+	h.runPar(parPhaseSweep)
+	p.deadlineNS = 0
+	h.phaseNS[PhaseSweep] += time.Since(t0).Nanoseconds()
+	return p.pending.Load() == 0
 }
 
 // runPar runs the selected phase on every active worker and waits for
@@ -852,12 +916,23 @@ func (pw *parWorker) steal() (sweepItem, bool) {
 // hiding it. One collection can run several drains — the main sweep
 // plus one per guardian salvage round — so the counters accumulate;
 // parGC.inGuardian routes a drain's time to the guardian columns.
+// Sliced collections (parGC.deadlineNS != 0) add a deadline exit: the
+// busy loop checks the slice deadline every 32 items — before popping,
+// so a worker never exits holding a popped-but-unprocessed item — and
+// the termination spin checks it unconditionally, because once a peer
+// has exited at the deadline with items still parked in its deque,
+// pending can stay positive forever and a spinner that only watched
+// pending would never leave.
 func (pw *parWorker) sweepPhase() {
 	t0 := time.Now()
 	var idle int64
+	n := 0
 	p := pw.h.par
 	for {
 		if p.abort.Load() {
+			break
+		}
+		if p.deadlineNS != 0 && n > 0 && n&31 == 0 && time.Now().UnixNano() >= p.deadlineNS {
 			break
 		}
 		it, ok := pw.popOwn()
@@ -868,6 +943,9 @@ func (pw *parWorker) sweepPhase() {
 			if p.pending.Load() == 0 {
 				break
 			}
+			if p.deadlineNS != 0 && time.Now().UnixNano() >= p.deadlineNS {
+				break
+			}
 			ti := time.Now()
 			runtime.Gosched()
 			idle += time.Since(ti).Nanoseconds()
@@ -875,6 +953,7 @@ func (pw *parWorker) sweepPhase() {
 		}
 		pw.process(it)
 		p.pending.Add(-1)
+		n++
 	}
 	busy := time.Since(t0).Nanoseconds() - idle
 	if p.inGuardian {

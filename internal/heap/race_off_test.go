@@ -1,0 +1,5 @@
+//go:build !race
+
+package heap_test
+
+const raceEnabled = false

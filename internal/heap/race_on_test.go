@@ -1,0 +1,8 @@
+//go:build race
+
+package heap_test
+
+// raceEnabled reports whether the race detector is active, so
+// timing-sensitive tests (slice pause bounds) can skip themselves:
+// the detector's ~20x slowdown makes wall-clock budgets meaningless.
+const raceEnabled = true

@@ -2,6 +2,7 @@ package heap
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/obj"
 	"repro/internal/seg"
@@ -174,6 +175,120 @@ func (h *Heap) scanRemShard(sh *remShard, g int, fwd func(obj.Value) obj.Value, 
 	}
 	sh.entries = live
 	return scanned
+}
+
+// sliceRecord is the window half of the sliced-collection write
+// barrier: while a sliced collection is between slices (sliceActive),
+// every mutator pointer store is recorded — whatever generation the
+// cell lives in — because the store may plant a from-space pointer in
+// a cell the collection has already scanned. The next slice drains the
+// buffer (sliceFixup) and re-forwards each cell. This is "treat
+// in-progress space as dirty": the regular remembered-set insert still
+// runs for old-generation cells (future collections need it); this
+// buffer is what keeps the CURRENT collection sound. The buffer is
+// mutator-shared, so it takes its own mutex; it is touched only during
+// windows of a sliced collection, never on the steady-state barrier
+// path, where sliceActive costs one atomic load.
+func (h *Heap) sliceRecord(addr uint64, weak bool) {
+	h.sliceMu.Lock()
+	h.sliceDirty = append(h.sliceDirty, dirtyCell{addr, weak})
+	h.sliceMu.Unlock()
+}
+
+// sliceFixup runs at the start of every slice after a mutator window:
+// it re-establishes the collection's invariants over everything the
+// mutators did while the world was running. Three sources of new work:
+// roots (slots may have been rebound, new roots registered, pin slots
+// loaded — all re-forwarded, idempotently), the window store buffer
+// (each recorded strong cell is re-forwarded in place; weak cells
+// defer to the weak pass), and window allocations (fresh gen-0
+// segments, scanned like to-space — the "allocate black" rule; the
+// per-space chain cursor makes each segment scanned exactly once,
+// which suffices because a flushed TLAB segment is never refilled and
+// later stores into it are caught by the store buffer). Items staged
+// on the sweep queue are drained by the slice's budgeted sweep. Time
+// accrues to the roots and dirty-scan phases; no window time can leak
+// in, because this runs strictly inside the stopped world.
+func (h *Heap) sliceFixup() {
+	t := time.Now()
+	for _, c := range *h.rootChunks.Load() {
+		for o := range c.vals {
+			if c.live[o] {
+				c.vals[o] = h.forward(c.vals[o])
+			}
+		}
+	}
+	for _, p := range h.providers {
+		p.v.VisitRoots(h.rootVisit)
+	}
+	for _, m := range h.muts {
+		for i := range m.tmp {
+			m.tmp[i] = h.forward(m.tmp[i])
+		}
+	}
+	t = h.phaseMark(PhaseRoots, t)
+
+	for _, c := range h.sliceDirty {
+		h.Stats.DirtyCellsScanned++
+		if c.weak {
+			h.pendWeak = append(h.pendWeak, c.addr)
+			continue
+		}
+		h.setWord(c.addr, uint64(h.forward(h.valueAt(c.addr))))
+	}
+	h.sliceDirty = h.sliceDirty[:0]
+	for sp := 0; sp < int(seg.NumSpaces); sp++ {
+		chain := h.chains[sp][0]
+		for _, idx := range chain[h.sliceGen0Done[sp]:] {
+			h.sliceScanSeg(seg.Space(sp), idx)
+		}
+		h.sliceGen0Done[sp] = len(chain)
+	}
+	h.phaseMark(PhaseDirtyScan, t)
+}
+
+// sliceScanSeg scans one window-allocated generation-0 segment,
+// forwarding every pointer field, exactly as scanAllOld walks an old
+// segment. Large-object continuation segments are skipped: the header
+// walk of the run's head segment covers the whole run (payload
+// addresses are linear across it).
+func (h *Heap) sliceScanSeg(space seg.Space, idx int) {
+	s := h.tab.Seg(idx)
+	if s.Cont {
+		return
+	}
+	base := seg.BaseAddr(idx)
+	switch space {
+	case seg.SpacePair:
+		for off := 0; off+1 < s.Fill; off += 2 {
+			a := base + uint64(off)
+			h.setWord(a, uint64(h.forward(h.valueAt(a))))
+			h.setWord(a+1, uint64(h.forward(h.valueAt(a+1))))
+			h.Stats.DirtyCellsScanned += 2
+		}
+	case seg.SpaceWeak:
+		for off := 0; off+1 < s.Fill; off += 2 {
+			a := base + uint64(off)
+			h.pendWeak = append(h.pendWeak, a)
+			h.setWord(a+1, uint64(h.forward(h.valueAt(a+1))))
+			h.Stats.DirtyCellsScanned += 2
+		}
+	case seg.SpaceObj:
+		off := 0
+		for off < s.Fill {
+			w := h.word(base + uint64(off))
+			h.check(obj.IsHeader(w), "sliceScanSeg: missing header in segment %d", idx)
+			n := obj.PayloadWords(obj.HeaderKind(w), obj.HeaderLength(w))
+			for i := 1; i <= n; i++ {
+				a := base + uint64(off+i)
+				h.setWord(a, uint64(h.forward(h.valueAt(a))))
+				h.Stats.DirtyCellsScanned++
+			}
+			off += 1 + n
+		}
+	case seg.SpaceData:
+		// No pointers.
+	}
 }
 
 // RemSetShardSizes returns the deduplicated remembered-set size of

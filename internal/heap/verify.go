@@ -43,7 +43,21 @@ import (
 //  9. registered mutators are consistent with the heap: a suspended
 //     mutator (parked, idle, or any mutator while a collection runs)
 //     has flushed TLAB cursors, and no mutator's reserved-segment
-//     cache entry is marked in use.
+//     cache entry is marked in use;
+//  10. between the slices of a pause-budgeted collection (sliceActive),
+//     the checkpointed sweep work is sound: every staged sweep item —
+//     on the sequential sweep queue or parked on a worker deque —
+//     addresses an in-use to-space segment of the current collection
+//     stamp, and in parallel mode the pending counter equals the total
+//     number of parked deque items.
+//
+// During the mutator windows of a sliced collection the heap is only
+// partially forwarded, so Verify relaxes itself while sliceActive:
+// from-space segments (collected generation, stale stamp) are skipped
+// entirely, forwarding words are legitimate cell contents, pointers to
+// from-space are accepted (the next slice re-forwards them), and the
+// dirty-set invariant (3/4) is deferred to collection end. Invariant
+// 10 is checked only in that state — it is vacuous otherwise.
 //
 // In concurrent-mutator mode Verify must run on a quiescent heap —
 // every registered mutator parked, idle, or otherwise not allocating —
@@ -56,6 +70,16 @@ func (h *Heap) Verify() []error {
 		}
 	}
 
+	sliced := h.sliceActive.Load()
+	// fromSpace reports whether s is from-space of the in-progress
+	// sliced collection: a collected generation whose stamp is stale.
+	// Such segments hold a mix of forwarding words and not-yet-copied
+	// originals; their contents are exempt from checking until the
+	// final slice frees them.
+	fromSpace := func(s *seg.Segment) bool {
+		return sliced && s.Gen <= h.gcGen && s.Stamp != h.stamp
+	}
+
 	checkValue := func(where string, addr uint64, v obj.Value, weakCar, genCheck bool) {
 		switch v.Tag() {
 		case obj.TagFixnum, obj.TagImm:
@@ -64,7 +88,9 @@ func (h *Heap) Verify() []error {
 			report("%s @%d: header word used as value", where, addr)
 			return
 		case obj.TagFwd:
-			report("%s @%d: forwarding word outside collection", where, addr)
+			if !sliced {
+				report("%s @%d: forwarding word outside collection", where, addr)
+			}
 			return
 		}
 		ta := v.Addr()
@@ -75,6 +101,12 @@ func (h *Heap) Verify() []error {
 		ts := h.tab.SegOf(ta)
 		if !ts.InUse {
 			report("%s @%d: dangling pointer into freed segment %d", where, addr, seg.SegIndexOf(ta))
+			return
+		}
+		if fromSpace(ts) {
+			// Not yet re-forwarded; the next slice's fixup or sweep
+			// resolves it. Content checks against the stale copy would
+			// be meaningless.
 			return
 		}
 		switch {
@@ -93,7 +125,9 @@ func (h *Heap) Verify() []error {
 		}
 		// Generational invariant: old cell pointing young must be
 		// remembered (or be a deferred weak car, also remembered).
-		if genCheck && h.cfg.UseDirtySet && !h.inCollect.Load() {
+		// Deferred while sliced: mid-collection the dirty set is partly
+		// consumed and the window store buffer holds the rest.
+		if genCheck && h.cfg.UseDirtySet && !h.inCollect.Load() && !sliced {
 			cellGen := h.tab.SegOf(addr).Gen
 			if ts.Gen < cellGen {
 				if got, ok := h.dirtyLookup(addr); !ok || (weakCar && !got) {
@@ -138,7 +172,7 @@ func (h *Heap) Verify() []error {
 
 	for idx := 0; idx < h.tab.Len(); idx++ {
 		s := h.tab.Seg(idx)
-		if !s.InUse || s.Cont {
+		if !s.InUse || s.Cont || fromSpace(s) {
 			continue
 		}
 		base := seg.BaseAddr(idx)
@@ -272,6 +306,45 @@ func (h *Heap) Verify() []error {
 				if seg.SegIndexOf(c.addr) >= h.tab.Len() {
 					report("remset shard %d: entry @%d past end of heap", si, c.addr)
 				}
+			}
+		}
+	}
+
+	// Checkpointed sweep work (invariant 10). Only meaningful between
+	// the slices of a pause-budgeted collection: the parked deques (or
+	// the sequential sweep queue) are the collection's entire unswept
+	// frontier, so a stale item — one addressing a freed or from-space
+	// segment — would make the next slice sweep garbage.
+	if sliced {
+		checkItem := func(queue string, it sweepItem) {
+			if seg.SegIndexOf(it.addr) >= h.tab.Len() {
+				report("%s sweep item @%d: past end of heap", queue, it.addr)
+				return
+			}
+			s := h.tab.SegOf(it.addr)
+			switch {
+			case !s.InUse:
+				report("%s sweep item @%d: addresses freed segment %d",
+					queue, it.addr, seg.SegIndexOf(it.addr))
+			case s.Stamp != h.stamp && s.Gen <= h.gcGen:
+				report("%s sweep item @%d: addresses from-space segment %d (gen %d, stamp %d)",
+					queue, it.addr, seg.SegIndexOf(it.addr), s.Gen, s.Stamp)
+			}
+		}
+		for _, it := range h.sweepQ {
+			checkItem("queued", it)
+		}
+		if p := h.par; p != nil {
+			parked := 0
+			for _, pw := range p.workers {
+				pw.dq.each(func(x uint64) {
+					checkItem("parked", unpackSweepItem(x))
+				})
+				parked += pw.dq.size()
+			}
+			if pend := int(p.pending.Load()); pend != parked {
+				report("sliced collection: pending counter %d but %d items parked on deques",
+					pend, parked)
 			}
 		}
 	}

@@ -97,6 +97,9 @@ type Table struct {
 	chunks atomic.Pointer[[]*segChunk]
 	nseg   int
 	free   []int
+	// lazy holds segments retired by FreeLazy: reusable like free ones,
+	// but their words are stale and are zeroed only when claimed.
+	lazy []int
 	// reserved counts segments handed out by Reserve but not yet
 	// initialized with InitReserved (nor returned with Unreserve).
 	// Reserving happens under the caller's allocation mutex, but
@@ -143,18 +146,32 @@ func (t *Table) initSeg(idx int, space Space, gen int, stamp uint64, cont bool) 
 	return s
 }
 
+// claim returns a reusable segment index with zeroed words (or a
+// brand-new index whose words initSeg/Reserve will materialize):
+// eagerly-freed segments first, then lazily-freed ones — paying their
+// deferred zeroing here — then fresh table growth.
+func (t *Table) claim() int {
+	if n := len(t.free); n > 0 {
+		idx := t.free[n-1]
+		t.free = t.free[:n-1]
+		return idx
+	}
+	if n := len(t.lazy); n > 0 {
+		idx := t.lazy[n-1]
+		t.lazy = t.lazy[:n-1]
+		clear(t.Seg(idx).Words)
+		return idx
+	}
+	t.grow()
+	idx := t.nseg
+	t.nseg++
+	return idx
+}
+
 // Alloc returns the index of a fresh segment assigned to the given
 // space and generation, reusing a retired segment when one exists.
 func (t *Table) Alloc(space Space, gen int, stamp uint64) int {
-	var idx int
-	if n := len(t.free); n > 0 {
-		idx = t.free[n-1]
-		t.free = t.free[:n-1]
-	} else {
-		t.grow()
-		idx = t.nseg
-		t.nseg++
-	}
+	idx := t.claim()
 	t.initSeg(idx, space, gen, stamp, false)
 	return idx
 }
@@ -187,15 +204,7 @@ func (t *Table) AllocRun(space Space, gen int, stamp uint64, k int) int {
 // Reserve mutates the table and must be serialized like Alloc/Free.
 func (t *Table) Reserve(dst []int, k int) []int {
 	for i := 0; i < k; i++ {
-		var idx int
-		if n := len(t.free); n > 0 {
-			idx = t.free[n-1]
-			t.free = t.free[:n-1]
-		} else {
-			t.grow()
-			idx = t.nseg
-			t.nseg++
-		}
+		idx := t.claim()
 		if s := t.Seg(idx); s.Words == nil {
 			s.Words = make([]uint64, Words)
 		}
@@ -254,6 +263,28 @@ func (t *Table) Free(idx int) {
 	t.free = append(t.free, idx)
 }
 
+// FreeLazy retires segment idx without zeroing its words; the clear is
+// deferred to the claim that reuses it. Sliced (pause-budget)
+// collections retire the whole from-space inside the final
+// stop-the-world slice, and the O(segment-size) zeroing of thousands
+// of segments is the one Free-phase cost proportional to heap size —
+// deferring it moves that work off the bounded pause and onto later
+// allocation slow paths, at the price of the freed-words-read-as-zero
+// debugging property (a dangling pointer into a lazily freed segment
+// reads stale words until the segment is reclaimed). Serialized like
+// Free.
+func (t *Table) FreeLazy(idx int) {
+	s := t.Seg(idx)
+	if !s.InUse {
+		panic(fmt.Sprintf("seg: double free of segment %d", idx))
+	}
+	s.InUse = false
+	s.Next = None
+	s.Cont = false
+	s.Fill = 0
+	t.lazy = append(t.lazy, idx)
+}
+
 // Seg returns the segment with the given index. The pointer is stable:
 // it remains valid as the table grows.
 func (t *Table) Seg(idx int) *Segment {
@@ -263,19 +294,22 @@ func (t *Table) Seg(idx int) *Segment {
 // Len returns the total number of segments ever created.
 func (t *Table) Len() int { return t.nseg }
 
-// FreeCount returns the number of retired segments awaiting reuse.
-func (t *Table) FreeCount() int { return len(t.free) }
+// FreeCount returns the number of retired segments awaiting reuse
+// (eagerly and lazily freed alike).
+func (t *Table) FreeCount() int { return len(t.free) + len(t.lazy) }
 
 // InUseCount returns the number of live segments. Reserved segments
 // (see Reserve) are neither free nor in use and are excluded.
-func (t *Table) InUseCount() int { return t.nseg - len(t.free) - int(t.reserved.Load()) }
+func (t *Table) InUseCount() int {
+	return t.nseg - len(t.free) - len(t.lazy) - int(t.reserved.Load())
+}
 
 // CommittedCount returns the number of segments the table has handed
 // out and not gotten back: in-use plus reserved. Bounded heaps charge
 // reservations against Config.MaxSegments at Reserve time using this
 // figure, so a segment parked in an affinity cache or a mutator's TLAB
 // cache counts against the limit exactly like a live one.
-func (t *Table) CommittedCount() int { return t.nseg - len(t.free) }
+func (t *Table) CommittedCount() int { return t.nseg - len(t.free) - len(t.lazy) }
 
 // SegIndexOf returns the index of the segment containing the word
 // address addr.

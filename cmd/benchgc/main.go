@@ -14,6 +14,7 @@
 //	benchgc -trace -pause-budget 1ms  # same workload, deadline-sliced full collections
 //	benchgc -parallel-bench           # pause/sweep percentiles per worker count -> BENCH_parallel.json
 //	benchgc -pause-bench              # sliced-vs-monolithic pause bound -> BENCH_pause.json
+//	benchgc -server-bench             # multi-session server churn -> BENCH_server.json
 //
 // See docs/ALGORITHM.md ("Reading benchgc -trace output") for the
 // trace record schema.
@@ -43,9 +44,22 @@ func main() {
 			"PauseBudget for the -trace/-phases workload (0 = monolithic); with -pause-bench, the sliced run's budget (default 1ms)")
 		pauseBench = flag.Bool("pause-bench", false,
 			"run the pause-budget benchmark (deadline-sliced vs monolithic full collections) and write a JSON report")
-		pauseOut = flag.String("pause-bench-out", "BENCH_pause.json", "output path for -pause-bench")
+		pauseOut    = flag.String("pause-bench-out", "BENCH_pause.json", "output path for -pause-bench")
+		serverBench = flag.Bool("server-bench", false,
+			"run the multi-session server benchmark (standing population + churn) and write a JSON report")
+		serverSessions = flag.Int("server-sessions", 10000, "standing session population for -server-bench")
+		serverChurn    = flag.Int("server-churn", 2000, "register/run/disconnect cycles for -server-bench")
+		serverOut      = flag.String("server-bench-out", "BENCH_server.json", "output path for -server-bench")
 	)
 	flag.Parse()
+
+	if *serverBench {
+		if err := runServerBench(os.Stdout, *serverOut, *serverSessions, *serverChurn); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgc: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *parBench {
 		if err := runParallelBench(os.Stdout, *benchOut, *gcs); err != nil {

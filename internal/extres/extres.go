@@ -90,6 +90,16 @@ func (a *Arena) Free(id int) error {
 	return nil
 }
 
+// KindOf returns the kind of the resource with the given id, freed or
+// not, and reports whether the id is known to the arena.
+func (a *Arena) KindOf(id int) (Kind, bool) {
+	r, ok := a.resources[id]
+	if !ok {
+		return 0, false
+	}
+	return r.kind, true
+}
+
 // Live returns the number of unfreed resources — the leak figure.
 func (a *Arena) Live() int {
 	n := 0
@@ -164,16 +174,35 @@ func (m *Manager) FreeNow(header obj.Value) error {
 func (m *Manager) ReleaseDropped() int {
 	n := 0
 	for {
-		rec, ok := m.g.Get()
-		if !ok {
+		if _, ok := m.ReleaseNext(); !ok {
 			return n
 		}
-		id := m.IDOf(rec)
+		n++
+	}
+}
+
+// ReleaseNext retrieves one header proven inaccessible and frees its
+// resource, returning the freed resource id. Headers whose resources
+// were already freed explicitly are skipped. ok is false when no
+// pending header remains. Retrieval order is the guardian's tconc
+// order; callers that account reclamation per resource (the session
+// server's reclaim log) use this instead of the batch ReleaseDropped.
+func (m *Manager) ReleaseNext() (id int, ok bool) {
+	for {
+		rec, got := m.g.Get()
+		if !got {
+			return 0, false
+		}
+		id = m.IDOf(rec)
 		if r, exists := m.arena.resources[id]; exists && !r.freed {
 			if err := m.arena.Free(id); err == nil {
 				m.Released++
-				n++
+				return id, true
 			}
 		}
 	}
 }
+
+// Guardian exposes the resource guardian (for tests and hosts that
+// drain it directly).
+func (m *Manager) Guardian() *core.Guardian { return m.g }

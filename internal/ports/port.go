@@ -98,19 +98,46 @@ func (m *Manager) GuardedOpenOutput(name string) (obj.Value, error) {
 func (m *Manager) CloseDroppedPorts() int {
 	n := 0
 	for {
-		p, ok := m.g.Get()
-		if !ok {
+		if _, ok := m.CloseNextDropped(); !ok {
 			return n
 		}
+		n++
+	}
+}
+
+// CloseNextDropped retrieves one port proven inaccessible from the
+// port guardian and closes it (flushing output first), returning the
+// descriptor it occupied. Ports already closed explicitly are skipped.
+// ok is false when no dropped port remains. Retrieval order is the
+// guardian's tconc order; callers that account reclamation per
+// resource (the session server's reclaim log) use this instead of the
+// batch CloseDroppedPorts.
+func (m *Manager) CloseNextDropped() (fd int, ok bool) {
+	for {
+		p, got := m.g.Get()
+		if !got {
+			return 0, false
+		}
 		if m.IsOpen(p) {
+			fd = m.fd(p)
 			if m.IsOutput(p) {
 				m.mustFlush(p)
 			}
 			m.mustClose(p)
 			m.DroppedClosed++
-			n++
+			return fd, true
 		}
 	}
+}
+
+// RegisterGuarded registers an already-open port with the port
+// guardian without first draining dropped ports (unlike GuardedOpen*,
+// which run a CloseDroppedPorts pass as in §3's guarded-open). Hosts
+// that log reclamation order use it so every close flows through
+// their own CloseNextDropped loop.
+func (m *Manager) RegisterGuarded(p obj.Value) {
+	m.mustPort(p, "register-guarded")
+	m.g.Register(p)
 }
 
 // InstallCollectHandler arranges for CloseDroppedPorts to run after

@@ -1,0 +1,61 @@
+package scheme_test
+
+import (
+	"testing"
+
+	"repro/internal/obj"
+	"repro/internal/scheme"
+)
+
+// The prelude interns short names like "p" as lambda parameters, so a
+// hosted program's (define p ...) binds a value onto a *permanent*
+// symbol slot. DropUserState must still sever that binding, or the
+// value (and anything it guards, like a port) stays reachable forever.
+func TestDropUserStateUnbindsPermanentSymbol(t *testing.T) {
+	m := newMachine(t)
+	permanent := false
+	m.VisitSymbols(func(idx int, name string, _, _ obj.Value) {
+		if name == "p" && idx < m.PermanentSymbols() {
+			permanent = true
+		}
+	})
+	if !permanent {
+		t.Fatal(`"p" is no longer prelude-interned; pick another permanent name for this test`)
+	}
+	m.MustEval("(define p 7)")
+	m.DropUserState()
+	if _, err := m.EvalString("p"); err == nil {
+		t.Fatal("permanent symbol p kept its user binding across DropUserState")
+	}
+}
+
+// set! on a prelude global must be rolled back by DropUserState: the
+// next hosted program gets the pristine binding, and the replaced
+// value becomes collectible.
+func TestDropUserStateRestoresPreludeBinding(t *testing.T) {
+	m := newMachine(t)
+	m.MustEval("(set! cadr (lambda (x) 'hijacked))")
+	if got := evalStr(t, m, "(cadr '(1 2 3))"); got != "hijacked" {
+		t.Fatalf("set! did not take: %s", got)
+	}
+	m.DropUserState()
+	if got := evalStr(t, m, "(cadr '(1 2 3))"); got != "2" {
+		t.Fatalf("cadr after DropUserState = %s, want 2", got)
+	}
+}
+
+// A host primitive installed over an already-permanent name must
+// survive DropUserState (the snapshot is refreshed, not reverted).
+func TestDefinePrimOnPermanentNameSurvivesDrop(t *testing.T) {
+	m := newMachine(t)
+	m.DefinePrim("p", 0, 0, func(_ *scheme.Machine, _ scheme.Args) (obj.Value, error) {
+		return obj.FromFixnum(99), nil
+	})
+	if got := evalStr(t, m, "(p)"); got != "99" {
+		t.Fatalf("(p) = %s, want 99", got)
+	}
+	m.DropUserState()
+	if got := evalStr(t, m, "(p)"); got != "99" {
+		t.Fatalf("(p) after DropUserState = %s, want 99", got)
+	}
+}

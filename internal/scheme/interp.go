@@ -95,6 +95,19 @@ type Machine struct {
 	// symbol table at each collection instead of living forever.
 	pruneSymbols  bool
 	permanentSyms int
+	// permValues/permPlists snapshot the global value and property
+	// list of each permanent symbol at machine initialization. User
+	// code can bind or set! a permanent symbol (the prelude interns
+	// short names like "p" as lambda parameters, so a user-level
+	// (define p ...) lands on a permanent slot); DropUserState
+	// restores these snapshots so such bindings do not outlive the
+	// hosted program. The snapshots are visited as strong roots.
+	permValues []obj.Value
+	permPlists []obj.Value
+	// permanentCodes is the length of codes at machine initialization;
+	// DropUserState truncates back to it so compiled user code (whose
+	// constants are visited as roots) does not pin user objects.
+	permanentCodes int
 
 	// Escape continuations (see callcc.go).
 	nextContID  int64
@@ -162,8 +175,27 @@ func New(h *heap.Heap, pm *ports.Manager) *Machine {
 	// everything the prelude mentions) are permanent; symbols interned
 	// later are candidates for pruning.
 	m.permanentSyms = len(m.syms)
+	m.permanentCodes = len(m.codes)
+	m.snapshotPermanents()
 	h.AddPostCollectHook(m.pruneDeadSymbols)
 	return m
+}
+
+// snapshotPermanents records the global value and property list of
+// permanent symbol slots not yet snapshotted, up to the current
+// watermark, so DropUserState can restore them. Called from New for
+// the whole initial table and from DefinePrim when it promotes a slot.
+func (m *Machine) snapshotPermanents() {
+	for i := len(m.permValues); i < m.permanentSyms; i++ {
+		value, plist := obj.Unbound, obj.Nil
+		if v := m.syms[i]; v != obj.False {
+			if val, pl, ok := m.H.PeekSymbol(v); ok {
+				value, plist = val, pl
+			}
+		}
+		m.permValues = append(m.permValues, value)
+		m.permPlists = append(m.permPlists, plist)
+	}
 }
 
 // EnableSymbolPruning turns the symbol table weak: interned symbols
@@ -216,6 +248,12 @@ func (m *Machine) VisitRoots(visit func(*obj.Value)) {
 			}
 		}
 		visit(&m.syms[i])
+	}
+	for i := range m.permValues {
+		visit(&m.permValues[i])
+	}
+	for i := range m.permPlists {
+		visit(&m.permPlists[i])
 	}
 	for i := range m.stack {
 		visit(&m.stack[i])

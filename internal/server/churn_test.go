@@ -1,0 +1,132 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// churnCycles returns the register/run/disconnect cycle count for the
+// stress test. The default keeps `go test ./...` quick; the CI race
+// gate raises it to the full 10k via SERVER_CHURN_CYCLES.
+func churnCycles(t *testing.T) int {
+	if v := os.Getenv("SERVER_CHURN_CYCLES"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad SERVER_CHURN_CYCLES=%q", v)
+		}
+		return n
+	}
+	if testing.Short() {
+		return 400
+	}
+	return 2000
+}
+
+// TestSessionChurnStress is the churn satellite: thousands of
+// register / run / disconnect cycles across 4 client goroutines
+// against a started server, asserting that every disconnected
+// session is fully reclaimed within the drain-pass cap, that no
+// ports or external resources leak, and that the per-session final
+// heap census shows no unbounded residue.
+func TestSessionChurnStress(t *testing.T) {
+	cycles := churnCycles(t)
+	srv := New(Config{Executors: 4, GCWorkers: 2})
+	srv.Start()
+	defer srv.Close()
+
+	const clients = 4
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	perClient := cycles / clients
+
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				id, err := srv.Register("(define n 0)")
+				if err != nil {
+					errCh <- fmt.Errorf("client %d cycle %d: register: %w", c, i, err)
+					return
+				}
+				// A small working set: a guarded port, a guarded
+				// resource, some allocation pressure.
+				err = srv.Send(id, `
+					(begin
+					  (define p (open-session-port "c.tmp"))
+					  (define r (session-alloc 0 32))
+					  (let loop ((i 0) (acc '()))
+					    (if (< i 50)
+					        (loop (+ i 1) (cons i acc))
+					        (set! n (length acc))))
+					  n)`)
+				if err != nil {
+					errCh <- fmt.Errorf("client %d cycle %d: send: %w", c, i, err)
+					return
+				}
+				if err := srv.Disconnect(id); err != nil {
+					errCh <- fmt.Errorf("client %d cycle %d: disconnect: %w", c, i, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if !srv.WaitIdle(5 * time.Minute) {
+		t.Fatal("server did not drain after churn")
+	}
+
+	st := srv.Stats()
+	want := uint64(perClient * clients)
+	if st.Registered != want {
+		t.Fatalf("registered = %d, want %d", st.Registered, want)
+	}
+	if st.Live != 0 || st.Reclaimed != want {
+		t.Fatalf("live = %d reclaimed = %d, want 0 / %d", st.Live, st.Reclaimed, want)
+	}
+	recs := srv.ReclaimRecords()
+	if st.LeakedPorts != 0 || st.LeakedRes != 0 {
+		for _, rec := range recs {
+			if rec.LeakedPorts != 0 || rec.LeakedResources != 0 {
+				t.Errorf("leaking record: %+v", rec)
+			}
+		}
+		t.Fatalf("leaks: ports=%d resources=%d", st.LeakedPorts, st.LeakedRes)
+	}
+
+	if uint64(len(recs)) != want {
+		t.Fatalf("reclaim records = %d, want %d", len(recs), want)
+	}
+	cap := srv.Config().DrainPasses
+	// Census residue bound: a fully drained session heap holds only
+	// the prelude and permanent machine state. Take the maximum
+	// observed as the baseline and allow no outlier above it — every
+	// session ran the identical workload, so the final censuses must
+	// agree closely; a leaking session would stand out by thousands.
+	var minObj, maxObj uint64
+	for i, rec := range recs {
+		if rec.Collections > cap {
+			t.Fatalf("record %d: %d drain collections exceeds cap %d", i, rec.Collections, cap)
+		}
+		if rec.LeakedPorts != 0 || rec.LeakedResources != 0 {
+			t.Fatalf("record %d leaked: %+v", i, rec)
+		}
+		if i == 0 || rec.FinalObjects < minObj {
+			minObj = rec.FinalObjects
+		}
+		if rec.FinalObjects > maxObj {
+			maxObj = rec.FinalObjects
+		}
+	}
+	if maxObj > 2*minObj {
+		t.Fatalf("final census spread too wide: min=%d max=%d objects", minObj, maxObj)
+	}
+}

@@ -1,0 +1,195 @@
+package server
+
+import (
+	"testing"
+)
+
+// fuzzScripts are the request bodies the fuzzer can send. Guarded
+// resources are never bound to globals: every guarded port and
+// resource header is dropped the moment its request finishes, so
+// objects become inaccessible in registration order and the oracle
+// below can demand that reclamation follows registration order
+// exactly (the guardian tconc guarantee, end to end through the
+// server).
+var fuzzScripts = []string{
+	`(open-session-port "z.tmp")`,
+	`(session-alloc 0 16)`,
+	`(begin (open-session-port "y.tmp") (session-alloc 2 1) (collect))`,
+	`(session-free (session-alloc 1 4))`,
+	`(collect)`,
+	`(let loop ((i 0) (a '())) (if (< i 80) (loop (+ i 1) (cons i a)) (length a)))`,
+	`(send-message (session-id) '(ping pong))`,
+	`(let ((m (receive))) (if m (message-from m) #f))`,
+	`(define g (cons 'held 'state))`,
+	`(begin (open-session-port "w.tmp") (open-session-port "v.tmp") (collect) (collect))`,
+}
+
+// fuzzWire are host-injected wire payloads, including malformed ones
+// (unreadable, multi-datum) that must be counted undeliverable, not
+// crash delivery.
+var fuzzWire = []string{
+	"(a b c)",
+	"42",
+	"(",   // unreadable
+	"1 2", // two data
+	"",    // zero data
+	"#(1 2 3)",
+}
+
+// FuzzServerSession drives a synchronous server with a byte-decoded
+// op stream — register, send-script, host-post, disconnect, poll —
+// over at most 5 concurrent sessions, running the heap invariant
+// sweep after every op and, at the end, checking the reclaim-order
+// oracle: each session's logged ports must be exactly its guarded
+// opens in registration order, its logged resources exactly its
+// guarded allocs (minus explicit frees) in registration order, and
+// nothing may leak.
+func FuzzServerSession(f *testing.F) {
+	f.Add([]byte{0, 1, 0x10, 1, 0x21, 3, 2, 0x00, 3})
+	f.Add([]byte{0, 0, 0, 0, 0, 2, 0, 2, 1, 2, 2})
+	f.Add([]byte{0, 1, 0x02, 1, 0x13, 1, 0x24, 4, 0x02, 3, 2, 0x00})
+	f.Add([]byte{0, 0, 1, 0x06, 1, 0x17, 1, 0x09, 3, 2, 0x01, 2, 0x00})
+	f.Add([]byte{0, 1, 0x55, 1, 0x55, 1, 0x55, 1, 0x55, 3, 2, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		srv := New(Config{})
+		var live []SessionID
+		all := make(map[SessionID]*Session)
+
+		pick := func(b byte) (SessionID, bool) {
+			if len(live) == 0 {
+				return 0, false
+			}
+			return live[int(b)%len(live)], true
+		}
+		drop := func(id SessionID) {
+			for i, v := range live {
+				if v == id {
+					live = append(live[:i], live[i+1:]...)
+					return
+				}
+			}
+		}
+
+		verifyAll := func() {
+			for _, id := range live {
+				if s := srv.Session(id); s != nil {
+					if errs := s.Heap().Verify(); len(errs) != 0 {
+						t.Fatalf("session %d heap verify: %v", id, errs)
+					}
+				}
+			}
+		}
+
+		for i := 0; i < len(data); i++ {
+			op := data[i]
+			arg := byte(0)
+			if i+1 < len(data) {
+				arg = data[i+1]
+			}
+			switch op % 5 {
+			case 0: // register
+				if len(live) < 5 {
+					id, err := srv.Register("")
+					if err != nil {
+						t.Fatalf("register: %v", err)
+					}
+					live = append(live, id)
+					all[id] = srv.Session(id)
+				}
+			case 1: // send a script
+				i++
+				if id, ok := pick(arg); ok {
+					src := fuzzScripts[int(arg>>4)%len(fuzzScripts)]
+					if err := srv.Send(id, src); err != nil {
+						t.Fatalf("send: %v", err)
+					}
+				}
+			case 2: // disconnect
+				i++
+				if id, ok := pick(arg); ok {
+					if err := srv.Disconnect(id); err != nil {
+						t.Fatalf("disconnect: %v", err)
+					}
+					drop(id)
+				}
+			case 3: // poll to quiescence
+				srv.Poll()
+			case 4: // host-injected wire message (possibly malformed)
+				i++
+				if id, ok := pick(arg); ok {
+					_ = srv.Post(0, id, fuzzWire[int(arg>>4)%len(fuzzWire)])
+				}
+			}
+			srv.Poll()
+			verifyAll()
+		}
+
+		// Wind down: disconnect everything and drain.
+		for _, id := range append([]SessionID(nil), live...) {
+			if err := srv.Disconnect(id); err != nil {
+				t.Fatalf("final disconnect: %v", err)
+			}
+		}
+		live = nil
+		srv.Poll()
+
+		st := srv.Stats()
+		if st.Live != 0 {
+			t.Fatalf("sessions still live after full drain: %d", st.Live)
+		}
+		if st.LeakedPorts != 0 || st.LeakedRes != 0 {
+			t.Fatalf("leaks: ports=%d resources=%d", st.LeakedPorts, st.LeakedRes)
+		}
+
+		// Oracle: reclaim order equals guardian registration order.
+		recs := srv.ReclaimRecords()
+		if uint64(len(recs)) != st.Reclaimed || st.Reclaimed != st.Registered {
+			t.Fatalf("records=%d reclaimed=%d registered=%d", len(recs), st.Reclaimed, st.Registered)
+		}
+		for _, rec := range recs {
+			s := all[rec.ID]
+			if s == nil {
+				t.Fatalf("record for unknown session %d", rec.ID)
+			}
+			var gotPorts, gotRes []int
+			for _, ev := range rec.Log {
+				if ev.Kind == "port" {
+					gotPorts = append(gotPorts, ev.ID)
+				} else {
+					gotRes = append(gotRes, ev.ID)
+				}
+			}
+			wantPorts := s.OpenedFDs()
+			if len(gotPorts) != len(wantPorts) {
+				t.Fatalf("session %d: reclaimed %d ports, opened %d", rec.ID, len(gotPorts), len(wantPorts))
+			}
+			for i := range wantPorts {
+				if gotPorts[i] != wantPorts[i] {
+					t.Fatalf("session %d: port reclaim order %v != registration order %v", rec.ID, gotPorts, wantPorts)
+				}
+			}
+			// Resources: explicit frees are skipped by the guardian
+			// drain, so the log must be the registration order with the
+			// explicitly-freed ids deleted — i.e. an order-preserving
+			// subsequence covering every unfreed id.
+			wantRes := s.AllocedIDs()
+			j := 0
+			for _, id := range gotRes {
+				for j < len(wantRes) && wantRes[j] != id {
+					j++
+				}
+				if j == len(wantRes) {
+					t.Fatalf("session %d: resource reclaim order %v is not a subsequence of registration order %v", rec.ID, gotRes, wantRes)
+				}
+				j++
+			}
+			if s.arena.Live() != 0 {
+				t.Fatalf("session %d: %d external resources leaked", rec.ID, s.arena.Live())
+			}
+			if s.fs.OpenCount() != 0 {
+				t.Fatalf("session %d: %d descriptors leaked", rec.ID, s.fs.OpenCount())
+			}
+		}
+	})
+}

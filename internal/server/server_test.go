@@ -1,0 +1,455 @@
+package server
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// replyLog collects OnReply callbacks, safely for any executor count.
+type replyLog struct {
+	mu      sync.Mutex
+	replies map[SessionID][]string
+	errs    map[SessionID][]error
+}
+
+func newReplyLog() *replyLog {
+	return &replyLog{replies: make(map[SessionID][]string), errs: make(map[SessionID][]error)}
+}
+
+func (r *replyLog) cb(id SessionID, reply string, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.replies[id] = append(r.replies[id], reply)
+	r.errs[id] = append(r.errs[id], err)
+}
+
+func (r *replyLog) last(id SessionID) (string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.replies[id])
+	if n == 0 {
+		return "", nil
+	}
+	return r.replies[id][n-1], r.errs[id][n-1]
+}
+
+func syncServer(t *testing.T, log *replyLog) *Server {
+	t.Helper()
+	cfg := Config{}
+	if log != nil {
+		cfg.OnReply = log.cb
+	}
+	return New(cfg)
+}
+
+func mustRegister(t *testing.T, srv *Server, init string) SessionID {
+	t.Helper()
+	id, err := srv.Register(init)
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	return id
+}
+
+func mustSend(t *testing.T, srv *Server, id SessionID, src string) {
+	t.Helper()
+	if err := srv.Send(id, src); err != nil {
+		t.Fatalf("Send(%d, %q): %v", id, src, err)
+	}
+}
+
+// evalIn runs one request synchronously and returns its reply.
+func evalIn(t *testing.T, srv *Server, log *replyLog, id SessionID, src string) string {
+	t.Helper()
+	mustSend(t, srv, id, src)
+	srv.Poll()
+	reply, err := log.last(id)
+	if err != nil {
+		t.Fatalf("session %d eval %q: %v", id, src, err)
+	}
+	return reply
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	log := newReplyLog()
+	srv := syncServer(t, log)
+
+	id := mustRegister(t, srv, "(define x 40)")
+	srv.Poll()
+	if got := evalIn(t, srv, log, id, "(+ x 2)"); got != "42" {
+		t.Fatalf("reply = %q, want 42", got)
+	}
+	if st := srv.Stats(); st.Live != 1 || st.Registered != 1 || st.Requests != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	if err := srv.Disconnect(id); err != nil {
+		t.Fatalf("Disconnect: %v", err)
+	}
+	srv.Poll()
+
+	if st := srv.Stats(); st.Live != 0 || st.Reclaimed != 1 {
+		t.Fatalf("after disconnect: stats = %+v", st)
+	}
+	recs := srv.ReclaimRecords()
+	if len(recs) != 1 {
+		t.Fatalf("reclaim records = %d, want 1", len(recs))
+	}
+	rec := recs[0]
+	if rec.ID != id || rec.LeakedPorts != 0 || rec.LeakedResources != 0 {
+		t.Fatalf("reclaim record = %+v", rec)
+	}
+	if rec.Collections < 1 {
+		t.Fatalf("drain took %d collections, want >= 1", rec.Collections)
+	}
+
+	// The session is gone: further traffic is an error.
+	if err := srv.Send(id, "1"); err == nil {
+		t.Fatal("Send to reclaimed session succeeded")
+	}
+	if err := srv.Disconnect(id); err == nil {
+		t.Fatal("Disconnect of reclaimed session succeeded")
+	}
+}
+
+// TestGuardedPortSalvageDuringLife checks the mid-life reclaim path: a
+// live session that drops guarded ports gets them closed by the
+// salvage pass after a collection, in registration order, while the
+// session keeps serving.
+func TestGuardedPortSalvageDuringLife(t *testing.T) {
+	log := newReplyLog()
+	srv := syncServer(t, log)
+	id := mustRegister(t, srv, "")
+
+	// Open three guarded ports, keep no references, prove them dead.
+	evalIn(t, srv, log, id, `
+		(begin
+		  (open-session-port "a.tmp")
+		  (open-session-port "b.tmp")
+		  (open-session-port "c.tmp")
+		  (collect)
+		  'opened)`)
+
+	s := srv.Session(id)
+	if s == nil {
+		t.Fatal("session vanished")
+	}
+	fds := s.OpenedFDs()
+	if len(fds) != 3 {
+		t.Fatalf("opened fds = %v, want 3", fds)
+	}
+	lg := s.ReclaimLog()
+	if len(lg) != 3 {
+		t.Fatalf("reclaim log = %v, want 3 entries", lg)
+	}
+	for i, ev := range lg {
+		if ev.Kind != "port" || ev.ID != fds[i] {
+			t.Fatalf("log[%d] = %+v, want port fd %d (registration order)", i, ev, fds[i])
+		}
+	}
+	// The session is still alive and serving.
+	if got := evalIn(t, srv, log, id, "(* 6 7)"); got != "42" {
+		t.Fatalf("post-salvage reply = %q", got)
+	}
+}
+
+// TestExtresSalvageAndExplicitFree checks the external-resource side:
+// dropped headers are freed through the guardian, explicitly freed
+// ones are not double-freed.
+func TestExtresSalvageAndExplicitFree(t *testing.T) {
+	log := newReplyLog()
+	srv := syncServer(t, log)
+	id := mustRegister(t, srv, "")
+
+	evalIn(t, srv, log, id, `
+		(begin
+		  (session-alloc 0 64)              ; malloc, dropped
+		  (session-free (session-alloc 1 8)) ; tempfile, freed explicitly
+		  (session-alloc 2 1)               ; subprocess, dropped
+		  (collect)
+		  'done)`)
+
+	s := srv.Session(id)
+	ids := s.AllocedIDs()
+	if len(ids) != 3 {
+		t.Fatalf("alloced ids = %v, want 3", ids)
+	}
+	lg := s.ReclaimLog()
+	if len(lg) != 2 {
+		t.Fatalf("reclaim log = %+v, want the 2 dropped resources", lg)
+	}
+	if lg[0].Kind != "malloc" || lg[0].ID != ids[0] {
+		t.Fatalf("log[0] = %+v, want malloc id %d", lg[0], ids[0])
+	}
+	if lg[1].Kind != "subprocess" || lg[1].ID != ids[2] {
+		t.Fatalf("log[1] = %+v, want subprocess id %d", lg[1], ids[2])
+	}
+	if s.arena.DoubleFrees != 0 {
+		t.Fatalf("double frees = %d", s.arena.DoubleFrees)
+	}
+	if live := s.arena.Live(); live != 0 {
+		t.Fatalf("live external resources = %d, want 0", live)
+	}
+}
+
+// TestInterSessionMessaging sends a datum from one session to another
+// over the wire, collects the receiver's heap between delivery and
+// receipt (so the message moves), and checks that the
+// transport-guardian-backed metadata table still resolves the sender
+// by object identity.
+func TestInterSessionMessaging(t *testing.T) {
+	log := newReplyLog()
+	srv := syncServer(t, log)
+	a := mustRegister(t, srv, "")
+	b := mustRegister(t, srv, "")
+
+	if got := evalIn(t, srv, log, a, `(send-message 2 '(hello 42))`); got != "#t" {
+		t.Fatalf("send-message reply = %q", got)
+	}
+	// The wire message is pending for b; a Poll delivered it already
+	// (evalIn's Poll runs b's wakeup too). Collect b's heap a few
+	// times so the delivered message is moved/tenured, then receive.
+	got := evalIn(t, srv, log, b, `
+		(begin
+		  (collect)
+		  (collect)
+		  (let ((m (receive)))
+		    (list m (message-from m) (message-done m) (receive))))`)
+	if got != "((hello 42) 1 #t #f)" {
+		t.Fatalf("receive reply = %q, want ((hello 42) 1 #t #f)", got)
+	}
+	_ = a
+}
+
+// TestPostToUnknownSession checks wire error paths.
+func TestPostToUnknownSession(t *testing.T) {
+	log := newReplyLog()
+	srv := syncServer(t, log)
+	a := mustRegister(t, srv, "")
+	if got := evalIn(t, srv, log, a, "(send-message 99 'x)"); got != "#f" {
+		t.Fatalf("send to unknown session = %q, want #f", got)
+	}
+	if err := srv.Post(0, 99, "x"); err == nil {
+		t.Fatal("Post to unknown session succeeded")
+	}
+}
+
+// TestDisconnectReclaimsHeldResources is the core guardian story: a
+// session holding guarded ports and external resources in globals is
+// disconnected; teardown severs the globals, a full collection proves
+// everything inaccessible, and the drain reclaims it all through the
+// guardian tconc path — ports in registration order, then resources
+// in registration order.
+func TestDisconnectReclaimsHeldResources(t *testing.T) {
+	log := newReplyLog()
+	srv := syncServer(t, log)
+	id := mustRegister(t, srv, "")
+
+	evalIn(t, srv, log, id, `
+		(begin
+		  (define p1 (open-session-port "one.tmp"))
+		  (define p2 (open-session-port "two.tmp"))
+		  (define r1 (session-alloc 0 128))
+		  (define r2 (session-alloc 1 16))
+		  (define r3 (session-alloc 2 1))
+		  'held)`)
+
+	s := srv.Session(id)
+	fds := s.OpenedFDs()
+	ids := s.AllocedIDs()
+	if len(fds) != 2 || len(ids) != 3 {
+		t.Fatalf("fds = %v ids = %v", fds, ids)
+	}
+	if s.fs.OpenCount() != 2 || s.arena.Live() != 3 {
+		t.Fatalf("pre-disconnect: open=%d live=%d", s.fs.OpenCount(), s.arena.Live())
+	}
+
+	if err := srv.Disconnect(id); err != nil {
+		t.Fatalf("Disconnect: %v", err)
+	}
+	srv.Poll()
+
+	recs := srv.ReclaimRecords()
+	if len(recs) != 1 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	rec := recs[0]
+	if rec.Ports != 2 || rec.Resources != 3 || rec.LeakedPorts != 0 || rec.LeakedResources != 0 {
+		t.Fatalf("record = %+v", rec)
+	}
+	want := []ReclaimEvent{
+		{Kind: "port", ID: fds[0]},
+		{Kind: "port", ID: fds[1]},
+		{Kind: "malloc", ID: ids[0]},
+		{Kind: "tempfile", ID: ids[1]},
+		{Kind: "subprocess", ID: ids[2]},
+	}
+	if len(rec.Log) != len(want) {
+		t.Fatalf("log = %+v, want %+v", rec.Log, want)
+	}
+	for i := range want {
+		if rec.Log[i] != want[i] {
+			t.Fatalf("log[%d] = %+v, want %+v", i, rec.Log[i], want[i])
+		}
+	}
+	if rec.Latency <= 0 {
+		t.Fatalf("latency = %v", rec.Latency)
+	}
+}
+
+// TestDisconnectDropsPendingWork: requests and undelivered messages
+// queued for a session die with its disconnect.
+func TestDisconnectDropsPendingWork(t *testing.T) {
+	log := newReplyLog()
+	srv := syncServer(t, log)
+	id := mustRegister(t, srv, "")
+	srv.Poll()
+
+	mustSend(t, srv, id, "(define should-not-run #t)")
+	if err := srv.Disconnect(id); err != nil {
+		t.Fatalf("Disconnect: %v", err)
+	}
+	srv.Poll()
+	if st := srv.Stats(); st.Requests != 0 {
+		t.Fatalf("requests served = %d, want 0", st.Requests)
+	}
+	if st := srv.Stats(); st.Live != 0 || st.Reclaimed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestHeapVerifyAfterWorkload runs a heavier mixed workload and then
+// checks the session heap's full invariant sweep.
+func TestHeapVerifyAfterWorkload(t *testing.T) {
+	log := newReplyLog()
+	srv := syncServer(t, log)
+	id := mustRegister(t, srv, "")
+
+	evalIn(t, srv, log, id, `
+		(begin
+		  (define keep '())
+		  (let loop ((i 0))
+		    (if (< i 200)
+		        (begin
+		          (open-session-port "churn.tmp")
+		          (if (= 0 (modulo i 3))
+		              (set! keep (cons (session-alloc (modulo i 3) i) keep)))
+		          (loop (+ i 1)))))
+		  (collect)
+		  (length keep))`)
+
+	s := srv.Session(id)
+	if errs := s.Heap().Verify(); len(errs) != 0 {
+		t.Fatalf("heap verify: %v", errs)
+	}
+	// All 200 unguarded-by-globals ports must eventually close; the
+	// explicit (collect) plus the post-step sweep reclaims those whose
+	// inaccessibility is already proven. Disconnect finishes the rest.
+	if err := srv.Disconnect(id); err != nil {
+		t.Fatal(err)
+	}
+	srv.Poll()
+	recs := srv.ReclaimRecords()
+	if len(recs) != 1 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if rec := recs[0]; rec.LeakedPorts != 0 || rec.LeakedResources != 0 {
+		t.Fatalf("leaks after churn drain: %+v", rec)
+	}
+}
+
+// TestAsyncServerSmoke drives the started (pooled) configuration:
+// several sessions with real work, concurrent executors and GC
+// workers, disconnect-all, full reclamation.
+func TestAsyncServerSmoke(t *testing.T) {
+	log := newReplyLog()
+	srv := New(Config{Executors: 3, GCWorkers: 2, OnReply: log.cb})
+	srv.Start()
+	defer srv.Close()
+
+	const n = 16
+	ids := make([]SessionID, 0, n)
+	for i := 0; i < n; i++ {
+		id := mustRegister(t, srv, "(define acc 0)")
+		ids = append(ids, id)
+	}
+	for round := 0; round < 3; round++ {
+		for _, id := range ids {
+			mustSend(t, srv, id, `
+				(begin
+				  (open-session-port "work.tmp")
+				  (set! acc (+ acc 1))
+				  acc)`)
+		}
+	}
+	if !srv.WaitIdle(30 * time.Second) {
+		t.Fatal("server did not go idle")
+	}
+	for _, id := range ids {
+		reply, err := log.last(id)
+		if err != nil {
+			t.Fatalf("session %d: %v", id, err)
+		}
+		if reply != "3" {
+			t.Fatalf("session %d acc = %q, want 3", id, reply)
+		}
+	}
+	for _, id := range ids {
+		if err := srv.Disconnect(id); err != nil {
+			t.Fatalf("Disconnect(%d): %v", id, err)
+		}
+	}
+	if !srv.WaitIdle(30 * time.Second) {
+		t.Fatal("server did not drain")
+	}
+	st := srv.Stats()
+	if st.Live != 0 || st.Reclaimed != n || st.LeakedPorts != 0 || st.LeakedRes != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if got := len(srv.ReclaimRecords()); got != n {
+		t.Fatalf("reclaim records = %d, want %d", got, n)
+	}
+}
+
+// TestReplyRendering: output written by the program and the rendered
+// result are both part of the reply; void results render as nothing.
+func TestReplyRendering(t *testing.T) {
+	log := newReplyLog()
+	srv := syncServer(t, log)
+	id := mustRegister(t, srv, "")
+	if got := evalIn(t, srv, log, id, `(begin (display "out:") (+ 1 2))`); got != "out:3" {
+		t.Fatalf("reply = %q", got)
+	}
+	if got := evalIn(t, srv, log, id, `(define v 1)`); strings.Contains(got, "void") {
+		t.Fatalf("void leaked into reply: %q", got)
+	}
+}
+
+// TestDisconnectReclaimsPortOnPreludeName: the prelude interns short
+// names like "p" as lambda parameters, making them permanent symbols.
+// A session binding a guarded port to such a name must still have the
+// port reclaimed at disconnect — DropUserState reverts permanent
+// bindings to their initialization-time snapshot. Regression test for
+// the churn-stress port leak.
+func TestDisconnectReclaimsPortOnPreludeName(t *testing.T) {
+	log := newReplyLog()
+	srv := syncServer(t, log)
+	id := mustRegister(t, srv, "")
+	evalIn(t, srv, log, id, `(define p (open-session-port "c.tmp"))`)
+
+	if err := srv.Disconnect(id); err != nil {
+		t.Fatalf("Disconnect: %v", err)
+	}
+	srv.Poll()
+
+	recs := srv.ReclaimRecords()
+	if len(recs) != 1 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	rec := recs[0]
+	if rec.Ports != 1 || rec.LeakedPorts != 0 || rec.LeakedResources != 0 {
+		t.Fatalf("record = %+v", rec)
+	}
+}

@@ -61,6 +61,14 @@ echo "== pause-budget gate (-race)"
 # budget actually bounding slices.
 go test -race -run 'TestMutatorStressPauseBudget|TestSliced' ./internal/heap/
 
+echo "== multi-session server gate (-race)"
+# The session server: 10k register/run/disconnect cycles from 4 client
+# goroutines against the started pools (every session must reclaim
+# through the guardian path with zero leaked descriptors/resources),
+# plus the reclaim-order determinism suite replaying a fixed schedule
+# at collector Workers {1,2,8,auto} x PauseBudget {0,1ms}.
+SERVER_CHURN_CYCLES=10000 go test -race -run 'TestSessionChurnStress|TestServerReclaimOrder|TestAsyncServerSmoke' ./internal/server/
+
 echo "== deque property gate (-race)"
 # The Chase-Lev work-stealing deque carries every parallel sweep item;
 # the randomized owner/thief property test under the race detector is
@@ -87,6 +95,7 @@ go test -run '^$' -fuzz 'FuzzMutatorOps' -fuzztime=10s -fuzzminimizetime=1s ./in
 go test -run '^$' -fuzz 'FuzzReader' -fuzztime=10s ./internal/scheme/
 go test -run '^$' -fuzz 'FuzzDifferential' -fuzztime=10s ./internal/scheme/
 go test -run '^$' -fuzz 'FuzzEval' -fuzztime=10s ./internal/scheme/
+go test -run '^$' -fuzz 'FuzzServerSession' -fuzztime=10s ./internal/server/
 
 echo "== benchgc smoke"
 go run ./cmd/benchgc -trace -phases -gcs 5 >/dev/null
@@ -94,6 +103,12 @@ go run ./cmd/benchgc -trace -workers 4 -gcs 5 >/dev/null
 go run ./cmd/benchgc -trace -workers 0 -gcs 5 >/dev/null
 go run ./cmd/benchgc -trace -pause-budget 200us -gcs 5 >/dev/null
 go run ./cmd/benchgc -e e1 >/dev/null
+# Reduced-scale server bench: exercises all three phases and the
+# report's schema self-check (peak population, quantile ordering,
+# zero leaks) without the full 10k boot.
+go run ./cmd/benchgc -server-bench -server-sessions 200 -server-churn 50 \
+    -server-bench-out /tmp/BENCH_server_ci.json >/dev/null
+rm -f /tmp/BENCH_server_ci.json
 
 echo "== parallel collection baseline"
 # The summary (kept visible, unlike the other smokes) leads with

@@ -1,0 +1,327 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/heap"
+	"repro/internal/obj"
+	"repro/internal/scheme"
+	"repro/internal/server"
+)
+
+// benchgc -fork-bench: the heap-template boot benchmark. It measures
+// the fork economics the copy-on-write templates exist for:
+//
+//  1. Boot rate: register -fork-sessions sessions against a server
+//     pinned to prelude boot (every session re-evaluates the prelude
+//     into a fresh heap) and against the default template-boot server
+//     (every session clones the process-wide prelude template). The
+//     headline figure is the sessions/sec ratio.
+//  2. COW fault cost: clone a prelude-sized machine template many
+//     times and time, per clone, the first write into a shared
+//     segment (pays the segment privatization copy) and a second
+//     write to the now-private segment (pays nothing), reported as
+//     latency quantiles.
+//  3. Churn: register/run/disconnect cycles where every session boots
+//     from the template, asserting zero leaked ports and resources —
+//     the disconnect-reclaim guarantee is boot-path independent.
+//
+// The report is written as JSON (BENCH_fork.json by default) and
+// schema-checked before the process exits 0, so CI can gate on it.
+
+type forkBootStats struct {
+	Sessions       int     `json:"sessions"`
+	Seconds        float64 `json:"seconds"`
+	SessionsPerSec float64 `json:"sessions_per_sec"`
+	TemplateBoots  uint64  `json:"template_boots"`
+	PreludeBoots   uint64  `json:"prelude_boots"`
+}
+
+type forkCOWStats struct {
+	Clones int `json:"clones"`
+	// SharedSegments is the number of segments each clone begins by
+	// sharing with the template — the upper bound on COW faults.
+	SharedSegments int `json:"shared_segments_per_clone"`
+	// FirstWrite times the store that privatizes a shared segment;
+	// PrivateWrite the immediately following store to the same (now
+	// private) segment. The gap between the two is the fault cost.
+	FirstWrite   benchQuantiles `json:"first_write"`
+	PrivateWrite benchQuantiles `json:"private_write"`
+	// CloneBoot times heap.CloneFromTemplate + machine Attach alone —
+	// the microsecond-boot claim, without server bookkeeping.
+	CloneBoot benchQuantiles `json:"clone_boot"`
+}
+
+type forkChurnStats struct {
+	Cycles          int     `json:"cycles"`
+	Seconds         float64 `json:"seconds"`
+	SessionsPerSec  float64 `json:"sessions_per_sec"`
+	TemplateBoots   uint64  `json:"template_boots"`
+	LeakedPorts     int     `json:"leaked_ports"`
+	LeakedResources int     `json:"leaked_resources"`
+}
+
+type forkBenchReport struct {
+	Description  string        `json:"description"`
+	GoMaxProcs   int           `json:"gomaxprocs"`
+	TemplateBoot forkBootStats `json:"template_boot"`
+	PreludeBoot  forkBootStats `json:"prelude_boot"`
+	// Speedup is the headline: template-boot sessions/sec over
+	// prelude-boot sessions/sec.
+	Speedup float64        `json:"speedup"`
+	COW     forkCOWStats   `json:"cow"`
+	Churn   forkChurnStats `json:"churn"`
+}
+
+// forkBootPhase registers n sessions with an empty init script — the
+// measured quantity is session boot itself, not a workload both boot
+// paths would run identically — against a server in the given boot
+// mode, waits for quiescence, checks zero leaks on drain, and returns
+// the stats.
+func forkBootPhase(preludeBoot bool, n int) (forkBootStats, error) {
+	nExec := runtime.GOMAXPROCS(0)
+	if nExec > 4 {
+		nExec = 4
+	}
+	srv := server.New(server.Config{Executors: nExec, GCWorkers: 2, PreludeBoot: preludeBoot})
+	srv.Start()
+	defer srv.Close()
+
+	start := time.Now()
+	ids := make([]server.SessionID, 0, n)
+	for i := 0; i < n; i++ {
+		id, err := srv.Register("")
+		if err != nil {
+			return forkBootStats{}, fmt.Errorf("register %d: %w", i, err)
+		}
+		ids = append(ids, id)
+	}
+	if !srv.WaitIdle(10 * time.Minute) {
+		return forkBootStats{}, fmt.Errorf("boot did not quiesce")
+	}
+	sec := time.Since(start).Seconds()
+	st := srv.Stats()
+	if st.Live != n {
+		return forkBootStats{}, fmt.Errorf("%d live sessions, want %d", st.Live, n)
+	}
+	for _, id := range ids {
+		if err := srv.Disconnect(id); err != nil {
+			return forkBootStats{}, fmt.Errorf("disconnect %d: %w", id, err)
+		}
+	}
+	if !srv.WaitIdle(10 * time.Minute) {
+		return forkBootStats{}, fmt.Errorf("drain did not quiesce")
+	}
+	st = srv.Stats()
+	if st.LeakedPorts != 0 || st.LeakedRes != 0 {
+		return forkBootStats{}, fmt.Errorf("leaks: ports=%d resources=%d", st.LeakedPorts, st.LeakedRes)
+	}
+	return forkBootStats{
+		Sessions:       n,
+		Seconds:        sec,
+		SessionsPerSec: float64(n) / sec,
+		TemplateBoots:  st.TemplateBoots,
+		PreludeBoots:   st.PreludeBoots,
+	}, nil
+}
+
+// forkCOWPhase captures one prelude-loaded machine template and clones
+// it repeatedly, timing per clone the bare boot (Clone + Attach), the
+// first write into a shared segment, and a second write to the same
+// segment once private.
+func forkCOWPhase(clones int) (forkCOWStats, error) {
+	donor := scheme.New(heap.NewDefault(), nil)
+	// A rooted pair the timed writes target; placed before capture so
+	// every clone inherits it inside a shared (template) segment.
+	target := donor.H.NewRoot(donor.H.Cons(obj.FromFixnum(0), obj.Nil))
+	tpl, err := scheme.CaptureTemplate(donor)
+	if err != nil {
+		return forkCOWStats{}, err
+	}
+	_ = target
+
+	st := forkCOWStats{Clones: clones}
+	boot := make([]int64, 0, clones)
+	first := make([]int64, 0, clones)
+	private := make([]int64, 0, clones)
+	for i := 0; i < clones; i++ {
+		t0 := time.Now()
+		h, roots, err := tpl.Clone()
+		if err != nil {
+			return forkCOWStats{}, fmt.Errorf("clone %d: %w", i, err)
+		}
+		m := tpl.Attach(h, nil)
+		boot = append(boot, time.Since(t0).Nanoseconds())
+		if i == 0 {
+			st.SharedSegments = h.SharedSegments()
+		}
+		// Find the target pair among the inherited roots (the machine's
+		// own slots precede it): the strong pair holding fixnum 0.
+		var pair obj.Value
+		found := false
+		for _, r := range roots {
+			if r == nil {
+				continue
+			}
+			if v := r.Get(); v.IsPair() && !h.IsWeakPair(v) && h.Car(v).IsFixnum() && h.Car(v).FixnumValue() == 0 {
+				pair, found = v, true
+				break
+			}
+		}
+		if !found {
+			return forkCOWStats{}, fmt.Errorf("clone %d: target pair not among inherited roots", i)
+		}
+		t0 = time.Now()
+		h.SetCar(pair, obj.FromFixnum(int64(i)))
+		first = append(first, time.Since(t0).Nanoseconds())
+		if h.COWCopies() == 0 {
+			return forkCOWStats{}, fmt.Errorf("clone %d: first write took no COW fault", i)
+		}
+		t0 = time.Now()
+		h.SetCar(pair, obj.FromFixnum(int64(i+1)))
+		private = append(private, time.Since(t0).Nanoseconds())
+		_ = m
+	}
+	st.CloneBoot = quantilesOf(boot)
+	st.FirstWrite = quantilesOf(first)
+	st.PrivateWrite = quantilesOf(private)
+	return st, nil
+}
+
+// forkChurnPhase runs register/run/disconnect cycles on a
+// template-booting server and checks that the guardian reclaim path
+// stays leak-free when every session is a clone.
+func forkChurnPhase(cycles int) (forkChurnStats, error) {
+	srv := server.New(server.Config{Executors: 2, GCWorkers: 2})
+	srv.Start()
+	defer srv.Close()
+	start := time.Now()
+	for i := 0; i < cycles; i++ {
+		id, err := srv.Register(sessionWorkload)
+		if err != nil {
+			return forkChurnStats{}, fmt.Errorf("cycle %d: %w", i, err)
+		}
+		if err := srv.Disconnect(id); err != nil {
+			return forkChurnStats{}, fmt.Errorf("cycle %d: %w", i, err)
+		}
+	}
+	if !srv.WaitIdle(10 * time.Minute) {
+		return forkChurnStats{}, fmt.Errorf("churn did not quiesce")
+	}
+	sec := time.Since(start).Seconds()
+	st := srv.Stats()
+	if st.Reclaimed != uint64(cycles) {
+		return forkChurnStats{}, fmt.Errorf("reclaimed %d, want %d", st.Reclaimed, cycles)
+	}
+	return forkChurnStats{
+		Cycles:          cycles,
+		Seconds:         sec,
+		SessionsPerSec:  float64(cycles) / sec,
+		TemplateBoots:   st.TemplateBoots,
+		LeakedPorts:     int(st.LeakedPorts),
+		LeakedResources: int(st.LeakedRes),
+	}, nil
+}
+
+func runForkBench(w io.Writer, outPath string, sessions int) error {
+	rep := forkBenchReport{
+		Description: "copy-on-write heap-template session boot vs prelude boot, COW fault cost, template churn",
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+	}
+	var err error
+
+	fmt.Fprintf(w, "fork-bench: booting %d sessions from the prelude...\n", sessions)
+	if rep.PreludeBoot, err = forkBootPhase(true, sessions); err != nil {
+		return fmt.Errorf("prelude boot: %w", err)
+	}
+	fmt.Fprintf(w, "fork-bench: prelude boot %.0f sessions/sec\n", rep.PreludeBoot.SessionsPerSec)
+
+	fmt.Fprintf(w, "fork-bench: booting %d sessions from the template...\n", sessions)
+	if rep.TemplateBoot, err = forkBootPhase(false, sessions); err != nil {
+		return fmt.Errorf("template boot: %w", err)
+	}
+	rep.Speedup = rep.TemplateBoot.SessionsPerSec / rep.PreludeBoot.SessionsPerSec
+	fmt.Fprintf(w, "fork-bench: template boot %.0f sessions/sec (%.1fx prelude boot)\n",
+		rep.TemplateBoot.SessionsPerSec, rep.Speedup)
+
+	clones := sessions
+	if clones > 2000 {
+		clones = 2000
+	}
+	fmt.Fprintf(w, "fork-bench: timing COW faults over %d clones...\n", clones)
+	if rep.COW, err = forkCOWPhase(clones); err != nil {
+		return fmt.Errorf("cow phase: %w", err)
+	}
+	fmt.Fprintf(w, "fork-bench: clone boot p50 %v, first write p50 %v (p99 %v), private write p50 %v\n",
+		time.Duration(rep.COW.CloneBoot.P50), time.Duration(rep.COW.FirstWrite.P50),
+		time.Duration(rep.COW.FirstWrite.P99), time.Duration(rep.COW.PrivateWrite.P50))
+
+	churn := sessions / 2
+	if churn < 50 {
+		churn = 50
+	}
+	fmt.Fprintf(w, "fork-bench: churning %d template-boot cycles...\n", churn)
+	if rep.Churn, err = forkChurnPhase(churn); err != nil {
+		return fmt.Errorf("churn phase: %w", err)
+	}
+	fmt.Fprintf(w, "fork-bench: churn %.0f sessions/sec, leaks ports=%d resources=%d\n",
+		rep.Churn.SessionsPerSec, rep.Churn.LeakedPorts, rep.Churn.LeakedResources)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	if err := validateForkBench(outPath, sessions); err != nil {
+		return fmt.Errorf("self-check of %s: %w", outPath, err)
+	}
+	fmt.Fprintf(w, "fork-bench: wrote %s\n", outPath)
+	return nil
+}
+
+// validateForkBench re-reads the written report and checks the schema
+// and headline invariants: both boot modes measured at the requested
+// scale with the expected boot-path counters, a real (>= 3x) speedup,
+// COW quantiles present and ordered, and a leak-free churn phase.
+// (The committed full-scale run clears 5x with a wide margin; the
+// reduced-scale CI smoke keeps a noise allowance.)
+func validateForkBench(path string, sessions int) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep forkBenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return err
+	}
+	switch {
+	case rep.TemplateBoot.Sessions != sessions || rep.PreludeBoot.Sessions != sessions:
+		return fmt.Errorf("sessions = %d/%d, want %d", rep.TemplateBoot.Sessions, rep.PreludeBoot.Sessions, sessions)
+	case rep.TemplateBoot.TemplateBoots != uint64(sessions):
+		return fmt.Errorf("template_boots = %d, want %d (prelude fallbacks: %d)",
+			rep.TemplateBoot.TemplateBoots, sessions, rep.TemplateBoot.PreludeBoots)
+	case rep.PreludeBoot.PreludeBoots != uint64(sessions) || rep.PreludeBoot.TemplateBoots != 0:
+		return fmt.Errorf("prelude-boot server booted %d/%d prelude/template, want %d/0",
+			rep.PreludeBoot.PreludeBoots, rep.PreludeBoot.TemplateBoots, sessions)
+	case rep.Speedup < 3:
+		return fmt.Errorf("template boot speedup %.2fx, want >= 3x", rep.Speedup)
+	case rep.COW.Clones <= 0 || rep.COW.SharedSegments <= 0:
+		return fmt.Errorf("cow phase empty: %+v", rep.COW)
+	case rep.COW.FirstWrite.P99 < rep.COW.FirstWrite.P50 || rep.COW.FirstWrite.Max <= 0:
+		return fmt.Errorf("first-write quantiles disordered: %+v", rep.COW.FirstWrite)
+	case rep.COW.PrivateWrite.Max <= 0 || rep.COW.CloneBoot.Max <= 0:
+		return fmt.Errorf("cow quantiles missing: %+v", rep.COW)
+	case rep.Churn.Cycles <= 0 || rep.Churn.TemplateBoots != uint64(rep.Churn.Cycles):
+		return fmt.Errorf("churn booted %d templates over %d cycles", rep.Churn.TemplateBoots, rep.Churn.Cycles)
+	case rep.Churn.LeakedPorts != 0 || rep.Churn.LeakedResources != 0:
+		return fmt.Errorf("churn leaks: ports=%d resources=%d", rep.Churn.LeakedPorts, rep.Churn.LeakedResources)
+	}
+	return nil
+}

@@ -15,6 +15,7 @@
 //	benchgc -parallel-bench           # pause/sweep percentiles per worker count -> BENCH_parallel.json
 //	benchgc -pause-bench              # sliced-vs-monolithic pause bound -> BENCH_pause.json
 //	benchgc -server-bench             # multi-session server churn -> BENCH_server.json
+//	benchgc -fork-bench               # template-clone vs prelude session boot -> BENCH_fork.json
 //
 // See docs/ALGORITHM.md ("Reading benchgc -trace output") for the
 // trace record schema.
@@ -50,8 +51,20 @@ func main() {
 		serverSessions = flag.Int("server-sessions", 10000, "standing session population for -server-bench")
 		serverChurn    = flag.Int("server-churn", 2000, "register/run/disconnect cycles for -server-bench")
 		serverOut      = flag.String("server-bench-out", "BENCH_server.json", "output path for -server-bench")
+		forkBench      = flag.Bool("fork-bench", false,
+			"run the heap-template boot benchmark (template clone vs prelude boot, COW fault cost) and write a JSON report")
+		forkSessions = flag.Int("fork-sessions", 5000, "sessions per boot mode for -fork-bench")
+		forkOut      = flag.String("fork-bench-out", "BENCH_fork.json", "output path for -fork-bench")
 	)
 	flag.Parse()
+
+	if *forkBench {
+		if err := runForkBench(os.Stdout, *forkOut, *forkSessions); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgc: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *serverBench {
 		if err := runServerBench(os.Stdout, *serverOut, *serverSessions, *serverChurn); err != nil {

@@ -209,6 +209,14 @@ func (h *Heap) collectBegin(g int, start time.Time) (int, time.Time) {
 	// attached: the adaptive policy (Config.Workers == 0) sizes the
 	// fan-out by the number of live segments about to be collected.
 	h.gcWorkers = h.chooseWorkers(g)
+	if h.gcWorkers > 1 {
+		// Parallel workers read and write heap words lock-free (CAS
+		// forwarding installs through WordPtr), and the lazy
+		// copy-on-write privatize is unsynchronized single-threaded
+		// machinery: eagerly privatize anything still shared with a
+		// heap template before the fan-out.
+		h.tab.PrivatizeAll()
+	}
 	st := &h.Stats
 	st.countCollection(g)
 	h.statsSnap = *st // per-collection deltas for the report and trace

@@ -97,22 +97,30 @@ func (ir *imageReader) str() string {
 // TLAB — drains the per-mutator reserved-segment caches, serializes
 // the stopped heap, and resumes the world. The caller must not itself
 // be a registered mutator goroutine (it would wait for its own park).
+// A mid-collection save — including the mutator windows of a sliced
+// (PauseBudget) collection, when the parked sweep state is not
+// serializable — returns an error rather than serializing a
+// half-forwarded heap; retry after the collection finishes.
 func (h *Heap) SaveImage(w io.Writer) error {
-	h.check(!h.inCollect.Load() && !h.sliceActive.Load(), "SaveImage during collection")
+	if h.inCollect.Load() || h.sliceActive.Load() {
+		return fmt.Errorf("heap: SaveImage during a collection (sliced collection in progress?)")
+	}
 	if h.mutCount.Load() != 0 {
-		return h.saveImageStopped(w)
+		return h.withWorldStopped(func() error { return h.saveImage(w) })
 	}
 	return h.saveImage(w)
 }
 
-// saveImageStopped brackets saveImage with the same stop-the-world
+// withWorldStopped runs fn bracketed by the same stop-the-world
 // handshake a collection uses: elect via the collecting flag (mutual
-// exclusion with collections and other saves), signal stop, wait for
-// every registered mutator to park or stand idle, then resume with
+// exclusion with collections, saves, and captures), signal stop, wait
+// for every registered mutator to park or stand idle, then resume with
 // the two-phase drain. Parking is what flushes mutator TLABs; the
 // reserved-segment caches are returned to the table so the committed
-// count the image implies matches what LoadImage reconstructs.
-func (h *Heap) saveImageStopped(w io.Writer) error {
+// count a snapshot implies matches what its reconstruction commits.
+// The caller must not be a registered mutator goroutine (it would wait
+// for its own park). SaveImage and CaptureTemplate both use this.
+func (h *Heap) withWorldStopped(fn func() error) error {
 	h.spMu.Lock()
 	for h.collecting {
 		h.spCond.Wait()
@@ -133,7 +141,7 @@ func (h *Heap) saveImageStopped(w io.Writer) error {
 	h.allocMu.Unlock()
 	h.spMu.Unlock()
 
-	err := h.saveImage(w)
+	err := fn()
 
 	h.spMu.Lock()
 	h.stopReq = false
@@ -234,6 +242,18 @@ func (h *Heap) saveImage(w io.Writer) error {
 // LoadImage reconstructs a heap from an image written by SaveImage.
 // It returns the heap and fresh Root handles for every live saved
 // root slot (indexed as in the saved heap; dead slots are nil).
+//
+// Error paths allocate nothing durable: the entire image is parsed
+// into template parts first and the heap is only constructed once the
+// stream has been read and validated in full, so a truncated or
+// corrupt image can never leak a partially-built segment table or
+// leave segments committed. Every failure is a wrapped, descriptive
+// error. Counts off the wire are bounds-checked before any
+// proportional allocation (a hostile segment count cannot make the
+// loader commit memory the stream doesn't back), and segment records
+// must arrive in strictly ascending index order — which is how
+// SaveImage writes them, and which makes duplicate records a detected
+// corruption instead of a silent overwrite.
 func LoadImage(r io.Reader) (*Heap, []*Root, error) {
 	br, ok := r.(*bufio.Reader)
 	if !ok {
@@ -243,74 +263,70 @@ func LoadImage(r io.Reader) (*Heap, []*Root, error) {
 	if got := ir.str(); ir.err != nil || got != imageMagic {
 		return nil, nil, fmt.Errorf("heap: not a heap image")
 	}
-	cfg := Config{
-		Generations:  int(ir.u64()),
-		TriggerWords: int(ir.u64()),
-		Radix:        int(ir.u64()),
-		UseDirtySet:  ir.u8() != 0,
-		WeakScanAll:  ir.u8() != 0,
-		MaxSegments:  int(ir.u64()),
+	tpl := &Template{
+		cfg: Config{
+			Generations:  int(ir.u64()),
+			TriggerWords: int(ir.u64()),
+			Radix:        int(ir.u64()),
+			UseDirtySet:  ir.u8() != 0,
+			WeakScanAll:  ir.u8() != 0,
+			MaxSegments:  int(ir.u64()),
+		},
 	}
+	tpl.stamp = ir.u64()
+	tpl.autoCount = ir.u64()
 	if ir.err != nil {
-		return nil, nil, ir.err
+		return nil, nil, fmt.Errorf("heap: corrupt image (header): %w", ir.err)
 	}
 	// The config came off the wire: a corrupt or hostile image fails
 	// Validate here instead of producing a half-built heap.
-	h, err := New(cfg)
-	if err != nil {
+	if err := tpl.cfg.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("heap: corrupt image: %w", err)
 	}
-	h.stamp = ir.u64()
-	h.autoCount = ir.u64()
 
-	// Recreate the segment table with identical indexes.
+	// Segment records, parsed into template slots. The cap bounds the
+	// slot-directory allocation (1<<22 segments is a 16 GB heap); word
+	// arrays are only materialized for records actually present in the
+	// stream.
 	total := int(ir.u64())
 	inUse := int(ir.u64())
-	if ir.err != nil || total < 0 || total > 1<<24 {
+	if ir.err != nil || total < 0 || total > 1<<22 || inUse < 0 || inUse > total {
 		return nil, nil, fmt.Errorf("heap: corrupt image (segment count)")
 	}
-	for i := 0; i < total; i++ {
-		idx := h.tab.Alloc(seg.SpacePair, 0, 0)
-		if idx != i {
-			return nil, nil, fmt.Errorf("heap: segment index mismatch")
-		}
-	}
-	used := make([]bool, total)
+	tpl.segs = make([]seg.TemplateSeg, total)
+	prev := -1
 	for k := 0; k < inUse; k++ {
 		idx := int(ir.u64())
-		if ir.err != nil || idx < 0 || idx >= total {
-			return nil, nil, fmt.Errorf("heap: corrupt image (segment index)")
+		if ir.err != nil {
+			return nil, nil, fmt.Errorf("heap: corrupt image (segment record): %w", ir.err)
 		}
-		s := h.tab.Seg(idx)
-		s.Space = seg.Space(ir.u8())
-		s.Gen = int(ir.u64())
-		s.Cont = ir.u8() != 0
-		s.Fill = int(ir.u64())
-		if s.Fill < 0 || s.Fill > seg.Words {
+		if idx <= prev || idx >= total {
+			return nil, nil, fmt.Errorf("heap: corrupt image (segment index %d out of order)", idx)
+		}
+		prev = idx
+		ts := seg.TemplateSeg{
+			Space: seg.Space(ir.u8()),
+			Gen:   int(ir.u64()),
+			Cont:  ir.u8() != 0,
+			Fill:  int(ir.u64()),
+		}
+		if ir.err != nil {
+			return nil, nil, fmt.Errorf("heap: corrupt image (segment record): %w", ir.err)
+		}
+		if ts.Fill < 0 || ts.Fill > seg.Words {
 			return nil, nil, fmt.Errorf("heap: corrupt image (fill)")
 		}
-		for off := 0; off < s.Fill; off++ {
-			s.Words[off] = ir.u64()
-		}
-		s.Stamp = 0
-		used[idx] = true
-		if s.Gen >= cfg.Generations || s.Space >= seg.NumSpaces {
+		if ts.Gen < 0 || ts.Gen >= tpl.cfg.Generations || ts.Space >= seg.NumSpaces {
 			return nil, nil, fmt.Errorf("heap: corrupt image (segment metadata)")
 		}
-	}
-	for i := total - 1; i >= 0; i-- {
-		if !used[i] {
-			h.tab.Free(i)
+		ts.Words = make([]uint64, seg.Words)
+		for off := 0; off < ts.Fill; off++ {
+			ts.Words[off] = ir.u64()
 		}
-	}
-	// Rebuild allocation chains (continuations included, as in live
-	// operation); cursors stay closed so new allocation opens fresh
-	// segments.
-	for i := 0; i < total; i++ {
-		s := h.tab.Seg(i)
-		if s.InUse {
-			h.chains[s.Space][s.Gen] = append(h.chains[s.Space][s.Gen], i)
+		if ir.err != nil {
+			return nil, nil, fmt.Errorf("heap: corrupt image (segment words): %w", ir.err)
 		}
+		tpl.segs[idx] = ts
 	}
 
 	// Roots.
@@ -318,29 +334,24 @@ func LoadImage(r io.Reader) (*Heap, []*Root, error) {
 	if ir.err != nil || nRoots < 0 || nRoots > 1<<24 {
 		return nil, nil, fmt.Errorf("heap: corrupt image (roots)")
 	}
-	handles := make([]*Root, nRoots)
+	tpl.rootVals = make([]obj.Value, 0, min(nRoots, 1<<16))
+	tpl.rootLive = make([]bool, 0, min(nRoots, 1<<16))
 	for i := 0; i < nRoots; i++ {
 		live := ir.u8() != 0
 		v := obj.Value(ir.u64())
-		if i == len(*h.rootChunks.Load())*rootChunkSlots {
-			h.growRootsLocked()
+		if ir.err != nil {
+			return nil, nil, fmt.Errorf("heap: corrupt image (roots): %w", ir.err)
 		}
-		h.rootsLen++
-		c, o := h.rootSlot(i)
-		c.vals[o] = v
-		c.live[o] = live
-		if live {
-			handles[i] = &Root{h: h, idx: i}
-		} else {
-			h.rootsFree = append(h.rootsFree, i)
-		}
+		tpl.rootVals = append(tpl.rootVals, v)
+		tpl.rootLive = append(tpl.rootLive, live)
 	}
 
 	// Protected lists.
 	nGens := int(ir.u64())
-	if ir.err != nil || nGens != cfg.Generations {
+	if ir.err != nil || nGens != tpl.cfg.Generations {
 		return nil, nil, fmt.Errorf("heap: corrupt image (protected lists)")
 	}
+	tpl.protected = make([][]ProtEntry, nGens)
 	for g := 0; g < nGens; g++ {
 		n := int(ir.u64())
 		if ir.err != nil || n < 0 || n > 1<<24 {
@@ -352,11 +363,14 @@ func LoadImage(r io.Reader) (*Heap, []*Root, error) {
 				Rep:   obj.Value(ir.u64()),
 				Tconc: obj.Value(ir.u64()),
 			}
-			h.protected[g] = append(h.protected[g], e)
+			if ir.err != nil {
+				return nil, nil, fmt.Errorf("heap: corrupt image (protected entries): %w", ir.err)
+			}
+			tpl.protected[g] = append(tpl.protected[g], e)
 		}
 	}
 
-	// Remembered set, rebuilt into the sharded representation.
+	// Remembered set.
 	nDirty := int(ir.u64())
 	if ir.err != nil || nDirty < 0 || nDirty > 1<<26 {
 		return nil, nil, fmt.Errorf("heap: corrupt image (dirty set)")
@@ -364,13 +378,21 @@ func LoadImage(r io.Reader) (*Heap, []*Root, error) {
 	for k := 0; k < nDirty; k++ {
 		addr := ir.u64()
 		weak := ir.u8() != 0
-		h.dirtyInsert(addr, weak)
+		if ir.err != nil {
+			return nil, nil, fmt.Errorf("heap: corrupt image (dirty set): %w", ir.err)
+		}
+		tpl.dirty = append(tpl.dirty, dirtyCell{addr, weak})
 	}
-	if ir.err != nil {
-		return nil, nil, ir.err
+
+	// The stream parsed in full: construct the heap. The parsed word
+	// arrays are referenced nowhere else, so the table takes ownership
+	// outright (no copy-on-write aliasing).
+	h, handles, err := tpl.instantiate(false)
+	if err != nil {
+		return nil, nil, err
 	}
 	if errs := h.Verify(); len(errs) > 0 {
-		return nil, nil, fmt.Errorf("heap: image fails verification: %v", errs[0])
+		return nil, nil, fmt.Errorf("heap: image fails verification: %w", errs[0])
 	}
 	return h, handles, nil
 }

@@ -64,6 +64,11 @@ func (h *Heap) RegisterMutator() *Mutator {
 	// lock protects readers (reclaimReservedLocked walks it under
 	// allocMu alone).
 	h.allocMu.Lock()
+	// Concurrent mutators run the write barrier on many goroutines at
+	// once; the lazy copy-on-write privatize is unsynchronized
+	// single-threaded machinery, so a template clone entering mutator
+	// mode privatizes everything still shared first.
+	h.tab.PrivatizeAll()
 	h.muts = append(h.muts, m)
 	h.allocMu.Unlock()
 	h.mutCount.Store(int32(len(h.muts)))

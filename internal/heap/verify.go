@@ -49,7 +49,11 @@ import (
 //     on the sequential sweep queue or parked on a worker deque —
 //     addresses an in-use to-space segment of the current collection
 //     stamp, and in parallel mode the pending counter equals the total
-//     number of parked deque items.
+//     number of parked deque items;
+//  11. copy-on-write state is consistent for template clones: every
+//     segment still marked shared (seg.Table.IsShared) is in use with
+//     a full-length word array, and the count of shared bits matches
+//     SharedCount.
 //
 // During the mutator windows of a sliced collection the heap is only
 // partially forwarded, so Verify relaxes itself while sliceActive:
@@ -346,6 +350,29 @@ func (h *Heap) Verify() []error {
 				report("sliced collection: pending counter %d but %d items parked on deques",
 					pend, parked)
 			}
+		}
+	}
+
+	// Copy-on-write consistency (invariant 11). A shared bit on a free
+	// or truncated segment means Free/FreeLazy or privatize lost track
+	// of the template aliasing, and a mismatched count would let the
+	// hot-path nil test retire the bitmap too early or too late.
+	if n := h.tab.SharedCount(); n > 0 {
+		bits := 0
+		for idx := 0; idx < h.tab.Len(); idx++ {
+			if !h.tab.IsShared(idx) {
+				continue
+			}
+			bits++
+			s := h.tab.Seg(idx)
+			if !s.InUse {
+				report("cow: shared bit set on free segment %d", idx)
+			} else if len(s.Words) != seg.Words {
+				report("cow: shared segment %d has %d words", idx, len(s.Words))
+			}
+		}
+		if bits != n {
+			report("cow: %d shared bits set but SharedCount is %d", bits, n)
 		}
 	}
 

@@ -24,6 +24,25 @@ import (
 // user symbol was interned first.
 func (m *Machine) DefinePrim(name string, min, max int, fn func(*Machine, Args) (obj.Value, error)) {
 	idx := len(m.prims)
+	// Clone fast path: a machine attached to a template clone
+	// (MachineTemplate.Attach) inherits the donor's DefinePrim state in
+	// the heap — the symbol is already permanent and its global value is
+	// already a primitive with exactly this dispatch index, provided the
+	// host re-registers its primitives in the donor's order (the Attach
+	// contract). Then only the Go-side dispatch entry is missing:
+	// install it and return without touching the heap or the snapshot,
+	// which keeps clone boot allocation-free and — because nothing
+	// changes — does not bump permVersion. The index check makes this
+	// exact: m.prims only ever grows, so an index collision is only
+	// possible by replaying the same registration order on a heap that
+	// already contains it.
+	if i, ok := m.symIdx[name]; ok && i < m.permanentSyms && m.syms[i] != obj.False {
+		if val, _, ok2 := m.H.PeekSymbol(m.syms[i]); ok2 &&
+			m.H.IsKind(val, obj.KPrimitive) && m.H.PrimitiveIndex(val) == idx {
+			m.prims = append(m.prims, prim{name: name, min: min, max: max, fn: fn})
+			return
+		}
+	}
 	m.prims = append(m.prims, prim{name: name, min: min, max: max, fn: fn})
 	symS := m.slot(m.Intern(name))
 	p := m.H.MakePrimitive(idx, m.get(symS))
@@ -44,6 +63,12 @@ func (m *Machine) DefinePrim(name string, min, max int, fn func(*Machine, Args) 
 			m.permValues[i] = p
 		}
 	}
+	// The permanent-symbol snapshot (or at least a permanent global
+	// binding) changed: templates captured from this machine before now
+	// describe a different prelude. CaptureTemplate records the version
+	// so holders can detect the staleness instead of silently booting
+	// divergent clones.
+	m.permVersion++
 }
 
 // DropUserState severs the machine's references to everything the
@@ -97,6 +122,12 @@ func (m *Machine) DropUserState() {
 // PermanentSymbols returns the watermark index below which symbol
 // slots are permanent: exempt from pruning and from DropUserState.
 func (m *Machine) PermanentSymbols() int { return m.permanentSyms }
+
+// PermVersion returns the machine's permanent-state version: it
+// increments whenever DefinePrim changes a permanent binding or
+// extends the permanent-symbol snapshot. MachineTemplate captures the
+// donor's version; comparing it later detects stale templates.
+func (m *Machine) PermVersion() uint64 { return m.permVersion }
 
 // VisitSymbols calls fn for every interned symbol slot with its index,
 // name, global value, and property list — an introspection aid for

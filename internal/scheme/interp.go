@@ -108,6 +108,12 @@ type Machine struct {
 	// DropUserState truncates back to it so compiled user code (whose
 	// constants are visited as roots) does not pin user objects.
 	permanentCodes int
+	// permVersion counts changes to the permanent-symbol snapshot
+	// (DefinePrim promotions and rebindings). A MachineTemplate records
+	// the donor's version at capture; a mismatch later means the donor
+	// grew new permanent state and the template is stale (see
+	// template.go).
+	permVersion uint64
 
 	// Escape continuations (see callcc.go).
 	nextContID  int64

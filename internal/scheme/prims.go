@@ -11,10 +11,23 @@ import (
 
 // installPrims registers every primitive procedure as the global value
 // of its name.
-func (m *Machine) installPrims() {
+func (m *Machine) installPrims() { m.registerBuiltins(false) }
+
+// registerBuiltins installs the built-in primitives. With goSideOnly
+// set it only rebuilds the Go-side dispatch table (m.prims) and
+// touches no heap state: a machine attached to a template clone
+// (MachineTemplate.Attach) inherits the primitive *objects* — and the
+// global bindings — from the cloned heap, where the indexes assigned
+// here are already baked in, so only the index→function mapping needs
+// reconstructing. The registration order is therefore part of the
+// image/template contract: it must stay deterministic.
+func (m *Machine) registerBuiltins(goSideOnly bool) {
 	def := func(name string, min, max int, fn func(*Machine, Args) (obj.Value, error)) {
 		idx := len(m.prims)
 		m.prims = append(m.prims, prim{name: name, min: min, max: max, fn: fn})
+		if goSideOnly {
+			return
+		}
 		symS := m.slot(m.Intern(name))
 		p := m.H.MakePrimitive(idx, m.get(symS))
 		m.H.SetSymbolValue(m.get(symS), p)

@@ -1,0 +1,154 @@
+package scheme
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/heap"
+	"repro/internal/obj"
+	"repro/internal/ports"
+)
+
+// Machine templates layer the symbol table over heap templates exactly
+// as machine images layer it over heap images (image.go), but in
+// memory and copy-on-write: CaptureTemplate snapshots a quiescent,
+// prelude-loaded machine once, and Clone + Attach boot a new machine
+// from it in microseconds — the clone's heap shares the template's
+// segments read-only (heap.CloneFromTemplate), and the machine side
+// copies only the Go-level tables (symbol slice, snapshots), rebuilding
+// the primitive dispatch table without touching the heap.
+//
+// Host-primitive contract: a donor that called DefinePrim before
+// capture has those primitives' indexes and global bindings baked into
+// the template's heap. Attach rebuilds only the built-in dispatch
+// entries; the host must re-DefinePrim its extra primitives on each
+// attached machine, in the same order as on the donor. DefinePrim
+// detects the replay (the permanent symbol already holds a primitive
+// with the index being assigned) and takes an allocation-free fast
+// path, so the replay costs no heap writes.
+//
+// Staleness: DefinePrim on the donor after capture bumps the donor's
+// PermVersion; the template records the version at capture, so holders
+// compare donor.PermVersion() against Template.PermVersion() and
+// re-capture instead of silently booting clones with a divergent
+// prelude (the server's sessionTemplate does exactly this).
+type MachineTemplate struct {
+	ht          *heap.Template
+	symNames    []string
+	syms        []obj.Value
+	symsFree    []int
+	formSyms    [numForms]int
+	symElse     int
+	symArrow    int
+	gensymN     int
+	nextContID  int64
+	pruneSyms   bool
+	permSyms    int
+	permValues  []obj.Value
+	permPlists  []obj.Value
+	permVersion uint64
+}
+
+// PermVersion returns the donor's permanent-state version at capture
+// (see Machine.PermVersion).
+func (t *MachineTemplate) PermVersion() uint64 { return t.permVersion }
+
+// HeapTemplate returns the underlying heap template.
+func (t *MachineTemplate) HeapTemplate() *heap.Template { return t.ht }
+
+// CaptureTemplate snapshots m into a MachineTemplate. The machine must
+// be quiescent (no evaluation in progress) and must not have compiled
+// code (bytecode is a Go-side table, same restriction as SaveImage).
+// The machine's heap is fully collected first — the paper's "stopped,
+// collected heap" — so clones share a compacted heap with an empty
+// nursery and (in practice) an empty remembered set, minimizing the
+// copy-on-write faults each clone can take. The donor remains fully
+// usable afterwards and shares no mutable state with the template.
+func CaptureTemplate(m *Machine) (*MachineTemplate, error) {
+	if len(m.stack) != 0 || len(m.vmFrames) != 0 {
+		return nil, fmt.Errorf("scheme: CaptureTemplate requires a quiescent machine")
+	}
+	if len(m.codes) != 0 {
+		return nil, fmt.Errorf("scheme: CaptureTemplate does not support machines that have compiled code")
+	}
+	m.H.Collect(m.H.MaxGeneration())
+	ht, err := m.H.CaptureTemplate()
+	if err != nil {
+		return nil, err
+	}
+	return &MachineTemplate{
+		ht:          ht,
+		symNames:    append([]string(nil), m.symNames...),
+		syms:        append([]obj.Value(nil), m.syms...),
+		symsFree:    append([]int(nil), m.symsFree...),
+		formSyms:    m.formSyms,
+		symElse:     m.symElse,
+		symArrow:    m.symArrow,
+		gensymN:     m.gensymN,
+		nextContID:  m.nextContID,
+		pruneSyms:   m.pruneSymbols,
+		permSyms:    m.permanentSyms,
+		permValues:  append([]obj.Value(nil), m.permValues...),
+		permPlists:  append([]obj.Value(nil), m.permPlists...),
+		permVersion: m.permVersion,
+	}, nil
+}
+
+// Clone spawns a copy-on-write heap from the template (see
+// heap.CloneFromTemplate). It returns the heap and the inherited root
+// handles; a host that replaces the donor's Go-side structures (port
+// managers, mailboxes) rather than adopting them should release the
+// inherited handles so the structures they pin become collectible.
+func (t *MachineTemplate) Clone() (*heap.Heap, []*heap.Root, error) {
+	return heap.CloneFromTemplate(t.ht)
+}
+
+// Attach builds a Machine over h — a heap cloned from this template —
+// bound to pm (a fresh manager over an empty simulated file system if
+// nil). Every Go-side table is copied, never shared: the collector
+// forwards symbol slots and snapshots in place per heap, so two clones
+// sharing a slice would corrupt each other at their first collections.
+// The permanent-symbol snapshot is inherited from the donor rather
+// than re-captured, so every clone reverts (DropUserState) to the
+// donor's exact prelude state.
+//
+// Attach installs only the built-in primitive dispatch entries; the
+// host must re-DefinePrim any donor-registered primitives in the
+// donor's order before running hosted code (see the package comment on
+// the contract and the DefinePrim fast path).
+func (t *MachineTemplate) Attach(h *heap.Heap, pm *ports.Manager) *Machine {
+	if pm == nil {
+		pm = ports.NewManager(h, ports.NewFS())
+	}
+	m := &Machine{
+		H:          h,
+		PM:         pm,
+		Out:        os.Stdout,
+		symIdx:     make(map[string]int, len(t.symNames)),
+		fuel:       -1,
+		gensymN:    t.gensymN,
+		nextContID: t.nextContID,
+	}
+	m.syms = append([]obj.Value(nil), t.syms...)
+	m.symNames = append([]string(nil), t.symNames...)
+	m.symsFree = append([]int(nil), t.symsFree...)
+	for i, name := range m.symNames {
+		if m.syms[i] == obj.False && name == "" {
+			continue // freed (pruned) slot
+		}
+		m.symIdx[name] = i
+	}
+	m.formSyms = t.formSyms
+	m.symElse = t.symElse
+	m.symArrow = t.symArrow
+	m.pruneSymbols = t.pruneSyms
+	m.permanentSyms = t.permSyms
+	m.permValues = append([]obj.Value(nil), t.permValues...)
+	m.permPlists = append([]obj.Value(nil), t.permPlists...)
+	m.permVersion = t.permVersion
+	m.permanentCodes = 0 // capture rejects compiled code
+	m.registerBuiltins(true)
+	h.AddRootProvider(m)
+	h.AddPostCollectHook(m.pruneDeadSymbols)
+	return m
+}

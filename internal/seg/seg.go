@@ -8,6 +8,7 @@ package seg
 
 import (
 	"fmt"
+	"math/bits"
 	"sync/atomic"
 )
 
@@ -106,6 +107,153 @@ type Table struct {
 	// InitReserved is called lock-free from parallel collector workers,
 	// so the counter is atomic.
 	reserved atomic.Int64
+
+	// Copy-on-write clone state (NewTableFromSegs with shared=true).
+	// cowBits has one bit per segment index covered at clone time; a set
+	// bit means the segment's Words slice aliases an immutable template
+	// array and must be privatized (copied) before its first write. The
+	// bitmap is nil in ordinary tables and becomes nil again once the
+	// last shared segment is privatized or freed, so the write-path
+	// check collapses to one nil test in the common case. Segments
+	// created after the clone lie beyond the bitmap and are never
+	// shared.
+	//
+	// The lazy privatize in SetWord/WordPtr is deliberately
+	// unsynchronized: it is only correct in single-threaded regimes
+	// (the legacy single-mutator heap, or the sequential collector).
+	// Callers entering a multi-threaded regime — the parallel collector
+	// fan-out, or registering a concurrent mutator — must call
+	// PrivatizeAll first.
+	cowBits   []uint64
+	cowShared int
+	cowCopies uint64
+}
+
+// TemplateSeg describes one segment slot for NewTableFromSegs: either a
+// populated segment (Words of length seg.Words plus its table metadata)
+// or a free slot (Words == nil, other fields ignored).
+type TemplateSeg struct {
+	Words []uint64
+	Space Space
+	Gen   int
+	Cont  bool
+	Fill  int
+	Stamp uint64
+}
+
+// NewTableFromSegs builds a table whose segment slots mirror segs by
+// index: entries with non-nil Words become in-use segments, entries
+// with nil Words become free slots. With shared=true the in-use
+// segments alias the provided word arrays copy-on-write (the arrays
+// must then be treated as immutable by the caller for the table's
+// lifetime); with shared=false the table takes ownership of the arrays
+// outright. Chain links (Next) are left as None — the heap rebuilds its
+// chains from its own segment walk. Panics if a populated entry's Words
+// is not exactly seg.Words long.
+func NewTableFromSegs(segs []TemplateSeg, shared bool) *Table {
+	t := &Table{}
+	for t.nseg < len(segs) {
+		t.grow()
+		t.nseg++
+	}
+	nshared := 0
+	var bits []uint64
+	if shared {
+		bits = make([]uint64, (len(segs)+63)/64)
+	}
+	for i := range segs {
+		ts := &segs[i]
+		s := t.Seg(i)
+		if ts.Words == nil {
+			continue // free slot, collected below
+		}
+		if len(ts.Words) != Words {
+			panic(fmt.Sprintf("seg: NewTableFromSegs: segment %d has %d words, want %d", i, len(ts.Words), Words))
+		}
+		s.Words = ts.Words
+		s.Space = ts.Space
+		s.Gen = ts.Gen
+		s.InUse = true
+		s.Stamp = ts.Stamp
+		s.Next = None
+		s.Cont = ts.Cont
+		s.Fill = ts.Fill
+		if shared {
+			bits[i>>6] |= 1 << (i & 63)
+			nshared++
+		}
+	}
+	// Free slots in reverse index order so claim (which pops from the
+	// end) reuses the lowest index first, matching Alloc's behavior on
+	// a freshly grown table.
+	for i := len(segs) - 1; i >= 0; i-- {
+		if segs[i].Words == nil {
+			t.free = append(t.free, i)
+		}
+	}
+	if nshared > 0 {
+		t.cowBits = bits
+		t.cowShared = nshared
+	}
+	return t
+}
+
+// isShared reports whether segment idx currently aliases a template
+// word array.
+func (t *Table) isShared(idx int) bool {
+	return idx>>6 < len(t.cowBits) && t.cowBits[idx>>6]&(1<<(idx&63)) != 0
+}
+
+// IsShared reports whether segment idx still aliases an immutable
+// template word array (copy-on-write, not yet privatized).
+func (t *Table) IsShared(idx int) bool { return t.isShared(idx) }
+
+// SharedCount returns the number of segments still aliasing template
+// word arrays.
+func (t *Table) SharedCount() int { return t.cowShared }
+
+// COWCopies returns the cumulative number of segments privatized by
+// copy-on-write faults (lazy or via PrivatizeAll) over the table's
+// lifetime.
+func (t *Table) COWCopies() uint64 { return t.cowCopies }
+
+// privatize replaces segment idx's shared template words with a private
+// copy and clears its copy-on-write bit. Dropping the bitmap when the
+// last shared segment goes private removes the write-path bit test
+// entirely.
+func (t *Table) privatize(idx int) {
+	s := t.Seg(idx)
+	w := make([]uint64, Words)
+	copy(w, s.Words)
+	s.Words = w
+	t.clearShared(idx)
+	t.cowCopies++
+}
+
+// clearShared clears segment idx's copy-on-write bit and retires the
+// bitmap when it was the last one.
+func (t *Table) clearShared(idx int) {
+	t.cowBits[idx>>6] &^= 1 << (idx & 63)
+	t.cowShared--
+	if t.cowShared == 0 {
+		t.cowBits = nil
+	}
+}
+
+// PrivatizeAll eagerly privatizes every still-shared segment. Required
+// before any multi-threaded access to the table's words (parallel
+// collector workers, concurrent mutators): the lazy copy in
+// SetWord/WordPtr is unsynchronized and safe only while a single
+// goroutine touches heap words. Serialized like Alloc/Free.
+func (t *Table) PrivatizeAll() {
+	cow := t.cowBits
+	for wi, bw := range cow {
+		for bw != 0 {
+			bit := bits.TrailingZeros64(bw)
+			t.privatize(wi<<6 + bit)
+			bw &^= 1 << bit
+		}
+	}
 }
 
 // chunkList returns the current chunk directory (nil when empty).
@@ -255,7 +403,15 @@ func (t *Table) Free(idx int) {
 	if !s.InUse {
 		panic(fmt.Sprintf("seg: double free of segment %d", idx))
 	}
-	clear(s.Words)
+	if t.cowBits != nil && t.isShared(idx) {
+		// The words belong to an immutable template shared with other
+		// clones: drop the alias instead of zeroing it. initSeg/Reserve
+		// materialize a fresh array when the slot is reused.
+		s.Words = nil
+		t.clearShared(idx)
+	} else {
+		clear(s.Words)
+	}
 	s.InUse = false
 	s.Next = None
 	s.Cont = false
@@ -277,6 +433,13 @@ func (t *Table) FreeLazy(idx int) {
 	s := t.Seg(idx)
 	if !s.InUse {
 		panic(fmt.Sprintf("seg: double free of segment %d", idx))
+	}
+	if t.cowBits != nil && t.isShared(idx) {
+		// Never zero a shared template array — drop the alias. The
+		// deferred clear in claim no-ops on the nil slice and
+		// initSeg/Reserve materialize a fresh array on reuse.
+		s.Words = nil
+		t.clearShared(idx)
 	}
 	s.InUse = false
 	s.Next = None
@@ -329,14 +492,29 @@ func (t *Table) Word(addr uint64) uint64 {
 	return t.SegOf(addr).Words[addr%Words]
 }
 
-// SetWord stores w at addr.
+// SetWord stores w at addr, privatizing the segment first when it
+// still aliases a template array (copy-on-write). The privatize is
+// unsynchronized — see the cowBits field doc for the regime contract.
 func (t *Table) SetWord(addr uint64, w uint64) {
+	if t.cowBits != nil {
+		if idx := int(addr / Words); t.isShared(idx) {
+			t.privatize(idx)
+		}
+	}
 	t.SegOf(addr).Words[addr%Words] = w
 }
 
 // WordPtr returns the address of the heap word at addr, for callers
 // that need atomic access to it — the parallel collector installs
-// forwarding words with compare-and-swap through this pointer.
+// forwarding words with compare-and-swap through this pointer. Taking
+// a word's address is treated as a write for copy-on-write purposes
+// (the pointer exists to be stored through), so a shared segment is
+// privatized first.
 func (t *Table) WordPtr(addr uint64) *uint64 {
+	if t.cowBits != nil {
+		if idx := int(addr / Words); t.isShared(idx) {
+			t.privatize(idx)
+		}
+	}
 	return &t.SegOf(addr).Words[addr%Words]
 }

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/heap"
+	"repro/internal/scheme"
 	"repro/internal/seg"
 )
 
@@ -66,6 +67,13 @@ type Config struct {
 	// implementations must be safe for concurrent calls when
 	// Executors > 1.
 	OnReply func(id SessionID, reply string, err error)
+	// PreludeBoot forces Register to boot every session by evaluating
+	// the prelude into a fresh heap, the pre-template path. The default
+	// (false) boots sessions from a process-wide copy-on-write heap
+	// template built on first Register (see template.go) and falls back
+	// to prelude boot only if the template cannot be built. The knob
+	// exists for the fork benchmark's baseline and as an ablation.
+	PreludeBoot bool
 }
 
 // DefaultSessionHeapConfig is the per-session heap shape: small
@@ -112,6 +120,8 @@ type Stats struct {
 	DrainCollects uint64 // collections run while draining disconnected sessions
 	LeakedPorts   uint64 // descriptors still open when a drain hit its cap
 	LeakedRes     uint64 // external resources still live when a drain hit its cap
+	TemplateBoots uint64 // sessions booted by cloning the heap template
+	PreludeBoots  uint64 // sessions booted by evaluating the prelude
 }
 
 // Server hosts the sessions.
@@ -131,6 +141,14 @@ type Server struct {
 
 	stats    Stats
 	reclaims []ReclaimRecord
+
+	// Session-boot template state (template.go), guarded by tplMu (its
+	// own mutex: building the first template evaluates a whole prelude,
+	// which must not stall the event loop under srv.mu).
+	tplMu     sync.Mutex
+	tpl       *scheme.MachineTemplate
+	tplDonor  *Session
+	tplBroken bool
 }
 
 // New creates a server. With cfg.Executors == 0 the server is
@@ -161,7 +179,7 @@ func (srv *Server) Register(initScript string) (SessionID, error) {
 	id := srv.nextID
 	srv.mu.Unlock()
 
-	s, err := newSession(srv, id, srv.cfg.Heap)
+	s, err := srv.bootSession(id)
 	if err != nil {
 		return 0, err
 	}

@@ -69,6 +69,15 @@ echo "== multi-session server gate (-race)"
 # at collector Workers {1,2,8,auto} x PauseBudget {0,1ms}.
 SERVER_CHURN_CYCLES=10000 go test -race -run 'TestSessionChurnStress|TestServerReclaimOrder|TestAsyncServerSmoke' ./internal/server/
 
+echo "== heap template / fork gate (-race)"
+# Copy-on-write heap templates: the clone matrix (remset + guardians
+# round-tripped at Workers {1,2,8,auto} x PauseBudget {0,1ms} with
+# bit-for-bit salvage order), the COW fault/privatization semantics,
+# the mid-slice SaveImage/CaptureTemplate rejection, the corrupt-image
+# regression sweep, and the server-side template boot suite (staleness
+# rebuild on donor DefinePrim, template-boot churn with zero leaks).
+go test -race -run 'TestTemplate|TestClone|TestSaveAndCaptureDuringSlicedCollection|TestLoadImage|TestMachineTemplate|TestPreludeBoot' ./internal/heap/ ./internal/scheme/ ./internal/server/
+
 echo "== deque property gate (-race)"
 # The Chase-Lev work-stealing deque carries every parallel sweep item;
 # the randomized owner/thief property test under the race detector is
@@ -92,6 +101,7 @@ go test -run '^$' -fuzz 'FuzzGuardianParallel' -fuzztime=10s ./internal/heap/
 # -fuzzminimizetime: new interesting inputs otherwise get the default
 # 60s minimization budget each, which dwarfs the 10s fuzz budget.
 go test -run '^$' -fuzz 'FuzzMutatorOps' -fuzztime=10s -fuzzminimizetime=1s ./internal/heap/
+go test -run '^$' -fuzz 'FuzzLoadImage' -fuzztime=10s ./internal/heap/
 go test -run '^$' -fuzz 'FuzzReader' -fuzztime=10s ./internal/scheme/
 go test -run '^$' -fuzz 'FuzzDifferential' -fuzztime=10s ./internal/scheme/
 go test -run '^$' -fuzz 'FuzzEval' -fuzztime=10s ./internal/scheme/
@@ -109,6 +119,12 @@ go run ./cmd/benchgc -e e1 >/dev/null
 go run ./cmd/benchgc -server-bench -server-sessions 200 -server-churn 50 \
     -server-bench-out /tmp/BENCH_server_ci.json >/dev/null
 rm -f /tmp/BENCH_server_ci.json
+# Reduced-scale fork bench: template-vs-prelude boot, COW fault cost,
+# and template churn, with the report's schema self-check (boot
+# counters exact, speedup floor, quantile ordering, zero leaks).
+go run ./cmd/benchgc -fork-bench -fork-sessions 300 \
+    -fork-bench-out /tmp/BENCH_fork_ci.json >/dev/null
+rm -f /tmp/BENCH_fork_ci.json
 
 echo "== parallel collection baseline"
 # The summary (kept visible, unlike the other smokes) leads with

@@ -371,7 +371,7 @@ func BenchmarkAblationDirtySet(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			cfg := heap.DefaultConfig()
-			cfg.TriggerWords = 1 << 30
+			cfg.Policy = heap.RadixPolicy{Trigger: 1 << 30}
 			cfg.UseDirtySet = useDirty
 			h := heap.MustNew(cfg)
 			lst := h.NewRoot(obj.Nil)
@@ -399,7 +399,7 @@ func BenchmarkAblationWeakScan(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			cfg := heap.DefaultConfig()
-			cfg.TriggerWords = 1 << 30
+			cfg.Policy = heap.RadixPolicy{Trigger: 1 << 30}
 			cfg.WeakScanAll = scanAll
 			h := heap.MustNew(cfg)
 			keep := h.NewRoot(obj.Nil)
@@ -574,7 +574,7 @@ func BenchmarkSchemeEval(b *testing.B) {
 		}
 	})
 	b.Run("list-churn", func(b *testing.B) {
-		h := heap.MustNew(heap.Config{Generations: 4, TriggerWords: 16384, Radix: 4, UseDirtySet: true})
+		h := heap.MustNew(heap.Config{Generations: 4, Policy: heap.RadixPolicy{Trigger: 16384, Radix: 4}, UseDirtySet: true})
 		m := scheme.New(h, nil)
 		m.MustEval("(define (build n) (if (zero? n) '() (cons n (build (- n 1)))))")
 		b.ResetTimer()
@@ -585,7 +585,7 @@ func BenchmarkSchemeEval(b *testing.B) {
 		}
 	})
 	b.Run("guardian-churn", func(b *testing.B) {
-		h := heap.MustNew(heap.Config{Generations: 4, TriggerWords: 16384, Radix: 4, UseDirtySet: true})
+		h := heap.MustNew(heap.Config{Generations: 4, Policy: heap.RadixPolicy{Trigger: 16384, Radix: 4}, UseDirtySet: true})
 		m := scheme.New(h, nil)
 		m.MustEval(`
 			(define G (make-guardian))

@@ -1,10 +1,8 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 	"runtime"
 	"time"
 
@@ -272,35 +270,19 @@ func runForkBench(w io.Writer, outPath string, sessions int) error {
 	fmt.Fprintf(w, "fork-bench: churn %.0f sessions/sec, leaks ports=%d resources=%d\n",
 		rep.Churn.SessionsPerSec, rep.Churn.LeakedPorts, rep.Churn.LeakedResources)
 
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
-		return err
-	}
-	if err := validateForkBench(outPath, sessions); err != nil {
-		return fmt.Errorf("self-check of %s: %w", outPath, err)
-	}
-	fmt.Fprintf(w, "fork-bench: wrote %s\n", outPath)
-	return nil
+	var fresh forkBenchReport
+	return writeBenchReport(w, "fork-bench", outPath, &rep, &fresh, func() error {
+		return checkForkBench(&fresh, sessions)
+	})
 }
 
-// validateForkBench re-reads the written report and checks the schema
-// and headline invariants: both boot modes measured at the requested
-// scale with the expected boot-path counters, a real (>= 3x) speedup,
-// COW quantiles present and ordered, and a leak-free churn phase.
-// (The committed full-scale run clears 5x with a wide margin; the
-// reduced-scale CI smoke keeps a noise allowance.)
-func validateForkBench(path string, sessions int) error {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return err
-	}
-	var rep forkBenchReport
-	if err := json.Unmarshal(data, &rep); err != nil {
-		return err
-	}
+// checkForkBench validates the re-read report for writeBenchReport:
+// both boot modes measured at the requested scale with the expected
+// boot-path counters, a real (>= 3x) speedup, COW quantiles present
+// and ordered, and a leak-free churn phase. (The committed full-scale
+// run clears 5x with a wide margin; the reduced-scale CI smoke keeps a
+// noise allowance.)
+func checkForkBench(rep *forkBenchReport, sessions int) error {
 	switch {
 	case rep.TemplateBoot.Sessions != sessions || rep.PreludeBoot.Sessions != sessions:
 		return fmt.Errorf("sessions = %d/%d, want %d", rep.TemplateBoot.Sessions, rep.PreludeBoot.Sessions, sessions)

@@ -16,6 +16,8 @@
 //	benchgc -pause-bench              # sliced-vs-monolithic pause bound -> BENCH_pause.json
 //	benchgc -server-bench             # multi-session server churn -> BENCH_server.json
 //	benchgc -fork-bench               # template-clone vs prelude session boot -> BENCH_fork.json
+//	benchgc -tune-bench               # AutoTune vs fixed policy ablation -> BENCH_tune.json
+//	benchgc -server-bench -out /tmp/s.json   # any bench; -out overrides its default path
 //
 // See docs/ALGORITHM.md ("Reading benchgc -trace output") for the
 // trace record schema.
@@ -24,6 +26,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/experiments"
@@ -31,58 +34,44 @@ import (
 
 func main() {
 	var (
-		one      = flag.String("e", "", "run a single experiment by id (e1..e10, a1..a4)")
-		list     = flag.Bool("list", false, "list experiments and exit")
-		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		trace    = flag.Bool("trace", false, "run the GC trace workload and emit one JSON line per collection")
-		phases   = flag.Bool("phases", false, "run the GC trace workload and print a per-phase pause summary")
-		gcs      = flag.Int("gcs", 50, "number of collections for -trace/-phases/-parallel-bench")
-		workers  = flag.Int("workers", 1, "collector workers for the -trace/-phases workload (1 = sequential, 0 = adaptive)")
-		parBench = flag.Bool("parallel-bench", false,
-			"run the parallel collection baseline across worker counts and write a JSON report")
-		benchOut    = flag.String("bench-out", "BENCH_parallel.json", "output path for -parallel-bench")
+		one     = flag.String("e", "", "run a single experiment by id (e1..e10, a1..a4)")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		trace   = flag.Bool("trace", false, "run the GC trace workload and emit one JSON line per collection")
+		phases  = flag.Bool("phases", false, "run the GC trace workload and print a per-phase pause summary")
+		gcs     = flag.Int("gcs", 50, "number of collections for -trace/-phases/-parallel-bench/-pause-bench")
+		workers = flag.Int("workers", 1, "collector workers for the -trace/-phases workload (1 = sequential, 0 = adaptive)")
+		out     = flag.String("out", "", "output path for the selected -*-bench report (default: that bench's BENCH_*.json)")
+
 		pauseBudget = flag.Duration("pause-budget", 0,
 			"PauseBudget for the -trace/-phases workload (0 = monolithic); with -pause-bench, the sliced run's budget (default 1ms)")
-		pauseBench = flag.Bool("pause-bench", false,
-			"run the pause-budget benchmark (deadline-sliced vs monolithic full collections) and write a JSON report")
-		pauseOut    = flag.String("pause-bench-out", "BENCH_pause.json", "output path for -pause-bench")
-		serverBench = flag.Bool("server-bench", false,
-			"run the multi-session server benchmark (standing population + churn) and write a JSON report")
 		serverSessions = flag.Int("server-sessions", 10000, "standing session population for -server-bench")
 		serverChurn    = flag.Int("server-churn", 2000, "register/run/disconnect cycles for -server-bench")
-		serverOut      = flag.String("server-bench-out", "BENCH_server.json", "output path for -server-bench")
-		forkBench      = flag.Bool("fork-bench", false,
-			"run the heap-template boot benchmark (template clone vs prelude boot, COW fault cost) and write a JSON report")
-		forkSessions = flag.Int("fork-sessions", 5000, "sessions per boot mode for -fork-bench")
-		forkOut      = flag.String("fork-bench-out", "BENCH_fork.json", "output path for -fork-bench")
+		forkSessions   = flag.Int("fork-sessions", 5000, "sessions per boot mode for -fork-bench")
+		tuneReps       = flag.Int("tune-reps", 5, "repetitions per workload x policy cell for -tune-bench")
+		tuneOps        = flag.Int("tune-ops", tuneDefaultOps, "per-rep operation count for -tune-bench workloads")
 	)
+	registerBench("parallel-bench", "BENCH_parallel.json",
+		"run the parallel collection baseline across worker counts",
+		func(w io.Writer, path string) error { return runParallelBench(w, path, *gcs) })
+	registerBench("pause-bench", "BENCH_pause.json",
+		"run the pause-budget benchmark (deadline-sliced vs monolithic full collections)",
+		func(w io.Writer, path string) error { return runPauseBench(w, path, *gcs, *pauseBudget) })
+	registerBench("server-bench", "BENCH_server.json",
+		"run the multi-session server benchmark (standing population + churn)",
+		func(w io.Writer, path string) error {
+			return runServerBench(w, path, *serverSessions, *serverChurn)
+		})
+	registerBench("fork-bench", "BENCH_fork.json",
+		"run the heap-template boot benchmark (template clone vs prelude boot, COW fault cost)",
+		func(w io.Writer, path string) error { return runForkBench(w, path, *forkSessions) })
+	registerBench("tune-bench", "BENCH_tune.json",
+		"run the AutoTune-vs-fixed-policy ablation (gcbench/hashtable/recycle workloads)",
+		func(w io.Writer, path string) error { return runTuneBench(w, path, *tuneReps, *tuneOps) })
 	flag.Parse()
 
-	if *forkBench {
-		if err := runForkBench(os.Stdout, *forkOut, *forkSessions); err != nil {
-			fmt.Fprintf(os.Stderr, "benchgc: %v\n", err)
-			os.Exit(1)
-		}
-		return
-	}
-
-	if *serverBench {
-		if err := runServerBench(os.Stdout, *serverOut, *serverSessions, *serverChurn); err != nil {
-			fmt.Fprintf(os.Stderr, "benchgc: %v\n", err)
-			os.Exit(1)
-		}
-		return
-	}
-
-	if *parBench {
-		if err := runParallelBench(os.Stdout, *benchOut, *gcs); err != nil {
-			fmt.Fprintf(os.Stderr, "benchgc: %v\n", err)
-			os.Exit(1)
-		}
-		return
-	}
-	if *pauseBench {
-		if err := runPauseBench(os.Stdout, *pauseOut, *gcs, *pauseBudget); err != nil {
+	if ran, err := dispatchBench(os.Stdout, *out); ran {
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchgc: %v\n", err)
 			os.Exit(1)
 		}

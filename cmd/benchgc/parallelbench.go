@@ -1,7 +1,6 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -174,7 +173,7 @@ func quantilesOf(ns []int64) benchQuantiles {
 // collections at the given worker count.
 func benchOneWorkerCount(workers, gcs, pairs, vectors int) (benchWorkerResult, error) {
 	cfg := heap.DefaultConfig()
-	cfg.TriggerWords = 1 << 30 // collections are explicit
+	cfg.Policy = heap.RadixPolicy{Trigger: 1 << 30} // collections are explicit
 	cfg.Workers = workers
 	h, err := heap.New(cfg)
 	if err != nil {
@@ -311,19 +310,39 @@ func runParallelBench(out io.Writer, path string, gcs int) error {
 			agg.BestSweepSpeedupP50, agg.BestSweepSpeedupWorkers)
 	}
 	fmt.Fprintln(out)
-	f, err := os.Create(path)
-	if err != nil {
-		return err
+	var fresh benchReport
+	return writeBenchReport(out, "parallel-bench", path, &rep, &fresh, func() error {
+		return checkParallelBench(&fresh, gcs)
+	})
+}
+
+// checkParallelBench validates the re-read report for
+// writeBenchReport: the full worker sweep present with the workers=1
+// reference, per-row quantiles ordered, and a non-empty aggregate.
+func checkParallelBench(rep *benchReport, gcs int) error {
+	if len(rep.Results) != 5 {
+		return fmt.Errorf("results rows = %d, want 5", len(rep.Results))
 	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(&rep); err != nil {
-		f.Close()
-		return err
+	sawRef := false
+	for _, r := range rep.Results {
+		if r.Workers == 1 {
+			sawRef = true
+		}
+		if r.Collections != gcs {
+			return fmt.Errorf("workers=%d row measured %d collections, want %d", r.Workers, r.Collections, gcs)
+		}
+		if r.Pause.P50 <= 0 || r.Pause.P99 < r.Pause.P50 || r.Pause.Max < r.Pause.P99 {
+			return fmt.Errorf("workers=%d pause quantiles disordered: %+v", r.Workers, r.Pause)
+		}
+		if r.Sweep.P99 < r.Sweep.P50 {
+			return fmt.Errorf("workers=%d sweep quantiles disordered: %+v", r.Workers, r.Sweep)
+		}
 	}
-	if err := f.Close(); err != nil {
-		return err
+	if !sawRef {
+		return fmt.Errorf("no workers=1 reference row")
 	}
-	fmt.Fprintf(out, "wrote %s\n", path)
+	if rep.Aggregate.RowsIncluded < 1 || rep.Aggregate.Pause.P50 <= 0 {
+		return fmt.Errorf("aggregate empty: %+v", rep.Aggregate)
+	}
 	return nil
 }

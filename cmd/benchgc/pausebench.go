@@ -1,7 +1,6 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -70,7 +69,7 @@ type pauseBenchReport struct {
 // per-collection slice counts, and the salvage order history.
 func runPauseWorkload(budget time.Duration, gcs, pairs int) (pause, slicePause, slicesPerGC []int64, order []int64, err error) {
 	cfg := heap.DefaultConfig()
-	cfg.TriggerWords = 1 << 30 // collections are explicit
+	cfg.Policy = heap.RadixPolicy{Trigger: 1 << 30} // collections are explicit
 	cfg.PauseBudget = budget
 	h, err := heap.New(cfg)
 	if err != nil {
@@ -214,22 +213,37 @@ func runPauseBench(out io.Writer, path string, gcs int, budget time.Duration) er
 		fmt.Fprintln(os.Stderr, "benchgc: ERROR: sliced run changed the guardian tconc order")
 	}
 
-	f, err := os.Create(path)
-	if err != nil {
+	var fresh pauseBenchReport
+	if err := writeBenchReport(out, "pause-bench", path, &rep, &fresh, func() error {
+		return checkPauseBench(&fresh, gcs)
+	}); err != nil {
 		return err
 	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(&rep); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	fmt.Fprintf(out, "wrote %s\n", path)
 	if !sameOrder {
 		return fmt.Errorf("tconc order diverged between monolithic and sliced runs")
+	}
+	return nil
+}
+
+// checkPauseBench validates the re-read report for writeBenchReport:
+// both runs measured at the requested scale, quantiles ordered, the
+// sliced run actually sliced, and the determinism witness non-empty.
+func checkPauseBench(rep *pauseBenchReport, gcs int) error {
+	switch {
+	case rep.BudgetNS <= 0:
+		return fmt.Errorf("budget_ns = %d", rep.BudgetNS)
+	case rep.Monolithic.Collections != gcs || rep.Sliced.Collections != gcs:
+		return fmt.Errorf("collections = %d/%d, want %d", rep.Monolithic.Collections, rep.Sliced.Collections, gcs)
+	case rep.Monolithic.Pause.P50 <= 0 || rep.Monolithic.Pause.P99 < rep.Monolithic.Pause.P50:
+		return fmt.Errorf("monolithic pause quantiles disordered: %+v", rep.Monolithic.Pause)
+	case rep.Sliced.SlicePause.Max <= 0 || rep.Sliced.SlicePause.P99 < rep.Sliced.SlicePause.P50:
+		return fmt.Errorf("slice pause quantiles disordered: %+v", rep.Sliced.SlicePause)
+	case rep.Sliced.MaxSliceNS < rep.Sliced.SlicePause.P99:
+		return fmt.Errorf("max_slice_ns %d below slice p99 %d", rep.Sliced.MaxSliceNS, rep.Sliced.SlicePause.P99)
+	case rep.TconcSalvaged <= 0:
+		return fmt.Errorf("tconc_salvaged = %d", rep.TconcSalvaged)
+	case rep.BudgetHolds != (rep.Sliced.Violations == 0):
+		return fmt.Errorf("budget_holds = %v with %d violations", rep.BudgetHolds, rep.Sliced.Violations)
 	}
 	return nil
 }

@@ -1,10 +1,8 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 	"runtime"
 	"time"
 
@@ -220,32 +218,15 @@ func runServerBench(w io.Writer, outPath string, sessions, churn int) error {
 	}
 	fmt.Fprintf(w, "server-bench: drained %d sessions in %.1fs, zero leaks\n", len(all), shutSec)
 
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
-		return err
-	}
-	if err := validateServerBench(outPath, sessions, churn); err != nil {
-		return fmt.Errorf("self-check of %s: %w", outPath, err)
-	}
-	fmt.Fprintf(w, "server-bench: wrote %s\n", outPath)
-	return nil
+	var fresh serverBenchReport
+	return writeBenchReport(w, "server-bench", outPath, &rep, &fresh, func() error {
+		return checkServerBench(&fresh, sessions, churn)
+	})
 }
 
-// validateServerBench re-reads the written report and checks the
-// schema and the headline invariants — the benchmark fails loudly
-// rather than leaving a silently malformed report for CI to trust.
-func validateServerBench(path string, sessions, churn int) error {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return err
-	}
-	var rep serverBenchReport
-	if err := json.Unmarshal(data, &rep); err != nil {
-		return err
-	}
+// checkServerBench validates the re-read report's schema and headline
+// invariants for writeBenchReport.
+func checkServerBench(rep *serverBenchReport, sessions, churn int) error {
 	switch {
 	case rep.Boot.PeakRegistered != sessions:
 		return fmt.Errorf("peak_registered = %d, want %d", rep.Boot.PeakRegistered, sessions)

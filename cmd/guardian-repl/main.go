@@ -41,6 +41,7 @@ func main() {
 		stats       = flag.Bool("stats", false, "print collector statistics at exit")
 		generations = flag.Int("generations", 4, "number of heap generations")
 		trigger     = flag.Int("trigger", 64*512, "gen-0 words between collect requests")
+		autotune    = flag.Bool("autotune", false, "self-tune the gen-0 trigger from measured survival")
 		compiled    = flag.Bool("compile", false, "execute via the bytecode compiler and VM")
 		loadImage   = flag.String("load-image", "", "restore a machine image saved with -save-image")
 		saveImage   = flag.String("save-image", "", "write a machine image at exit (interpreted sessions only)")
@@ -49,7 +50,12 @@ func main() {
 
 	cfg := heap.DefaultConfig()
 	cfg.Generations = *generations
-	cfg.TriggerWords = *trigger
+	if *autotune {
+		cfg.AutoTune = true
+		cfg.TriggerWords = *trigger // AdaptivePolicy's starting trigger
+	} else {
+		cfg.Policy = heap.RadixPolicy{Trigger: *trigger}
+	}
 	var h *heap.Heap
 	var m *scheme.Machine
 	if *loadImage != "" {
@@ -118,8 +124,8 @@ func main() {
 	}
 
 	fmt.Println("guardians in a generation-based garbage collector — PLDI 1993 reproduction")
-	fmt.Printf("%d generations, %d-word gen-0 trigger; (collect [g]) collects explicitly\n",
-		cfg.Generations, cfg.TriggerWords)
+	fmt.Printf("%d generations, %d-word gen-0 trigger (%s policy); (collect [g]) collects explicitly\n",
+		cfg.Generations, h.TriggerWords(), h.Policy().Name())
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 	var pending strings.Builder

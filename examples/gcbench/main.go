@@ -60,7 +60,7 @@ const program = `
 
 func main() {
 	cfg := heap.DefaultConfig()
-	cfg.TriggerWords = 32 * 1024
+	cfg.Policy = heap.RadixPolicy{Trigger: 32 * 1024}
 	h := heap.MustNew(cfg)
 	m := scheme.New(h, nil)
 

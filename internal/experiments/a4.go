@@ -26,7 +26,7 @@ func A4() Table {
 	for _, depth := range []int{2, 4, 8} {
 		for _, single := range []bool{false, true} {
 			cfg := heap.DefaultConfig()
-			cfg.TriggerWords = 1 << 30
+			cfg.Policy = heap.RadixPolicy{Trigger: 1 << 30}
 			cfg.GuardianSinglePass = single
 			h := heap.MustNew(cfg)
 			// Build the chain: tconcs t1..tD; t1 rooted; t_i guards

@@ -22,7 +22,7 @@ func A1() Table {
 	for _, N := range []int{10000, 100000} {
 		for _, useDirty := range []bool{true, false} {
 			cfg := heap.DefaultConfig()
-			cfg.TriggerWords = 1 << 30 // manual collections only
+			cfg.Policy = heap.RadixPolicy{Trigger: 1 << 30} // manual collections only
 			cfg.UseDirtySet = useDirty
 			h := heap.MustNew(cfg)
 			// Build a tenured list of N pairs.
@@ -74,7 +74,7 @@ func A2() Table {
 	for _, N := range []int{10000, 100000} {
 		for _, scanAll := range []bool{false, true} {
 			cfg := heap.DefaultConfig()
-			cfg.TriggerWords = 1 << 30
+			cfg.Policy = heap.RadixPolicy{Trigger: 1 << 30}
 			cfg.WeakScanAll = scanAll
 			h := heap.MustNew(cfg)
 			keep := h.NewRoot(obj.Nil)

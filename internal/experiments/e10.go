@@ -47,7 +47,7 @@ func E10() Table {
 	for _, w := range workloads {
 		for _, compiled := range []bool{false, true} {
 			cfg := heap.DefaultConfig()
-			cfg.TriggerWords = 16 * 1024
+			cfg.Policy = heap.RadixPolicy{Trigger: 16 * 1024}
 			h := heap.MustNew(cfg)
 			m := scheme.New(h, nil)
 			run := m.EvalString

@@ -189,10 +189,7 @@ func (h *Heap) collectBegin(g int, start time.Time) (int, time.Time) {
 	}
 	h.stamp++
 	h.gcGen = g
-	target := g + 1
-	if h.cfg.TargetGen != nil {
-		target = h.cfg.TargetGen(g, h.MaxGeneration())
-	}
+	target := h.policy.TargetGen(g, h.MaxGeneration())
 	if target > h.MaxGeneration() {
 		target = h.MaxGeneration()
 	}
@@ -201,7 +198,7 @@ func (h *Heap) collectBegin(g int, start time.Time) (int, time.Time) {
 		// generation younger than g — from-space is exactly 0..g, so a
 		// younger target would immediately be from-space again and the
 		// cursor-reset logic below would free live copies. Clamp to the
-		// in-place policy instead (documented on Config.TargetGen).
+		// in-place policy instead (documented on Policy.TargetGen).
 		target = g
 	}
 	h.gcTarget = target
@@ -224,6 +221,11 @@ func (h *Heap) collectBegin(g int, start time.Time) (int, time.Time) {
 	rep := &h.report
 	rep.Seq = st.Collections
 	rep.Gen, rep.Target = g, target
+	// The policy's survival inputs: how many generation-0 words were
+	// allocated since the last collection (segment-granular — slow
+	// paths pre-charge whole segments), and the trigger in effect.
+	rep.Gen0Words = uint64(h.gen0Words)
+	rep.TriggerWords = h.trigger
 	rep.Pause = 0
 	rep.Phases = [NumPhases]time.Duration{}
 	rep.Workers = h.cfg.Workers
@@ -393,8 +395,20 @@ func (h *Heap) collectFinish(start, sliceStart time.Time, sliced bool) *Collecti
 	// zeroing Free performs is the one Free-phase cost proportional to
 	// heap size, and it would all land in the final slice's bounded
 	// pause. FreeLazy defers each clear to the allocation that reuses
-	// the segment (seg.Table.claim), off the pause path.
+	// the segment (seg.Table.claim), off the pause path. Large-object
+	// runs are retired whole through FreeRun, which pools them by size
+	// class for reuse by the next same-length allocation; a
+	// continuation whose head was already retired keeps its Cont mark,
+	// so the loop recognizes and skips it.
 	for _, si := range from {
+		s := h.tab.Seg(si)
+		if s.Cont {
+			continue // covered by its run head's FreeRun
+		}
+		if h.tab.RunLen(si) > 1 {
+			st.SegmentsFreed += uint64(h.tab.FreeRun(si))
+			continue
+		}
 		if sliced {
 			h.tab.FreeLazy(si)
 		} else {
@@ -431,6 +445,16 @@ func (h *Heap) collectFinish(start, sliceStart time.Time, sliced bool) *Collecti
 		d := time.Duration(h.phaseNS[i])
 		rep.Phases[i] = d
 		st.PhaseTotals[i] += d
+	}
+	// Let the policy retune the generation-0 trigger from this
+	// collection's figures (static policies return the input). The
+	// world is stopped (or the heap is in legacy single-mutator mode),
+	// so stateful policies need no locking.
+	if nt := h.policy.NextTrigger(rep, h.trigger); nt != h.trigger {
+		if nt < MinTriggerWords {
+			nt = MinTriggerWords
+		}
+		h.trigger = nt
 	}
 	h.recordTrace(rep)
 	return rep
@@ -904,7 +928,8 @@ func (h *Heap) guardianPhase(g, target int) {
 					Rep:   h.forward(e.Rep),
 					Tconc: h.fwdAddrOf(e.Tconc),
 				}
-				h.protected[target] = append(h.protected[target], ne)
+				dst := h.protListGen(ne, target)
+				h.protected[dst] = append(h.protected[dst], ne)
 				st.GuardianEntriesHeld++
 				progress = true
 			} else {
@@ -931,6 +956,30 @@ func (h *Heap) guardianPhase(g, target int) {
 	// inaccessible: both the entries and (eventually) the registered
 	// objects are reclaimed.
 	st.GuardianEntriesDropped += uint64(len(pendFinal) + len(pendHold))
+}
+
+// protListGen returns the protected list a held entry migrates to:
+// the promotion target, clamped down to the youngest generation among
+// the entry's pointer fields. An entry must never sit on a list older
+// than anything it references — a collection of the referenced
+// object's generation would forward the object without rescanning the
+// entry, leaving a stale pointer (Verify's "resides in younger
+// generation" invariant). With the paper's target g+1 the clamp is a
+// no-op: everything the entry references was either collected into
+// the target or is older. A skip-promotion policy (target > g+1) can
+// strand an entry's tconc or representative in an intermediate,
+// uncollected generation; the entry then stays on that younger list
+// so the intermediate generation's next collection rescans it.
+func (h *Heap) protListGen(e ProtEntry, target int) int {
+	dst := target
+	for _, v := range [...]obj.Value{e.Obj, e.Rep, e.Tconc} {
+		if v.IsPointer() {
+			if g := h.tab.SegOf(v.Addr()).Gen; g < dst {
+				dst = g
+			}
+		}
+	}
+	return dst
 }
 
 // guardVerdict reads entry i's parallel classification verdict, or

@@ -473,7 +473,7 @@ func TestTenuredObjectSalvagedWhenItsGenerationCollected(t *testing.T) {
 }
 
 func TestCollectAutoRadixPolicy(t *testing.T) {
-	h := heap.MustNew(heap.Config{Generations: 3, TriggerWords: 1 << 20, Radix: 2, UseDirtySet: true})
+	h := heap.MustNew(heap.Config{Generations: 3, Policy: heap.RadixPolicy{Trigger: 1 << 20, Radix: 2}, UseDirtySet: true})
 	for i := 0; i < 8; i++ {
 		h.CollectAuto()
 	}
@@ -484,7 +484,7 @@ func TestCollectAutoRadixPolicy(t *testing.T) {
 }
 
 func TestCheckpointRunsHandler(t *testing.T) {
-	h := heap.MustNew(heap.Config{Generations: 2, TriggerWords: 64, Radix: 4, UseDirtySet: true})
+	h := heap.MustNew(heap.Config{Generations: 2, Policy: heap.RadixPolicy{Trigger: 64, Radix: 4}, UseDirtySet: true})
 	called := 0
 	h.SetCollectRequestHandler(func(hh *heap.Heap) {
 		called++
@@ -613,9 +613,9 @@ func checkMirror(t *testing.T, h *heap.Heap, v obj.Value, m *mirror) {
 func TestPropertyRandomGraphsSurviveCollections(t *testing.T) {
 	cfgs := map[string]heap.Config{
 		"dirty-set": heap.DefaultConfig(),
-		"scan-all": {Generations: 4, TriggerWords: 1 << 20, Radix: 4,
+		"scan-all": {Generations: 4, Policy: heap.RadixPolicy{Trigger: 1 << 20, Radix: 4},
 			UseDirtySet: false},
-		"weak-scan-all": {Generations: 4, TriggerWords: 1 << 20, Radix: 4,
+		"weak-scan-all": {Generations: 4, Policy: heap.RadixPolicy{Trigger: 1 << 20, Radix: 4},
 			UseDirtySet: true, WeakScanAll: true},
 	}
 	for name, cfg := range cfgs {
@@ -679,7 +679,7 @@ func TestScanAllOracleMatchesDirtySet(t *testing.T) {
 		return string(out)
 	}
 	withDirty := run(heap.DefaultConfig())
-	noDirty := run(heap.Config{Generations: 4, TriggerWords: 1 << 20, Radix: 4, UseDirtySet: false})
+	noDirty := run(heap.Config{Generations: 4, Policy: heap.RadixPolicy{Trigger: 1 << 20, Radix: 4}, UseDirtySet: false})
 	if withDirty != noDirty || withDirty != "123" {
 		t.Fatalf("dirty=%q scanall=%q, want both \"123\"", withDirty, noDirty)
 	}

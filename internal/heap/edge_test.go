@@ -184,7 +184,7 @@ func TestRegistrationDuringDrainInterleaving(t *testing.T) {
 func TestOneGenerationHeapGuardians(t *testing.T) {
 	// Degenerate configuration: a single generation (every collection
 	// is a full collection into itself).
-	h := heap.MustNew(heap.Config{Generations: 1, TriggerWords: 1 << 20, Radix: 4, UseDirtySet: true})
+	h := heap.MustNew(heap.Config{Generations: 1, Policy: heap.RadixPolicy{Trigger: 1 << 20, Radix: 4}, UseDirtySet: true})
 	tc := h.NewRoot(makeTconc(h))
 	p := h.Cons(obj.FromFixnum(9), obj.Nil)
 	h.InstallGuardian(p, tc.Get())
@@ -203,7 +203,7 @@ func TestOneGenerationHeapGuardians(t *testing.T) {
 
 func TestManyGenerationsPromotionLadder(t *testing.T) {
 	const gens = 8
-	h := heap.MustNew(heap.Config{Generations: gens, TriggerWords: 1 << 20, Radix: 2, UseDirtySet: true})
+	h := heap.MustNew(heap.Config{Generations: gens, Policy: heap.RadixPolicy{Trigger: 1 << 20, Radix: 2}, UseDirtySet: true})
 	r := h.NewRoot(h.Cons(obj.FromFixnum(1), obj.Nil))
 	for g := 0; g < gens; g++ {
 		if got := h.Generation(r.Get()); got != g {

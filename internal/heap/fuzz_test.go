@@ -37,7 +37,7 @@ type fuzzOutcome struct {
 func runRemsetFuzz(t *testing.T, data []byte, workers int) fuzzOutcome {
 	t.Helper()
 	cfg := heap.DefaultConfig()
-	cfg.TriggerWords = 1 << 30 // collections are fuzz ops only
+	cfg.Policy = heap.RadixPolicy{Trigger: 1 << 30} // collections are fuzz ops only
 	cfg.Workers = workers
 	h := heap.MustNew(cfg)
 	tconc := h.NewRoot(makeTconc(h))

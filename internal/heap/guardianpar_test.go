@@ -44,7 +44,7 @@ func tconcIDs(h *heap.Heap, tc obj.Value) []int64 {
 func guardianWorkload(t *testing.T, workers int, budget time.Duration, seed int64, steps int) (history [][]int64, salvaged, held uint64) {
 	t.Helper()
 	cfg := heap.DefaultConfig()
-	cfg.TriggerWords = 1 << 30 // collections are explicit ops only
+	cfg.Policy = heap.RadixPolicy{Trigger: 1 << 30} // collections are explicit ops only
 	cfg.Workers = workers
 	cfg.PauseBudget = budget
 	h := heap.MustNew(cfg)
@@ -161,7 +161,7 @@ func TestGuardianChainSalvageOrder(t *testing.T) {
 	for _, workers := range []int{1, 2, 8} {
 		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
 			cfg := heap.DefaultConfig()
-			cfg.TriggerWords = 1 << 30
+			cfg.Policy = heap.RadixPolicy{Trigger: 1 << 30}
 			cfg.Workers = workers
 			h := heap.MustNew(cfg)
 
@@ -472,7 +472,7 @@ func FuzzGuardianParallel(f *testing.F) {
 func runGuardianFuzz(t *testing.T, data []byte, workers int) string {
 	t.Helper()
 	cfg := heap.DefaultConfig()
-	cfg.TriggerWords = 1 << 30
+	cfg.Policy = heap.RadixPolicy{Trigger: 1 << 30}
 	cfg.Workers = workers
 	h := heap.MustNew(cfg)
 	tcA := h.NewRoot(makeTconc(h))

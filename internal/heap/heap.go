@@ -30,13 +30,38 @@ type Config struct {
 	// Generations is the number of generations (0 .. Generations-1,
 	// with 0 the youngest), as in §4's fixed strategy. Must be >= 1.
 	Generations int
+	// Policy is the collection policy: when each generation is
+	// collected, where survivors are promoted, and the generation-0
+	// allocation budget between collect requests (see the Policy
+	// interface in policy.go). nil selects the shim resolution below:
+	// the deprecated TargetGen/Radix/TriggerWords knobs are wrapped in
+	// a RadixPolicy (AutoTune, when set, selects a fresh
+	// AdaptivePolicy instead). When Policy is non-nil the deprecated
+	// knobs are ignored — except TargetGen, which Validate rejects
+	// alongside a Policy to keep the promotion strategy single-homed.
+	Policy Policy
+	// AutoTune selects the feedback-driven AdaptivePolicy: the
+	// generation-0 trigger and the per-generation collection cadence
+	// are adjusted from measured survival rates (see AdaptivePolicy),
+	// seeded from TriggerWords when that is set. Off by default.
+	// Mutually exclusive with Policy (set Config.Policy to a
+	// configured *AdaptivePolicy for non-default bounds).
+	AutoTune bool
 	// TriggerWords is the number of words allocated in generation 0
 	// between collect requests. A request does not itself collect; it
 	// sets a flag honored at the next Checkpoint.
+	//
+	// Deprecated: set Policy (RadixPolicy{Trigger: n} for a fixed
+	// trigger). When Policy is nil this knob still works — New wraps
+	// it in a RadixPolicy — and the shim will be removed next release.
 	TriggerWords int
 	// Radix picks the generation for automatic collections: generation
 	// g is collected every Radix^g collect requests, matching Chez's
 	// collect-generation-radix.
+	//
+	// Deprecated: set Policy (RadixPolicy{Radix: r}). When Policy is
+	// nil this knob still works — New wraps it in a RadixPolicy — and
+	// the shim will be removed next release.
 	Radix int
 	// UseDirtySet enables the remembered-set write barrier. When
 	// false, the collector conservatively scans every word of every
@@ -73,6 +98,11 @@ type Config struct {
 	// generation). nil uses the paper's simple strategy: survivors of
 	// a collection of generation g go to g+1, with the oldest
 	// generation collecting into itself.
+	//
+	// Deprecated: set Policy (RadixPolicy{Target: fn}). When Policy is
+	// nil this knob still works — New wraps it in a RadixPolicy — and
+	// the shim will be removed next release. Setting both Policy (or
+	// AutoTune) and TargetGen is a Validate error.
 	TargetGen func(g, maxGen int) int
 	// Workers is the number of collector workers used for the
 	// forwarding phases of a collection (roots, old-space scan, the
@@ -123,6 +153,20 @@ func (c Config) Validate() error {
 	}
 	if c.Radix < 0 || c.Radix == 1 {
 		return fmt.Errorf("heap: Config.Radix must be 0 (default) or >= 2 (got %d)", c.Radix)
+	}
+	if c.Policy != nil && c.AutoTune {
+		return fmt.Errorf("heap: Config.AutoTune and Config.Policy are mutually exclusive (set Policy to a configured *AdaptivePolicy instead)")
+	}
+	if c.TargetGen != nil && (c.Policy != nil || c.AutoTune) {
+		return fmt.Errorf("heap: deprecated Config.TargetGen cannot be combined with Config.Policy/AutoTune (move it to RadixPolicy{Target: fn})")
+	}
+	if rp, ok := c.Policy.(RadixPolicy); ok {
+		if rp.Radix < 0 || rp.Radix == 1 {
+			return fmt.Errorf("heap: RadixPolicy.Radix must be 0 (default) or >= 2 (got %d)", rp.Radix)
+		}
+		if rp.Trigger < 0 {
+			return fmt.Errorf("heap: RadixPolicy.Trigger must be >= 0 (got %d; 0 selects the default)", rp.Trigger)
+		}
 	}
 	if c.MaxSegments < 0 {
 		return fmt.Errorf("heap: Config.MaxSegments must be >= 0 (got %d; 0 means unbounded)", c.MaxSegments)
@@ -203,6 +247,15 @@ type dirtyCell struct {
 type Heap struct {
 	tab *seg.Table
 	cfg Config
+	// policy is the resolved collection policy (resolvePolicy): the
+	// live seam every policy decision goes through. It lives on the
+	// heap rather than in cfg so Config round-trips (Config(),
+	// CaptureTemplate) re-resolve identically and stateful policies
+	// are never shared between heaps. trigger is the live generation-0
+	// trigger in words, initialized from policy.InitialTrigger and
+	// updated by policy.NextTrigger at the end of every collection.
+	policy  Policy
+	trigger int
 
 	// Allocation state, indexed [space][generation].
 	cur    [seg.NumSpaces][]cursor
@@ -333,16 +386,21 @@ func New(cfg Config) (*Heap, error) {
 		return nil, err
 	}
 	if cfg.TriggerWords == 0 {
-		cfg.TriggerWords = 64 * seg.Words
+		cfg.TriggerWords = DefaultTriggerWords
 	}
 	if cfg.Radix == 0 {
-		cfg.Radix = 4
+		cfg.Radix = DefaultRadix
 	}
 	cfg.Workers = clampWorkers(cfg.Workers)
 	h := &Heap{
-		tab:   &seg.Table{},
-		cfg:   cfg,
-		stamp: 1,
+		tab:    &seg.Table{},
+		cfg:    cfg,
+		policy: resolvePolicy(cfg),
+		stamp:  1,
+	}
+	h.trigger = h.policy.InitialTrigger()
+	if h.trigger < MinTriggerWords {
+		h.trigger = MinTriggerWords
 	}
 	h.spCond = sync.NewCond(&h.spMu)
 	h.rootChunks.Store(&[]*rootChunk{})
@@ -357,6 +415,30 @@ func New(cfg Config) (*Heap, error) {
 	}
 	h.protected = make([][]ProtEntry, cfg.Generations)
 	return h, nil
+}
+
+// resolvePolicy maps a validated Config to the Policy the heap will
+// consult: an explicit Policy wins (cloned when stateful, so one
+// Config can build many independently tuned heaps), AutoTune selects a
+// fresh AdaptivePolicy seeded from the (already normalized)
+// TriggerWords knob, and otherwise the deprecated knobs are wrapped in
+// a RadixPolicy — the one-release shim documented on each knob.
+func resolvePolicy(cfg Config) Policy {
+	if cfg.Policy != nil {
+		p := cfg.Policy
+		if c, ok := p.(PolicyCloner); ok {
+			p = c.ClonePolicy()
+		}
+		return p
+	}
+	if cfg.AutoTune {
+		return &AdaptivePolicy{Initial: cfg.TriggerWords}
+	}
+	return RadixPolicy{
+		Trigger: cfg.TriggerWords,
+		Radix:   cfg.Radix,
+		Target:  cfg.TargetGen,
+	}
 }
 
 // MustNew is New for configurations known to be valid: it panics on a
@@ -378,6 +460,17 @@ func (h *Heap) Config() Config { return h.cfg }
 
 // MaxGeneration returns the oldest generation number.
 func (h *Heap) MaxGeneration() int { return h.cfg.Generations - 1 }
+
+// Policy returns the heap's resolved collection policy: the explicit
+// Config.Policy (cloned if stateful), the AdaptivePolicy selected by
+// Config.AutoTune, or the RadixPolicy wrapping the deprecated knobs.
+func (h *Heap) Policy() Policy { return h.policy }
+
+// TriggerWords returns the live generation-0 trigger: the number of
+// words allocated in generation 0 between collect requests, as most
+// recently set by the policy (static policies keep it at
+// InitialTrigger; AdaptivePolicy retunes it every collection).
+func (h *Heap) TriggerWords() int { return h.trigger }
 
 // Stamp returns the current collection stamp; it increases by one per
 // collection, so callers (such as eq hash tables) can detect that a
@@ -424,24 +517,46 @@ const maxObjectWords = 128 * 1024
 // returns the address of the first. It is the legacy-mode (and
 // collector-time) allocation path: while Mutator handles are
 // registered, mutator allocation must go through their TLABs instead,
-// and calling this outside a collection panics.
+// and calling this outside a collection panics (checked on the slow
+// path, which a fresh registration forces by closing the open
+// cursors).
+//
+// The fast path is the same pure bump the TLAB path has: no atomics,
+// no trigger arithmetic, no OOM check. All per-allocation bookkeeping
+// the legacy path used to pay per word — the generation-0 trigger, the
+// MaxSegments check, the mode checks — is pre-charged per segment in
+// allocWordsSlow, exactly like the TLAB slow path, at the cost of the
+// trigger firing at most one segment early per open cursor
+// (TestAllocLegacySteadyStateAllocs pins the fast path allocation-free
+// and BenchmarkAllocLegacy its cost).
 func (h *Heap) allocWords(space seg.Space, gen, n int) uint64 {
-	if n <= 0 || n > maxObjectWords {
-		panic(fmt.Sprintf("heap: bad allocation size %d", n))
-	}
 	if h.allocForbidden {
 		panic("heap: allocation while allocation is forbidden (finalizer running inside GC)")
 	}
-	if !h.inCollect.Load() {
-		if h.mutCount.Load() != 0 {
-			panic("heap: direct Heap allocation while mutators are registered (allocate through a Mutator handle)")
-		}
-		h.gen0Words += n
-		if h.gen0Words >= h.cfg.TriggerWords {
-			h.needCollect.Store(true)
-		}
+	c := &h.cur[space][gen]
+	if n <= 0 || c.seg == seg.None || c.off+n > seg.Words {
+		return h.allocWordsSlow(space, gen, n)
 	}
+	addr := seg.BaseAddr(c.seg) + uint64(c.off)
+	c.off += n
+	h.tab.Seg(c.seg).Fill = c.off
 	h.Stats.WordsAllocated += uint64(n)
+	return addr
+}
+
+// allocWordsSlow opens a fresh segment (or takes the large-object run
+// path) for the legacy allocator: validation, mode checks, the
+// per-segment generation-0 trigger charge, and the bounded-heap OOM
+// check all live here, off the bump path.
+func (h *Heap) allocWordsSlow(space seg.Space, gen, n int) uint64 {
+	if n <= 0 || n > maxObjectWords {
+		panic(fmt.Sprintf("heap: bad allocation size %d", n))
+	}
+	inGC := h.inCollect.Load()
+	if !inGC && h.mutCount.Load() != 0 {
+		panic("heap: direct Heap allocation while mutators are registered (allocate through a Mutator handle)")
+	}
+	need := (n + seg.Words - 1) / seg.Words
 	// Reserved segments (worker affinity caches, mutator TLAB caches)
 	// count toward the bound: they are committed at Reserve time, so
 	// the OOM check here must see them or a bounded heap could hand
@@ -450,7 +565,6 @@ func (h *Heap) allocWords(space seg.Space, gen, n int) uint64 {
 	// declaring OOM, so the accounting stays exact: a bounded heap can
 	// always reach MaxSegments live segments.
 	if h.cfg.MaxSegments > 0 {
-		need := (n + seg.Words - 1) / seg.Words
 		if h.tab.CommittedCount()+need > h.cfg.MaxSegments {
 			h.releaseSegCaches()
 		}
@@ -459,9 +573,27 @@ func (h *Heap) allocWords(space seg.Space, gen, n int) uint64 {
 				h.cfg.MaxSegments, n))
 		}
 	}
+	if !inGC {
+		// Pre-charge the claimed segment against the generation-0
+		// trigger, mirroring the TLAB slow path: the trigger fires at
+		// most one segment's worth of words early, and the bump path
+		// stays free of trigger arithmetic. Large objects charge their
+		// exact size (they occupy their run exclusively).
+		if n > seg.Words {
+			h.gen0Words += n
+		} else {
+			h.gen0Words += seg.Words
+		}
+		if h.gen0Words >= h.trigger {
+			h.needCollect.Store(true)
+		}
+	}
+	h.Stats.WordsAllocated += uint64(n)
 	if n > seg.Words {
-		// Large object: a run of fresh contiguous segments.
-		k := (n + seg.Words - 1) / seg.Words
+		// Large object: a contiguous run, pooled by size class in the
+		// segment table (seg.Table.AllocRun reuses a retired run of the
+		// same length before growing).
+		k := need
 		first := h.tab.AllocRun(space, gen, h.stamp, k)
 		h.Stats.SegmentsAllocated += uint64(k)
 		rem := n
@@ -473,17 +605,14 @@ func (h *Heap) allocWords(space seg.Space, gen, n int) uint64 {
 		}
 		return seg.BaseAddr(first)
 	}
+	idx := h.tab.Alloc(space, gen, h.stamp)
+	h.Stats.SegmentsAllocated++
+	h.chains[space][gen] = append(h.chains[space][gen], idx)
 	c := &h.cur[space][gen]
-	if c.seg == seg.None || c.off+n > seg.Words {
-		idx := h.tab.Alloc(space, gen, h.stamp)
-		h.Stats.SegmentsAllocated++
-		h.chains[space][gen] = append(h.chains[space][gen], idx)
-		c.seg, c.off = idx, 0
-	}
-	addr := seg.BaseAddr(c.seg) + uint64(c.off)
-	c.off += n
-	h.tab.Seg(c.seg).Fill = c.off
-	return addr
+	c.seg, c.off = idx, n
+	s := h.tab.Seg(idx)
+	s.Fill = n
+	return seg.BaseAddr(idx)
 }
 
 // allocGC allocates during a collection, into the target generation.
@@ -621,17 +750,19 @@ func (h *Heap) Checkpoint() {
 	h.CollectAuto()
 }
 
-// autoGen advances the radix policy and returns the generation the
-// next automatic collection should collect: generation g is collected
-// on every Radix^g'th automatic collection, so older generations are
-// collected less frequently (§4). Callers must be serialized (legacy
-// mode, or the coordinator of a stopped world).
+// autoGen advances the collect-request counter and asks the policy
+// which generation the next automatic collection should collect
+// (radix cadence for the static policies, promoted-word backlog for
+// AdaptivePolicy), clamped to the heap's generations. Callers must be
+// serialized (legacy mode, or the coordinator of a stopped world).
 func (h *Heap) autoGen() int {
 	h.autoCount++
-	g, n := 0, h.autoCount
-	for g < h.MaxGeneration() && n%uint64(h.cfg.Radix) == 0 {
-		g++
-		n /= uint64(h.cfg.Radix)
+	g := h.policy.CollectGen(h.autoCount, h.MaxGeneration())
+	if g < 0 {
+		g = 0
+	}
+	if g > h.MaxGeneration() {
+		g = h.MaxGeneration()
 	}
 	return g
 }

@@ -160,9 +160,14 @@ func (h *Heap) saveImage(w io.Writer) error {
 	iw := &imageWriter{w: bufio.NewWriter(w)}
 	iw.str(imageMagic)
 
-	// Configuration.
+	// Configuration. The trigger slot carries the live trigger
+	// (Heap.TriggerWords) rather than the configured knob, so a heap
+	// tuned by AdaptivePolicy resumes from its tuned nursery size; the
+	// policy itself, like the old TargetGen func, is not serialized —
+	// LoadImage reconstructs a Config whose legacy knobs New wraps in
+	// a RadixPolicy.
 	iw.u64(uint64(h.cfg.Generations))
-	iw.u64(uint64(h.cfg.TriggerWords))
+	iw.u64(uint64(h.trigger))
 	iw.u64(uint64(h.cfg.Radix))
 	iw.u8(b2u(h.cfg.UseDirtySet))
 	iw.u8(b2u(h.cfg.WeakScanAll))

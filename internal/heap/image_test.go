@@ -369,7 +369,7 @@ func describeValue(sb *strings.Builder, h *heap.Heap, v obj.Value, depth int) {
 // in-flight churn list.
 func TestSaveImageWithActiveMutators(t *testing.T) {
 	cfg := heap.DefaultConfig()
-	cfg.TriggerWords = 1 << 30
+	cfg.Policy = heap.RadixPolicy{Trigger: 1 << 30}
 	h := heap.MustNew(cfg)
 	const N = 2
 	const perMutator = 200

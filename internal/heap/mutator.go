@@ -131,7 +131,7 @@ func (m *Mutator) allocSlow(space seg.Space, n int) uint64 {
 	// lock-free fast path at the cost of firing at most one segment's
 	// worth of words early per open TLAB.
 	h.gen0Words += seg.Words
-	if h.gen0Words >= h.cfg.TriggerWords {
+	if h.gen0Words >= h.trigger {
 		h.needCollect.Store(true)
 	}
 	m.words += uint64(n)
@@ -167,7 +167,7 @@ func (m *Mutator) allocLarge(space seg.Space, n int) uint64 {
 		h.chains[space][0] = append(h.chains[space][0], first+i)
 	}
 	h.gen0Words += n
-	if h.gen0Words >= h.cfg.TriggerWords {
+	if h.gen0Words >= h.trigger {
 		h.needCollect.Store(true)
 	}
 	m.words += uint64(n)

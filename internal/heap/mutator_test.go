@@ -103,7 +103,7 @@ func TestMutatorStress(t *testing.T) {
 		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
 			cfg := heap.DefaultConfig()
 			cfg.Workers = workers
-			cfg.TriggerWords = 1 << 15
+			cfg.Policy = heap.RadixPolicy{Trigger: 1 << 15}
 			h := heap.MustNew(cfg)
 			tc := h.NewRoot(makeTconc(h))
 			const N = 4
@@ -139,7 +139,7 @@ func TestMutatorStress(t *testing.T) {
 // coordinator's wait, and surfaces both in the trace schema.
 func TestMutatorHandshake(t *testing.T) {
 	cfg := heap.DefaultConfig()
-	cfg.TriggerWords = 1 << 30
+	cfg.Policy = heap.RadixPolicy{Trigger: 1 << 30}
 	h := heap.MustNew(cfg)
 	h.EnableTrace(4)
 	var stop atomic.Bool
@@ -188,7 +188,7 @@ func TestMutatorHandshake(t *testing.T) {
 // deterministic multi-mutator schedules possible at all.
 func TestMutatorIdleCollect(t *testing.T) {
 	cfg := heap.DefaultConfig()
-	cfg.TriggerWords = 1 << 30
+	cfg.Policy = heap.RadixPolicy{Trigger: 1 << 30}
 	h := heap.MustNew(cfg)
 	m1 := h.RegisterMutator()
 	m2 := h.RegisterMutator()
@@ -230,7 +230,7 @@ func TestMutatorIdleCollect(t *testing.T) {
 // refill path.
 func TestMutatorTLABEdges(t *testing.T) {
 	cfg := heap.DefaultConfig()
-	cfg.TriggerWords = 1 << 30
+	cfg.Policy = heap.RadixPolicy{Trigger: 1 << 30}
 	h := heap.MustNew(cfg)
 	m := h.RegisterMutator()
 
@@ -279,7 +279,7 @@ func TestMutatorTLABEdges(t *testing.T) {
 	// The generation-0 trigger fires from the TLAB segment-claim path
 	// (each claimed segment pre-charges seg.Words against the trigger).
 	cfg2 := heap.DefaultConfig()
-	cfg2.TriggerWords = 1 << 12
+	cfg2.Policy = heap.RadixPolicy{Trigger: 1 << 12}
 	h2 := heap.MustNew(cfg2)
 	m2 := h2.RegisterMutator()
 	r2 := h2.NewRoot(obj.Nil)
@@ -321,7 +321,7 @@ func TestMutatorDirectHeapAllocPanics(t *testing.T) {
 // the handshake must recount its quorum as mutators come and go.
 func TestMutatorChurn(t *testing.T) {
 	cfg := heap.DefaultConfig()
-	cfg.TriggerWords = 1 << 30
+	cfg.Policy = heap.RadixPolicy{Trigger: 1 << 30}
 	cfg.Workers = 2
 	h := heap.MustNew(cfg)
 	var wg sync.WaitGroup
@@ -384,7 +384,7 @@ type mutOracleSide struct {
 
 func newMutOracleSide(handles int, mut func(*heap.Config)) *mutOracleSide {
 	cfg := heap.DefaultConfig()
-	cfg.TriggerWords = 1 << 30
+	cfg.Policy = heap.RadixPolicy{Trigger: 1 << 30}
 	if mut != nil {
 		mut(&cfg)
 	}
@@ -613,7 +613,7 @@ func TestBoundedHeapAffinityAndOOM(t *testing.T) {
 	cfg := heap.DefaultConfig()
 	cfg.MaxSegments = 48
 	cfg.Workers = 2
-	cfg.TriggerWords = 1 << 30
+	cfg.Policy = heap.RadixPolicy{Trigger: 1 << 30}
 	h := heap.MustNew(cfg)
 	r := h.NewRoot(obj.Nil)
 	for i := 0; i < 2000; i++ {
@@ -672,7 +672,7 @@ func TestBoundedHeapAffinityAndOOM(t *testing.T) {
 func TestBoundedHeapMutatorOOM(t *testing.T) {
 	cfg := heap.DefaultConfig()
 	cfg.MaxSegments = 24
-	cfg.TriggerWords = 1 << 30
+	cfg.Policy = heap.RadixPolicy{Trigger: 1 << 30}
 	h := heap.MustNew(cfg)
 	m := h.RegisterMutator()
 	defer m.Unregister()
@@ -709,7 +709,7 @@ func FuzzMutatorOps(f *testing.F) {
 			return
 		}
 		cfg := heap.DefaultConfig()
-		cfg.TriggerWords = 1 << 30
+		cfg.Policy = heap.RadixPolicy{Trigger: 1 << 30}
 		h := heap.MustNew(cfg)
 		tconc := h.NewRoot(makeTconc(h))
 		const H = 3
@@ -800,6 +800,31 @@ func FuzzMutatorOps(f *testing.F) {
 		}
 		h.MustVerify()
 	})
+}
+
+// TestAllocLegacyZeroGoAllocs pins the legacy single-mutator allocation
+// path at zero Go-level allocations in steady state: the fast path is a
+// pure cursor bump, the slow path recycles retired segments (whose
+// backing arrays persist on the free list), and the collections
+// Checkpoint runs reuse their buffers. Any regression that moves
+// bookkeeping back onto the per-allocation path shows up here before it
+// shows up as a BenchmarkAllocLegacy delta.
+func TestAllocLegacyZeroGoAllocs(t *testing.T) {
+	h := heap.NewDefault()
+	r := h.NewRoot(obj.Nil)
+	defer r.Release()
+	step := func() {
+		for i := 0; i < 2000; i++ {
+			r.Set(h.Cons(fx(int64(i)), obj.Nil))
+		}
+		h.Checkpoint()
+	}
+	for i := 0; i < 40; i++ {
+		step() // reach steady state: segment arrays and GC buffers warm
+	}
+	if avg := testing.AllocsPerRun(20, step); avg > 0 {
+		t.Fatalf("legacy alloc path allocates %.1f Go objects/run, want 0", avg)
+	}
 }
 
 // --- Benchmarks --------------------------------------------------------

@@ -27,7 +27,7 @@ type oracleHeap struct {
 
 func newOracleHeap(mut func(*heap.Config)) *oracleHeap {
 	cfg := heap.DefaultConfig()
-	cfg.TriggerWords = 1 << 30 // collections are explicit ops only
+	cfg.Policy = heap.RadixPolicy{Trigger: 1 << 30} // collections are explicit ops only
 	if mut != nil {
 		mut(&cfg)
 	}

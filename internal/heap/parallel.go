@@ -863,14 +863,13 @@ func (pw *parWorker) publishRun(space seg.Space, first, k int) {
 
 // freeRun retires a speculative large-object run after its forwarding
 // CAS lost: the segments were never published, so they go straight
-// back to the free list.
+// back to the pool (FreeRun keeps the run assembled for the next
+// same-length allocation — typically the very object whose CAS won).
 func (pw *parWorker) freeRun(first, k, total int) {
 	h := pw.h
 	h.allocMu.Lock()
 	defer h.allocMu.Unlock()
-	for i := 0; i < k; i++ {
-		h.tab.Free(first + i)
-	}
+	h.tab.FreeRun(first)
 	pw.stats.wordsAllocated -= uint64(total)
 	pw.stats.segmentsAllocated -= uint64(k)
 }

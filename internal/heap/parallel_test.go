@@ -17,7 +17,7 @@ func TestStressParallelWorkers(t *testing.T) {
 	for _, workers := range []int{0, 1, 2, 8} { // 0 = adaptive
 		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
 			cfg := heap.DefaultConfig()
-			cfg.TriggerWords = 1 << 20
+			cfg.Policy = heap.RadixPolicy{Trigger: 1 << 20}
 			cfg.Workers = workers
 			// runStress verifies the whole heap after every collection.
 			for seed := int64(1); seed <= 3; seed++ {
@@ -121,7 +121,7 @@ func TestAutoWorkersNeverFanOutSmall(t *testing.T) {
 
 func TestParallelWorkerSweepStats(t *testing.T) {
 	cfg := heap.DefaultConfig()
-	cfg.TriggerWords = 1 << 20
+	cfg.Policy = heap.RadixPolicy{Trigger: 1 << 20}
 	cfg.Workers = 3
 	h := heap.MustNew(cfg)
 	h.EnableTrace(4)
@@ -188,7 +188,7 @@ func TestParallelWorkerSweepStats(t *testing.T) {
 // a collection whose sweep out-grew the retention cap.
 func TestSweepQueueMemoryNotRetained(t *testing.T) {
 	cfg := heap.DefaultConfig()
-	cfg.TriggerWords = 1 << 24
+	cfg.Policy = heap.RadixPolicy{Trigger: 1 << 24}
 	cfg.Workers = 2
 	h := heap.MustNew(cfg)
 	// One huge vector of pair chains: sweeping the vector pushes 4x
@@ -248,7 +248,7 @@ func TestSweepQueueMemoryNotRetained(t *testing.T) {
 // idle workers' cached segments to the table.
 func TestSegmentAffinityReserve(t *testing.T) {
 	cfg := heap.DefaultConfig()
-	cfg.TriggerWords = 1 << 22
+	cfg.Policy = heap.RadixPolicy{Trigger: 1 << 22}
 	cfg.Workers = 4
 	h := heap.MustNew(cfg)
 	var list obj.Value = obj.Nil
@@ -279,7 +279,7 @@ func TestSegmentAffinityReserve(t *testing.T) {
 // whole segment run exactly once (and retire the loser's run).
 func TestParallelLargeObjects(t *testing.T) {
 	cfg := heap.DefaultConfig()
-	cfg.TriggerWords = 1 << 20
+	cfg.Policy = heap.RadixPolicy{Trigger: 1 << 20}
 	cfg.Workers = 8
 	h := heap.MustNew(cfg)
 	var roots []*heap.Root
@@ -321,7 +321,7 @@ func BenchmarkCollectParallel(b *testing.B) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			cfg := heap.DefaultConfig()
-			cfg.TriggerWords = 1 << 30
+			cfg.Policy = heap.RadixPolicy{Trigger: 1 << 30}
 			cfg.Workers = workers
 			h := heap.MustNew(cfg)
 			var list obj.Value = obj.Nil

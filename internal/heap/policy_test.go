@@ -9,12 +9,12 @@ import (
 
 // §4: "the number of generations and the promotion and tenure
 // strategies supported by the collector are under programmer control."
-// These tests exercise non-default promotion policies.
+// These tests exercise non-default promotion policies through the
+// Config.Policy seam.
 
 func withPolicy(fn func(g, maxGen int) int) heap.Config {
 	cfg := heap.DefaultConfig()
-	cfg.TriggerWords = 1 << 20
-	cfg.TargetGen = fn
+	cfg.Policy = heap.RadixPolicy{Trigger: 1 << 20, Target: fn}
 	return cfg
 }
 
@@ -95,7 +95,7 @@ func TestPolicyDemotionClampedToG(t *testing.T) {
 	// from-space is exactly generations 0..g, so a younger target would
 	// land survivors straight back in from-space and the cursor-reset
 	// logic would free their segments. The clamp (documented on
-	// Config.TargetGen) makes such a policy behave exactly like the
+	// Policy.TargetGen) makes such a policy behave exactly like the
 	// in-place policy target == g.
 	target := 2
 	h := heap.MustNew(withPolicy(func(g, maxGen int) int { return target }))
@@ -122,6 +122,39 @@ func TestPolicyDemotionClampedToG(t *testing.T) {
 	if got := h.Generation(r.Get()); got != 2 {
 		t.Fatalf("generation drifted to %d under repeated demotion", got)
 	}
+}
+
+// TestPolicySkipPromotionGuardianEntryRescan is the regression test
+// for a stale-pointer bug the shim-equivalence suite exposed: a
+// skip-promotion policy (target g+2) migrated held guardian entries to
+// protected[target] even when the entry's tconc still lived in an
+// intermediate, uncollected generation. The next collection of that
+// intermediate generation then moved the tconc without rescanning the
+// entry, and the stale pointer later corrupted the salvage path
+// ("tconc: malformed header"). Held entries must stay on a list no
+// older than anything they reference.
+func TestPolicySkipPromotionGuardianEntryRescan(t *testing.T) {
+	h := heap.MustNew(withPolicy(func(g, maxGen int) int { return g + 2 }))
+	tc := h.NewRoot(makeTconc(h))
+	h.Collect(0) // tconc promotes 0 -> 2
+	if got := h.Generation(tc.Get()); got != 2 {
+		t.Fatalf("setup: tconc generation %d, want 2", got)
+	}
+	// Guard a fresh generation-0 pair that stays live across the next
+	// collection.
+	keep := h.NewRoot(h.Cons(obj.FromFixnum(11), obj.Nil))
+	h.InstallGuardian(keep.Get(), tc.Get())
+	h.Collect(1) // gens 0..1 -> 3: the held entry outruns its gen-2 tconc
+	h.MustVerify()
+	h.Collect(2) // moves the tconc; the entry must be rescanned with it
+	h.MustVerify()
+	keep.Release()
+	h.Collect(h.MaxGeneration())
+	got, ok := tconcGet(h, tc.Get())
+	if !ok || h.Car(got).FixnumValue() != 11 {
+		t.Fatal("guarded object not salvaged after skip promotion")
+	}
+	h.MustVerify()
 }
 
 func TestPolicyOutOfRangeClamped(t *testing.T) {

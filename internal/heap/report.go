@@ -29,6 +29,17 @@ type CollectionReport struct {
 	Gen    int
 	Target int
 
+	// Gen0Words is the number of generation-0 words allocated since
+	// the previous collection, as charged against the trigger
+	// (segment-granular: allocation slow paths pre-charge whole
+	// segments, large objects their exact size). Together with
+	// WordsCopied it is the survival-rate input AdaptivePolicy tunes
+	// from. TriggerWords is the generation-0 trigger that was in
+	// effect for this cycle (Heap.TriggerWords at collection start;
+	// the policy may retune it after the report is finalized).
+	Gen0Words    uint64
+	TriggerWords int
+
 	// Pause is the total stop-the-world pause; Phases attributes it to
 	// the collection phases, indexed by Phase (see PhaseNames). The
 	// entries of Phases sum to Pause up to timer granularity.

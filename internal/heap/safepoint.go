@@ -69,6 +69,13 @@ func (h *Heap) RegisterMutator() *Mutator {
 	// single-threaded machinery, so a template clone entering mutator
 	// mode privatizes everything still shared first.
 	h.tab.PrivatizeAll()
+	// Close the legacy allocator's open generation-0 cursors: the
+	// direct-allocation panic lives on the legacy slow path, so any
+	// stray Heap allocation after this registration must miss its
+	// bump segment and fall through to the check immediately.
+	for sp := 0; sp < int(seg.NumSpaces); sp++ {
+		h.cur[sp][0] = cursor{seg: seg.None}
+	}
 	h.muts = append(h.muts, m)
 	h.allocMu.Unlock()
 	h.mutCount.Store(int32(len(h.muts)))

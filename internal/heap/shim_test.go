@@ -1,0 +1,160 @@
+package heap_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/heap"
+	"repro/internal/obj"
+	"repro/internal/seg"
+)
+
+// Policy-shim equivalence: a heap built with the deprecated knobs
+// (TriggerWords/Radix/TargetGen) and a heap built with the wrapping
+// Config.Policy = RadixPolicy{...} must be indistinguishable — same
+// automatic collection cadence, same promotion decisions for every
+// live object, and bit-for-bit identical guardian salvage order —
+// across the collector's execution modes (sequential, parallel, auto
+// workers; monolithic and pause-budget-sliced).
+
+// shimTrace is everything policy-observable about one workload run.
+type shimTrace struct {
+	// Salvage is every guardian representative popped from the tconc,
+	// in tconc order, identified by its unique fixnum ID.
+	Salvage []int64
+	// Gens records, after each collection, the generation of every
+	// still-held keeper (promotion decisions).
+	Gens []int
+	// Colls records each collection's (Gen, Target, WordsCopied).
+	Colls [][3]uint64
+}
+
+// runShimWorkload drives a deterministic guardian-heavy mutator
+// against a heap built from cfg: rounds of guarded allocations (every
+// third kept live), garbage churn, staggered keeper release, and one
+// automatic collection per round so the policy decides the cadence.
+func runShimWorkload(t *testing.T, cfg heap.Config) shimTrace {
+	t.Helper()
+	h, err := heap.New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	tc := h.NewRoot(makeTconc(h))
+	var tr shimTrace
+	var keepers []*heap.Root
+	id := int64(0)
+	const rounds = 30
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < 40; i++ {
+			id++
+			v := h.Cons(obj.FromFixnum(id), obj.Nil)
+			h.InstallGuardian(v, tc.Get())
+			if i%3 == 0 {
+				keepers = append(keepers, h.NewRoot(v))
+			}
+		}
+		for i := 0; i < 400; i++ {
+			h.Cons(obj.FromFixnum(int64(i)), obj.Nil)
+		}
+		if r%4 == 3 && len(keepers) > 10 {
+			for _, k := range keepers[:10] {
+				k.Release()
+			}
+			keepers = keepers[10:]
+		}
+		rep := h.CollectAuto()
+		tr.Colls = append(tr.Colls,
+			[3]uint64{uint64(rep.Gen), uint64(rep.Target), rep.WordsCopied})
+		for _, k := range keepers {
+			tr.Gens = append(tr.Gens, h.Generation(k.Get()))
+		}
+		for {
+			v, ok := tconcGet(h, tc.Get())
+			if !ok {
+				break
+			}
+			tr.Salvage = append(tr.Salvage, h.Car(v).FixnumValue())
+		}
+	}
+	h.MustVerify()
+	if len(tr.Salvage) == 0 {
+		t.Fatal("shim workload salvaged nothing; it proves nothing")
+	}
+	return tr
+}
+
+// TestPolicyShimEquivalence is the deprecation contract for the old
+// knobs: at Workers {1,2,8,0} x PauseBudget {0,1ms}, the legacy-knob
+// heap and the Policy heap produce identical traces.
+func TestPolicyShimEquivalence(t *testing.T) {
+	// A non-default everything: trigger, radix, and a skip-promotion
+	// target, so the equivalence exercises all three wired knobs.
+	target := func(g, maxGen int) int {
+		if g+2 <= maxGen {
+			return g + 2
+		}
+		return maxGen
+	}
+	const trigger = 24 * seg.Words
+	const radix = 3
+	for _, workers := range []int{1, 2, 8, 0} {
+		for _, budget := range []time.Duration{0, time.Millisecond} {
+			t.Run(fmt.Sprintf("workers=%d/budget=%v", workers, budget), func(t *testing.T) {
+				legacy := heap.DefaultConfig()
+				legacy.TriggerWords = trigger
+				legacy.Radix = radix
+				legacy.TargetGen = target
+				legacy.Workers = workers
+				legacy.PauseBudget = budget
+
+				wrapped := heap.DefaultConfig()
+				wrapped.Policy = heap.RadixPolicy{Trigger: trigger, Radix: radix, Target: target}
+				wrapped.Workers = workers
+				wrapped.PauseBudget = budget
+
+				want := runShimWorkload(t, legacy)
+				got := runShimWorkload(t, wrapped)
+				if !reflect.DeepEqual(want.Colls, got.Colls) {
+					t.Fatalf("collection cadence diverged:\nlegacy  %v\nwrapped %v",
+						want.Colls, got.Colls)
+				}
+				if !reflect.DeepEqual(want.Gens, got.Gens) {
+					t.Fatalf("promotion decisions diverged:\nlegacy  %v\nwrapped %v",
+						want.Gens, got.Gens)
+				}
+				if !reflect.DeepEqual(want.Salvage, got.Salvage) {
+					t.Fatalf("salvage order diverged: legacy %d entries %v...\nwrapped %d entries %v...",
+						len(want.Salvage), head64(want.Salvage), len(got.Salvage), head64(got.Salvage))
+				}
+			})
+		}
+	}
+}
+
+func head64(xs []int64) []int64 {
+	if len(xs) > 8 {
+		return xs[:8]
+	}
+	return xs
+}
+
+// TestPolicyShimDefaults pins the remaining shim corner: zero-valued
+// RadixPolicy fields select the exact defaults New applies to the
+// zero-valued knobs, so RadixPolicy{} == the all-default legacy heap.
+func TestPolicyShimDefaults(t *testing.T) {
+	legacy := heap.DefaultConfig() // stock knobs: 64-segment trigger, radix 4
+	wrapped := heap.DefaultConfig()
+	wrapped.Policy = heap.RadixPolicy{}
+	want := runShimWorkload(t, legacy)
+	got := runShimWorkload(t, wrapped)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("RadixPolicy{} diverged from the all-default legacy heap")
+	}
+	// And both report the shim's stock trigger.
+	h := heap.MustNew(wrapped)
+	if h.TriggerWords() != heap.DefaultTriggerWords {
+		t.Fatalf("TriggerWords = %d, want %d", h.TriggerWords(), heap.DefaultTriggerWords)
+	}
+}

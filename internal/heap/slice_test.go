@@ -27,7 +27,7 @@ import (
 func slicedHeap(t *testing.T, budget time.Duration, workers int) (*heap.Heap, *heap.Root) {
 	t.Helper()
 	cfg := heap.DefaultConfig()
-	cfg.TriggerWords = 1 << 30
+	cfg.Policy = heap.RadixPolicy{Trigger: 1 << 30}
 	cfg.Workers = workers
 	cfg.PauseBudget = budget
 	h := heap.MustNew(cfg)
@@ -278,7 +278,7 @@ func TestMutatorStressPauseBudget(t *testing.T) {
 		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
 			cfg := heap.DefaultConfig()
 			cfg.Workers = workers
-			cfg.TriggerWords = 1 << 15
+			cfg.Policy = heap.RadixPolicy{Trigger: 1 << 15}
 			cfg.PauseBudget = 200 * time.Microsecond
 			h := heap.MustNew(cfg)
 			tc := h.NewRoot(makeTconc(h))

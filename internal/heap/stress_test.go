@@ -129,22 +129,27 @@ func runStress(t *testing.T, cfg heap.Config, seed int64, steps int) {
 func TestStressAllConfigurations(t *testing.T) {
 	configs := map[string]heap.Config{
 		"default": heap.DefaultConfig(),
-		"one-generation": {Generations: 1, TriggerWords: 1 << 20,
-			Radix: 4, UseDirtySet: true},
-		"two-generations": {Generations: 2, TriggerWords: 1 << 20,
-			Radix: 2, UseDirtySet: true},
-		"eight-generations": {Generations: 8, TriggerWords: 1 << 20,
-			Radix: 2, UseDirtySet: true},
-		"scan-all-old": {Generations: 4, TriggerWords: 1 << 20,
-			Radix: 4, UseDirtySet: false},
-		"weak-scan-all": {Generations: 4, TriggerWords: 1 << 20,
-			Radix: 4, UseDirtySet: true, WeakScanAll: true},
-		"eager-tenure-policy": {Generations: 4, TriggerWords: 1 << 20,
-			Radix: 4, UseDirtySet: true,
-			TargetGen: func(g, maxGen int) int { return maxGen }},
-		"lazy-promotion-policy": {Generations: 4, TriggerWords: 1 << 20,
-			Radix: 4, UseDirtySet: true,
-			TargetGen: func(g, maxGen int) int { return g }},
+		"one-generation": {Generations: 1,
+			Policy: heap.RadixPolicy{Trigger: 1 << 20}, UseDirtySet: true},
+		"two-generations": {Generations: 2,
+			Policy: heap.RadixPolicy{Trigger: 1 << 20, Radix: 2}, UseDirtySet: true},
+		"eight-generations": {Generations: 8,
+			Policy: heap.RadixPolicy{Trigger: 1 << 20, Radix: 2}, UseDirtySet: true},
+		"scan-all-old": {Generations: 4,
+			Policy: heap.RadixPolicy{Trigger: 1 << 20}, UseDirtySet: false},
+		"weak-scan-all": {Generations: 4,
+			Policy: heap.RadixPolicy{Trigger: 1 << 20}, UseDirtySet: true, WeakScanAll: true},
+		"eager-tenure-policy": {Generations: 4, UseDirtySet: true,
+			Policy: heap.RadixPolicy{Trigger: 1 << 20,
+				Target: func(g, maxGen int) int { return maxGen }}},
+		"lazy-promotion-policy": {Generations: 4, UseDirtySet: true,
+			Policy: heap.RadixPolicy{Trigger: 1 << 20,
+				Target: func(g, maxGen int) int { return g }}},
+		"adaptive-autotune": func() heap.Config {
+			c := heap.DefaultConfig()
+			c.AutoTune = true
+			return c
+		}(),
 	}
 	for name, cfg := range configs {
 		cfg := cfg

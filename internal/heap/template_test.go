@@ -39,7 +39,7 @@ const (
 func buildTemplateDonor(t *testing.T, workers int, budget time.Duration) (*heap.Heap, []*heap.Root) {
 	t.Helper()
 	cfg := heap.DefaultConfig()
-	cfg.TriggerWords = 1 << 30
+	cfg.Policy = heap.RadixPolicy{Trigger: 1 << 30}
 	cfg.Workers = workers
 	cfg.PauseBudget = budget
 	h := heap.MustNew(cfg)

@@ -17,8 +17,8 @@ import (
 func TestPromotedWeakPairEntersDirtySet(t *testing.T) {
 	target := 1
 	cfg := heap.DefaultConfig()
-	cfg.TriggerWords = 1 << 20
-	cfg.TargetGen = func(g, maxGen int) int { return target }
+	cfg.Policy = heap.RadixPolicy{Trigger: 1 << 20,
+		Target: func(g, maxGen int) int { return target }}
 	h := heap.MustNew(cfg)
 
 	x := h.NewRoot(h.Cons(obj.FromFixnum(42), obj.Nil))
@@ -64,8 +64,8 @@ func TestPromotedWeakPairEntersDirtySet(t *testing.T) {
 func TestPromotedWeakPairTracksMovingReferent(t *testing.T) {
 	target := 1
 	cfg := heap.DefaultConfig()
-	cfg.TriggerWords = 1 << 20
-	cfg.TargetGen = func(g, maxGen int) int { return target }
+	cfg.Policy = heap.RadixPolicy{Trigger: 1 << 20,
+		Target: func(g, maxGen int) int { return target }}
 	h := heap.MustNew(cfg)
 
 	x := h.NewRoot(h.Cons(obj.FromFixnum(9), obj.Nil))

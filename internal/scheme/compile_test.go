@@ -169,7 +169,7 @@ func TestCompiledGuardiansWork(t *testing.T) {
 }
 
 func TestCompiledCodeUnderAutomaticCollections(t *testing.T) {
-	h := heap.MustNew(heap.Config{Generations: 4, TriggerWords: 2048, Radix: 4, UseDirtySet: true})
+	h := heap.MustNew(heap.Config{Generations: 4, Policy: heap.RadixPolicy{Trigger: 2048, Radix: 4}, UseDirtySet: true})
 	m := scheme.New(h, nil)
 	v, err := m.EvalStringCompiled(`
 		(define (build n) (if (zero? n) '() (cons n (build (- n 1)))))

@@ -302,7 +302,7 @@ func TestDisplayOutput(t *testing.T) {
 func TestEvalWithConstantCollections(t *testing.T) {
 	// A tiny nursery forces collections mid-evaluation, exercising the
 	// shadow-stack rooting discipline end to end.
-	h := heap.MustNew(heap.Config{Generations: 4, TriggerWords: 2048, Radix: 4, UseDirtySet: true})
+	h := heap.MustNew(heap.Config{Generations: 4, Policy: heap.RadixPolicy{Trigger: 2048, Radix: 4}, UseDirtySet: true})
 	m := scheme.New(h, nil)
 	v, err := m.EvalString(`
 		(begin
@@ -336,7 +336,7 @@ func TestGCPrimitives(t *testing.T) {
 }
 
 func TestCollectRequestHandlerScheme(t *testing.T) {
-	h := heap.MustNew(heap.Config{Generations: 4, TriggerWords: 4096, Radix: 4, UseDirtySet: true})
+	h := heap.MustNew(heap.Config{Generations: 4, Policy: heap.RadixPolicy{Trigger: 4096, Radix: 4}, UseDirtySet: true})
 	m := scheme.New(h, nil)
 	v, err := m.EvalString(`
 		(begin

@@ -24,7 +24,7 @@ func FuzzReader(f *testing.F) {
 		if len(src) > 4096 {
 			return
 		}
-		h := heap.MustNew(heap.Config{Generations: 2, TriggerWords: 1 << 24, Radix: 4, UseDirtySet: true})
+		h := heap.MustNew(heap.Config{Generations: 2, Policy: heap.RadixPolicy{Trigger: 1 << 24, Radix: 4}, UseDirtySet: true})
 		m := scheme.New(h, nil)
 		vals, err := m.ReadAll(src)
 		if err != nil {
@@ -62,12 +62,12 @@ func FuzzDifferential(f *testing.F) {
 		if len(src) > 512 {
 			return
 		}
-		hi := heap.MustNew(heap.Config{Generations: 3, TriggerWords: 4096, Radix: 4, UseDirtySet: true})
+		hi := heap.MustNew(heap.Config{Generations: 3, Policy: heap.RadixPolicy{Trigger: 4096, Radix: 4}, UseDirtySet: true})
 		mi := scheme.New(hi, nil)
 		mi.SetFuel(200000)
 		iv, ierr := mi.EvalString(src)
 
-		hc := heap.MustNew(heap.Config{Generations: 3, TriggerWords: 4096, Radix: 4, UseDirtySet: true})
+		hc := heap.MustNew(heap.Config{Generations: 3, Policy: heap.RadixPolicy{Trigger: 4096, Radix: 4}, UseDirtySet: true})
 		mc := scheme.New(hc, nil)
 		mc.SetFuel(200000)
 		cv, cerr := mc.EvalStringCompiled(src)
@@ -106,7 +106,7 @@ func FuzzEval(f *testing.F) {
 		if len(src) > 1024 {
 			return
 		}
-		h := heap.MustNew(heap.Config{Generations: 3, TriggerWords: 4096, Radix: 4, UseDirtySet: true})
+		h := heap.MustNew(heap.Config{Generations: 3, Policy: heap.RadixPolicy{Trigger: 4096, Radix: 4}, UseDirtySet: true})
 		m := scheme.New(h, nil)
 		m.SetFuel(500000)
 		_, _ = m.EvalString(src) // errors fine; panics reach the fuzzer

@@ -2,7 +2,45 @@ package scheme_test
 
 import (
 	"testing"
+
+	"repro/internal/heap"
+	"repro/internal/scheme"
 )
+
+// TestGCPolicyPrim pins the (gc-policy) introspection contract: a pair
+// of the policy's name symbol and the live gen-0 trigger. The default
+// heap runs the deprecated-knob shim (a RadixPolicy); an AutoTune heap
+// reports adaptive, and its trigger is the live, retunable value — not
+// the configured constant.
+func TestGCPolicyPrim(t *testing.T) {
+	m := newMachine(t)
+	expectEval(t, m, "(car (gc-policy))", "radix")
+	expectEval(t, m, "(positive? (cdr (gc-policy)))", "#t")
+	expectEval(t, m, `
+		(begin
+		  (collect)
+		  (positive? (cdr (gc-policy))))`, "#t")
+
+	cfg := heap.DefaultConfig()
+	cfg.AutoTune = true
+	ma := scheme.New(heap.MustNew(cfg), nil)
+	expectEval(t, ma, "(car (gc-policy))", "adaptive")
+	expectEval(t, ma, "(positive? (cdr (gc-policy)))", "#t")
+	// Drive enough young garbage through collections that the adaptive
+	// policy moves the trigger off its starting value (all-garbage
+	// nursery -> survival ~0 -> the trigger grows).
+	expectEval(t, ma, `
+		(let ([start (cdr (gc-policy))])
+		  (define (churn n) (if (zero? n) 'done (begin (cons n n) (churn (- n 1)))))
+		  (define (spin n) (if (zero? n) 'done (begin (churn 2000) (collect 0) (spin (- n 1)))))
+		  (spin 8)
+		  (not (= (cdr (gc-policy)) start)))`, "#t")
+
+	explicit := heap.DefaultConfig()
+	explicit.Policy = heap.SimplePolicy{}
+	ms := scheme.New(heap.MustNew(explicit), nil)
+	expectEval(t, ms, "(car (gc-policy))", "simple")
+}
 
 func TestGCPhaseStats(t *testing.T) {
 	m := newMachine(t)

@@ -81,7 +81,7 @@ func TestMachineImageRejectsGarbage(t *testing.T) {
 }
 
 func TestMachineImageContinuesCollecting(t *testing.T) {
-	h := heap.MustNew(heap.Config{Generations: 4, TriggerWords: 4096, Radix: 4, UseDirtySet: true})
+	h := heap.MustNew(heap.Config{Generations: 4, Policy: heap.RadixPolicy{Trigger: 4096, Radix: 4}, UseDirtySet: true})
 	m := scheme.New(h, nil)
 	m.MustEval("(define (build n) (if (zero? n) '() (cons n (build (- n 1)))))")
 	var buf bytes.Buffer

@@ -754,6 +754,15 @@ func (m *Machine) registerBuiltins(goSideOnly bool) {
 		}
 		return obj.FromFixnum(int64(h.Workers())), nil
 	})
+	def("gc-policy", 0, 0, func(m *Machine, a Args) (obj.Value, error) {
+		// (gc-policy) returns (policy-name-symbol . trigger-words): the
+		// generation policy the heap was built with (simple, radix, or
+		// adaptive — Config.Policy is the seam; see docs/ALGORITHM.md)
+		// and the LIVE gen-0 trigger, which the adaptive policy retunes
+		// after every collection, so successive calls can watch it move.
+		return h.Cons(m.Intern(h.Policy().Name()),
+			obj.FromFixnum(int64(h.TriggerWords()))), nil
+	})
 	def("generation", 1, 1, func(m *Machine, a Args) (obj.Value, error) {
 		return obj.FromFixnum(int64(h.Generation(a.Get(0)))), nil
 	})

@@ -93,7 +93,7 @@ func TestSymbolPruningViaSchemePrim(t *testing.T) {
 }
 
 func TestSymbolPruningGensymChurnBounded(t *testing.T) {
-	h := heap.MustNew(heap.Config{Generations: 4, TriggerWords: 8192, Radix: 4, UseDirtySet: true})
+	h := heap.MustNew(heap.Config{Generations: 4, Policy: heap.RadixPolicy{Trigger: 8192, Radix: 4}, UseDirtySet: true})
 	m := scheme.New(h, nil)
 	m.EnableSymbolPruning(true)
 	base := m.InternedSymbols()

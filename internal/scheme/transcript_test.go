@@ -232,7 +232,7 @@ func TestGuardianWorkloadUnderAutomaticCollection(t *testing.T) {
 	// automatic radix collection policy, exercising every piece at
 	// once: tconc protocols, protected-list migration, weak pairs,
 	// dirty sets.
-	h := heap.MustNew(heap.Config{Generations: 4, TriggerWords: 4096, Radix: 4, UseDirtySet: true})
+	h := heap.MustNew(heap.Config{Generations: 4, Policy: heap.RadixPolicy{Trigger: 4096, Radix: 4}, UseDirtySet: true})
 	m := scheme.New(h, nil)
 	v, err := m.EvalString(`
 		(begin

@@ -108,6 +108,20 @@ type Table struct {
 	// so the counter is atomic.
 	reserved atomic.Int64
 
+	// runPool pools retired large-object runs by size class: runPool[k]
+	// holds the head indices of free contiguous k-segment runs, so
+	// AllocRun can pop a same-length run instead of growing the table
+	// — without pooling, large-object churn grows the table without
+	// bound, since free single segments are never adjacent. The pools
+	// are plain index free lists (push on FreeRun, pop on AllocRun):
+	// steady-state large allocation performs no Go allocations. Pooled
+	// words are stale (FreeLazy semantics) and are zeroed when the run
+	// is reused; pooled counts the segments parked across all classes.
+	// The slice is indexed by k and grown (rarely) to the largest
+	// class seen; class 0/1 are unused.
+	runPool [][]int
+	pooled  int
+
 	// Copy-on-write clone state (NewTableFromSegs with shared=true).
 	// cowBits has one bit per segment index covered at clone time; a set
 	// bit means the segment's Words slice aliases an immutable template
@@ -297,7 +311,10 @@ func (t *Table) initSeg(idx int, space Space, gen int, stamp uint64, cont bool) 
 // claim returns a reusable segment index with zeroed words (or a
 // brand-new index whose words initSeg/Reserve will materialize):
 // eagerly-freed segments first, then lazily-freed ones — paying their
-// deferred zeroing here — then fresh table growth.
+// deferred zeroing here — then pooled large-object runs broken up into
+// singles, then fresh table growth. Breaking up a pooled run before
+// growing keeps the bounded-heap guarantee exact: a heap full of
+// pooled runs can still hand out single segments up to MaxSegments.
 func (t *Table) claim() int {
 	if n := len(t.free); n > 0 {
 		idx := t.free[n-1]
@@ -309,6 +326,29 @@ func (t *Table) claim() int {
 		t.lazy = t.lazy[:n-1]
 		clear(t.Seg(idx).Words)
 		return idx
+	}
+	if t.pooled > 0 {
+		// Smallest class first (deterministic — no map iteration), its
+		// segments pushed in reverse so the run's lowest index is
+		// claimed first, matching Alloc's order on a grown table.
+		// Pooled words are stale, so the segments join the lazy list.
+		for k := range t.runPool {
+			lst := t.runPool[k]
+			if len(lst) == 0 {
+				continue
+			}
+			head := lst[len(lst)-1]
+			t.runPool[k] = lst[:len(lst)-1]
+			t.pooled -= k
+			for i := k - 1; i >= 0; i-- {
+				t.Seg(head + i).Cont = false // broken up into singles
+				t.lazy = append(t.lazy, head+i)
+			}
+			idx := t.lazy[len(t.lazy)-1]
+			t.lazy = t.lazy[:len(t.lazy)-1]
+			clear(t.Seg(idx).Words) // nil-safe: COW-dropped words rematerialize in initSeg
+			return idx
+		}
 	}
 	t.grow()
 	idx := t.nseg
@@ -324,12 +364,27 @@ func (t *Table) Alloc(space Space, gen int, stamp uint64) int {
 	return idx
 }
 
-// AllocRun appends k brand-new contiguous segments for a large object
-// and returns the index of the first. Runs never come from the free
-// list because free segments are not guaranteed to be adjacent. The
-// first segment of the run is an ordinary object-start segment; the
-// rest are marked as continuations.
+// AllocRun returns k contiguous segments for a large object: a pooled
+// run of exactly k segments when one has been retired (FreeRun), or k
+// brand-new segments appended to the table. Runs never come from the
+// single-segment free list because free singles are not guaranteed to
+// be adjacent. The first segment of the run is an ordinary
+// object-start segment; the rest are marked as continuations. Pooled
+// words are stale and are zeroed here (the large-allocation analogue
+// of the lazy list's deferred clear).
 func (t *Table) AllocRun(space Space, gen int, stamp uint64, k int) int {
+	if k < len(t.runPool) {
+		if lst := t.runPool[k]; len(lst) > 0 {
+			head := lst[len(lst)-1]
+			t.runPool[k] = lst[:len(lst)-1]
+			t.pooled -= k
+			for i := 0; i < k; i++ {
+				clear(t.Seg(head + i).Words) // nil-safe (COW-dropped)
+				t.initSeg(head+i, space, gen, stamp, i > 0)
+			}
+			return head
+		}
+	}
 	first := t.nseg
 	for i := 0; i < k; i++ {
 		t.grow()
@@ -337,6 +392,66 @@ func (t *Table) AllocRun(space Space, gen int, stamp uint64, k int) int {
 		t.initSeg(first+i, space, gen, stamp, i > 0)
 	}
 	return first
+}
+
+// RunLen returns the length in segments of the object run starting at
+// head: 1 for an ordinary segment, k for the head of a k-segment
+// large-object run. A continuation segment's run head is the nearest
+// non-continuation segment below it, so a non-continuation segment
+// immediately followed by in-use continuations is exactly a run head.
+// head must be in use and not itself a continuation.
+func (t *Table) RunLen(head int) int {
+	k := 1
+	for head+k < t.nseg {
+		s := t.Seg(head + k)
+		if !s.InUse || !s.Cont {
+			break
+		}
+		k++
+	}
+	return k
+}
+
+// FreeRun retires the whole object run starting at head — the head
+// segment plus its continuations (RunLen) — in one call. Single
+// segments (RunLen 1) go to the lazy list; longer runs are pooled
+// intact by size class for reuse by a same-length AllocRun, keeping
+// their contiguity (a run broken into singles could never be
+// reassembled, so large-object churn would grow the table without
+// bound). Words are not zeroed here (FreeLazy semantics: the clear is
+// deferred to reuse); COW-shared template words are dropped rather
+// than cleared, exactly as in Free. Returns the run length. Serialized
+// like Free.
+func (t *Table) FreeRun(head int) int {
+	k := t.RunLen(head)
+	for i := 0; i < k; i++ {
+		s := t.Seg(head + i)
+		if !s.InUse {
+			panic(fmt.Sprintf("seg: double free of segment %d", head+i))
+		}
+		if t.cowBits != nil && t.isShared(head+i) {
+			s.Words = nil
+			t.clearShared(head + i)
+		}
+		s.InUse = false
+		s.Next = None
+		s.Fill = 0
+		// Continuations keep their Cont mark while pooled: the run
+		// stays assembled, and callers freeing a mixed from-space list
+		// can recognize a continuation whose head's FreeRun already
+		// covered it.
+		s.Cont = i > 0
+	}
+	if k == 1 {
+		t.lazy = append(t.lazy, head)
+		return 1
+	}
+	for len(t.runPool) <= k {
+		t.runPool = append(t.runPool, nil)
+	}
+	t.runPool[k] = append(t.runPool[k], head)
+	t.pooled += k
+	return k
 }
 
 // Reserve detaches up to k segments from the table — retired segments
@@ -458,21 +573,28 @@ func (t *Table) Seg(idx int) *Segment {
 func (t *Table) Len() int { return t.nseg }
 
 // FreeCount returns the number of retired segments awaiting reuse
-// (eagerly and lazily freed alike).
-func (t *Table) FreeCount() int { return len(t.free) + len(t.lazy) }
+// (eagerly freed, lazily freed, and pooled large-object runs alike).
+func (t *Table) FreeCount() int { return len(t.free) + len(t.lazy) + t.pooled }
+
+// PooledRunSegments returns the number of segments currently parked in
+// the large-object run pools.
+func (t *Table) PooledRunSegments() int { return t.pooled }
 
 // InUseCount returns the number of live segments. Reserved segments
-// (see Reserve) are neither free nor in use and are excluded.
+// (see Reserve) are neither free nor in use and are excluded, as are
+// pooled large-object runs.
 func (t *Table) InUseCount() int {
-	return t.nseg - len(t.free) - len(t.lazy) - int(t.reserved.Load())
+	return t.nseg - t.FreeCount() - int(t.reserved.Load())
 }
 
 // CommittedCount returns the number of segments the table has handed
 // out and not gotten back: in-use plus reserved. Bounded heaps charge
 // reservations against Config.MaxSegments at Reserve time using this
 // figure, so a segment parked in an affinity cache or a mutator's TLAB
-// cache counts against the limit exactly like a live one.
-func (t *Table) CommittedCount() int { return t.nseg - len(t.free) - len(t.lazy) }
+// cache counts against the limit exactly like a live one. Pooled runs
+// are reclaimable (claim breaks them up before growing the table) and
+// do not count.
+func (t *Table) CommittedCount() int { return t.nseg - t.FreeCount() }
 
 // SegIndexOf returns the index of the segment containing the word
 // address addr.

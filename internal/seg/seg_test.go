@@ -72,6 +72,112 @@ func TestAllocRunContiguous(t *testing.T) {
 	}
 }
 
+func TestFreeRunPoolsAndReuses(t *testing.T) {
+	var tab Table
+	first := tab.AllocRun(SpaceData, 0, 1, 3)
+	for i := 0; i < 3; i++ {
+		tab.Seg(first + i).Words[0] = 0xbeef
+	}
+	if got := tab.RunLen(first); got != 3 {
+		t.Fatalf("RunLen = %d, want 3", got)
+	}
+	if got := tab.FreeRun(first); got != 3 {
+		t.Fatalf("FreeRun returned %d, want 3", got)
+	}
+	if tab.PooledRunSegments() != 3 || tab.FreeCount() != 3 || tab.InUseCount() != 0 {
+		t.Fatalf("counts after FreeRun: pooled=%d free=%d inuse=%d",
+			tab.PooledRunSegments(), tab.FreeCount(), tab.InUseCount())
+	}
+	for i := 0; i < 3; i++ {
+		s := tab.Seg(first + i)
+		if s.InUse {
+			t.Fatalf("pooled segment %d still in use", i)
+		}
+		if s.Cont != (i > 0) {
+			t.Fatalf("pooled segment %d Cont = %v", i, s.Cont)
+		}
+	}
+	// A same-length AllocRun reuses the pooled run without growing the
+	// table, and its stale words are zeroed on the way out.
+	again := tab.AllocRun(SpaceObj, 2, 9, 3)
+	if again != first {
+		t.Fatalf("pooled run not reused: got %d, want %d", again, first)
+	}
+	if tab.Len() != 3 || tab.PooledRunSegments() != 0 {
+		t.Fatalf("table grew past pooled run: len=%d pooled=%d", tab.Len(), tab.PooledRunSegments())
+	}
+	for i := 0; i < 3; i++ {
+		s := tab.Seg(again + i)
+		if !s.InUse || s.Space != SpaceObj || s.Gen != 2 || s.Stamp != 9 || s.Cont != (i > 0) {
+			t.Fatalf("reused run segment %d metadata stale: %+v", i, s)
+		}
+		if s.Words[0] != 0 {
+			t.Fatalf("reused run segment %d not zeroed", i)
+		}
+	}
+}
+
+func TestFreeRunSingleGoesToLazyList(t *testing.T) {
+	var tab Table
+	a := tab.Alloc(SpacePair, 0, 1)
+	tab.Seg(a).Words[3] = 7
+	if got := tab.FreeRun(a); got != 1 {
+		t.Fatalf("FreeRun of single = %d, want 1", got)
+	}
+	if tab.PooledRunSegments() != 0 || tab.FreeCount() != 1 {
+		t.Fatalf("single went to pool: pooled=%d free=%d", tab.PooledRunSegments(), tab.FreeCount())
+	}
+	b := tab.Alloc(SpaceObj, 1, 2)
+	if b != a {
+		t.Fatalf("lazily-freed single not reused: got %d, want %d", b, a)
+	}
+	if tab.Seg(b).Words[3] != 0 {
+		t.Fatal("deferred zeroing skipped on reuse")
+	}
+}
+
+func TestClaimBreaksUpPooledRun(t *testing.T) {
+	var tab Table
+	small := tab.AllocRun(SpaceData, 0, 1, 2)
+	big := tab.AllocRun(SpaceData, 0, 1, 4)
+	tab.FreeRun(big)
+	tab.FreeRun(small)
+	if tab.PooledRunSegments() != 6 {
+		t.Fatalf("pooled = %d, want 6", tab.PooledRunSegments())
+	}
+	// With no singles free, a plain Alloc breaks up the smallest pooled
+	// class first, lowest index first, without growing the table.
+	a := tab.Alloc(SpacePair, 0, 5)
+	if a != small {
+		t.Fatalf("breakup claimed %d, want smallest run's head %d", a, small)
+	}
+	if tab.Len() != 6 {
+		t.Fatalf("table grew to %d despite pooled runs", tab.Len())
+	}
+	if tab.PooledRunSegments() != 4 {
+		t.Fatalf("pooled after breakup = %d, want 4 (big run intact)", tab.PooledRunSegments())
+	}
+	if tab.Seg(small + 1).Cont {
+		t.Fatal("broken-up continuation kept its Cont mark")
+	}
+	// The big run is still poolable as a unit.
+	if got := tab.AllocRun(SpaceData, 1, 6, 4); got != big {
+		t.Fatalf("big run not reused after breakup of small: got %d, want %d", got, big)
+	}
+}
+
+func TestFreeRunDoubleFreePanics(t *testing.T) {
+	var tab Table
+	first := tab.AllocRun(SpaceData, 0, 1, 2)
+	tab.FreeRun(first)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double FreeRun did not panic")
+		}
+	}()
+	tab.FreeRun(first)
+}
+
 func TestAddressingHelpers(t *testing.T) {
 	if SegIndexOf(0) != 0 || SegIndexOf(Words-1) != 0 || SegIndexOf(Words) != 1 {
 		t.Fatal("SegIndexOf wrong")

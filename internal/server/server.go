@@ -81,11 +81,10 @@ type Config struct {
 // count), three generations, dirty set on, sequential collector.
 func DefaultSessionHeapConfig() heap.Config {
 	return heap.Config{
-		Generations:  3,
-		TriggerWords: 8 * seg.Words,
-		Radix:        4,
-		UseDirtySet:  true,
-		Workers:      1,
+		Generations: 3,
+		Policy:      heap.RadixPolicy{Trigger: 8 * seg.Words},
+		UseDirtySet: true,
+		Workers:     1,
 	}
 }
 

@@ -50,6 +50,17 @@ echo "== concurrent mutator gate (-race)"
 # fix and the exact-OOM guarantee.
 go test -race -run 'TestMutator|TestBoundedHeap' ./internal/heap/
 
+echo "== policy / autotune gate (-race)"
+# The Config.Policy seam: the shim-equivalence suite proves a heap
+# built with the deprecated TargetGen/Radix/TriggerWords knobs
+# bit-for-bit identical (salvage order, promotion decisions, cadence)
+# to one built with the wrapping RadixPolicy at Workers {1,2,8,auto} x
+# PauseBudget {0,1ms}; the AutoTune gate runs a trigger-driven churn
+# workload with a full Verify after every collection plus the
+# adaptive-autotune stress configuration, and the steady-state test
+# holds the feedback path to zero Go allocations per collection.
+go test -race -run 'TestPolicyShim|TestAdaptive|TestAutoTune|TestCollectSteadyStateAllocsAutoTune|TestStressAllConfigurations/adaptive-autotune' ./internal/heap/
+
 echo "== pause-budget gate (-race)"
 # Sliced (pause-budget) collections: TestMutatorStressPauseBudget
 # races mutator goroutines against deadline-sliced old-space
@@ -117,14 +128,21 @@ go run ./cmd/benchgc -e e1 >/dev/null
 # report's schema self-check (peak population, quantile ordering,
 # zero leaks) without the full 10k boot.
 go run ./cmd/benchgc -server-bench -server-sessions 200 -server-churn 50 \
-    -server-bench-out /tmp/BENCH_server_ci.json >/dev/null
+    -out /tmp/BENCH_server_ci.json >/dev/null
 rm -f /tmp/BENCH_server_ci.json
 # Reduced-scale fork bench: template-vs-prelude boot, COW fault cost,
 # and template churn, with the report's schema self-check (boot
 # counters exact, speedup floor, quantile ordering, zero leaks).
 go run ./cmd/benchgc -fork-bench -fork-sessions 300 \
-    -fork-bench-out /tmp/BENCH_fork_ci.json >/dev/null
+    -out /tmp/BENCH_fork_ci.json >/dev/null
 rm -f /tmp/BENCH_fork_ci.json
+# Reduced-scale tune bench: the tuned-vs-fixed ablation at toy scale.
+# The report is written and schema-checked; the comparative acceptance
+# bounds (AutoTune never regressing a workload) are asserted only at
+# full scale, so this smoke stays noise-proof.
+go run ./cmd/benchgc -tune-bench -tune-reps 1 -tune-ops 60000 \
+    -out /tmp/BENCH_tune_ci.json >/dev/null
+rm -f /tmp/BENCH_tune_ci.json
 
 echo "== parallel collection baseline"
 # The summary (kept visible, unlike the other smokes) leads with
@@ -134,7 +152,7 @@ echo "== parallel collection baseline"
 # scraped one-line CI status still shows the regime (the GOMAXPROCS=1
 # blind spot is a ROADMAP open item).
 gmp="${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN)}"
-if go run ./cmd/benchgc -parallel-bench -gcs 5 -bench-out /tmp/BENCH_parallel_ci.json; then
+if go run ./cmd/benchgc -parallel-bench -gcs 5 -out /tmp/BENCH_parallel_ci.json; then
     echo "parallel-bench smoke: PASS (GOMAXPROCS=$gmp)"
 else
     echo "parallel-bench smoke: FAIL (GOMAXPROCS=$gmp)" >&2
